@@ -1,0 +1,366 @@
+package pictdb_test
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper, plus the ablations DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks report, beyond time and allocations, the paper's own
+// metrics as custom units: nodes/query (the paper's A), coverage and
+// overlap, so `go test -bench` regenerates the evaluation numbers.
+
+import (
+	"fmt"
+	"testing"
+
+	pictdb "repro"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/pack"
+	"repro/internal/pager"
+	"repro/internal/rtree"
+	"repro/internal/workload"
+)
+
+// --- Table 1 ---------------------------------------------------------
+
+// BenchmarkTable1Insert measures Guttman INSERT builds at each paper J
+// and reports the paper's structural metrics.
+func BenchmarkTable1Insert(b *testing.B) {
+	for _, j := range experiments.PaperJs() {
+		b.Run(fmt.Sprintf("J=%d", j), func(b *testing.B) {
+			items := workload.PointItems(workload.UniformPoints(j, int64(j)))
+			params := rtree.Params{Max: 4, Min: 2, Split: rtree.SplitLinear}
+			var t *rtree.Tree
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t = rtree.New(params)
+				for _, it := range items {
+					t.InsertItem(it)
+				}
+			}
+			b.StopTimer()
+			reportTreeMetrics(b, t)
+		})
+	}
+}
+
+// BenchmarkTable1Pack measures PACK builds at each paper J.
+func BenchmarkTable1Pack(b *testing.B) {
+	for _, j := range experiments.PaperJs() {
+		b.Run(fmt.Sprintf("J=%d", j), func(b *testing.B) {
+			items := workload.PointItems(workload.UniformPoints(j, int64(j)))
+			params := rtree.Params{Max: 4, Min: 2}
+			var t *rtree.Tree
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t = pack.Tree(params, items, pack.Options{Method: pack.MethodNN})
+			}
+			b.StopTimer()
+			reportTreeMetrics(b, t)
+		})
+	}
+}
+
+// BenchmarkTable1QueryInsert and ...QueryPack measure the paper's A
+// column as nodes/query over random point-containment probes.
+func BenchmarkTable1QueryInsert(b *testing.B) {
+	benchTable1Query(b, func(items []rtree.Item) *rtree.Tree {
+		t := rtree.New(rtree.Params{Max: 4, Min: 2, Split: rtree.SplitLinear})
+		for _, it := range items {
+			t.InsertItem(it)
+		}
+		return t
+	})
+}
+
+func BenchmarkTable1QueryPack(b *testing.B) {
+	benchTable1Query(b, func(items []rtree.Item) *rtree.Tree {
+		return pack.Tree(rtree.Params{Max: 4, Min: 2}, items, pack.Options{Method: pack.MethodNN})
+	})
+}
+
+func benchTable1Query(b *testing.B, build func([]rtree.Item) *rtree.Tree) {
+	for _, j := range []int{100, 300, 900} {
+		b.Run(fmt.Sprintf("J=%d", j), func(b *testing.B) {
+			t := build(workload.PointItems(workload.UniformPoints(j, int64(j))))
+			queries := workload.QueryPoints(1024, int64(j)+7919)
+			visited := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, v := t.ContainsPoint(queries[i%len(queries)])
+				visited += v
+			}
+			b.ReportMetric(float64(visited)/float64(b.N), "nodes/query")
+		})
+	}
+}
+
+func reportTreeMetrics(b *testing.B, t *rtree.Tree) {
+	b.Helper()
+	m := t.ComputeMetrics()
+	b.ReportMetric(m.Coverage, "coverage")
+	b.ReportMetric(m.Overlap, "overlap")
+	b.ReportMetric(float64(m.Nodes), "nodes")
+	b.ReportMetric(float64(m.Depth), "depth")
+}
+
+// --- Figures ---------------------------------------------------------
+
+// BenchmarkFigure33Pruning measures the center-window query on the
+// sliver-leaf pathology versus the packed tree (Figure 3.3's pruning
+// failure), reporting nodes visited per query for each.
+func BenchmarkFigure33Pruning(b *testing.B) {
+	rep := experiments.Figure33()
+	if !rep.Holds {
+		b.Fatalf("figure 3.3 does not hold: %s", rep)
+	}
+	b.Run("report", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = experiments.Figure33()
+		}
+	})
+}
+
+// BenchmarkFigure34DeadSpace regenerates the 8-point dead-space demo.
+func BenchmarkFigure34DeadSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Figure34()
+		if !rep.Holds {
+			b.Fatalf("figure 3.4 does not hold: %s", rep)
+		}
+	}
+}
+
+// BenchmarkFigure37Coverage regenerates the coverage-vs-overlap demo.
+func BenchmarkFigure37Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Figure37()
+		if !rep.Holds {
+			b.Fatalf("figure 3.7 does not hold: %s", rep)
+		}
+	}
+}
+
+// BenchmarkFigure38PackCities packs the US cities (Figure 3.8) per
+// iteration.
+func BenchmarkFigure38PackCities(b *testing.B) {
+	cities := workload.USCities()
+	items := make([]rtree.Item, len(cities))
+	for i, c := range cities {
+		items[i] = rtree.Item{Rect: c.Pos.Rect(), Data: int64(i)}
+	}
+	for i := 0; i < b.N; i++ {
+		pack.Tree(rtree.Params{Max: 4, Min: 2}, items, pack.Options{Method: pack.MethodNN})
+	}
+}
+
+// BenchmarkTheorem32Rotation measures the Lemma 3.1 separating-angle
+// computation plus rotation packing.
+func BenchmarkTheorem32Rotation(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			items := workload.PointItems(workload.UniformPoints(n, int64(n)))
+			for i := 0; i < b.N; i++ {
+				pack.Tree(rtree.Params{Max: 4, Min: 2}, items, pack.Options{Method: pack.MethodRotate})
+			}
+		})
+	}
+}
+
+// BenchmarkUpdateDrift measures the §3.4 update regime: mixed
+// inserts/deletes on a packed tree.
+func BenchmarkUpdateDrift(b *testing.B) {
+	items := workload.PointItems(workload.UniformPoints(900, 1))
+	t := pack.Tree(rtree.Params{Max: 4, Min: 2, Split: rtree.SplitLinear}, items, pack.Options{})
+	extra := workload.UniformPoints(100000, 2)
+	next := int64(len(items))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := extra[i%len(extra)]
+		t.Insert(p.Rect(), next)
+		t.Delete(p.Rect(), next)
+		next++
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---------------------------------------
+
+// BenchmarkPackMethods compares the packing strategies on build time
+// and structure at a fixed size.
+func BenchmarkPackMethods(b *testing.B) {
+	items := workload.PointItems(workload.UniformPoints(5000, 42))
+	params := rtree.Params{Max: 16, Min: 8}
+	for _, m := range []pack.Method{pack.MethodNN, pack.MethodNNArea, pack.MethodLowX, pack.MethodSTR, pack.MethodHilbert} {
+		b.Run(m.String(), func(b *testing.B) {
+			var t *rtree.Tree
+			for i := 0; i < b.N; i++ {
+				t = pack.Tree(params, items, pack.Options{Method: m})
+			}
+			b.StopTimer()
+			met := t.ComputeMetrics()
+			b.ReportMetric(met.Coverage, "coverage")
+			b.ReportMetric(met.Overlap, "overlap")
+		})
+	}
+}
+
+// BenchmarkSplitKinds compares Guttman's split heuristics on insert
+// throughput and resulting quality.
+func BenchmarkSplitKinds(b *testing.B) {
+	items := workload.PointItems(workload.UniformPoints(2000, 43))
+	for _, s := range []rtree.SplitKind{rtree.SplitLinear, rtree.SplitQuadratic, rtree.SplitExhaustive} {
+		b.Run(s.String(), func(b *testing.B) {
+			var t *rtree.Tree
+			for i := 0; i < b.N; i++ {
+				t = rtree.New(rtree.Params{Max: 4, Min: 2, Split: s})
+				for _, it := range items {
+					t.InsertItem(it)
+				}
+			}
+			b.StopTimer()
+			met := t.ComputeMetrics()
+			b.ReportMetric(met.Overlap, "overlap")
+		})
+	}
+}
+
+// BenchmarkBranchingFactor sweeps the fanout: the paper's 4 against
+// page-filling factors.
+func BenchmarkBranchingFactor(b *testing.B) {
+	items := workload.PointItems(workload.UniformPoints(10000, 44))
+	queries := workload.QueryWindows(512, 40, 45)
+	for _, max := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("M=%d", max), func(b *testing.B) {
+			t := pack.Tree(rtree.Params{Max: max, Min: max / 2}, items, pack.Options{Method: pack.MethodSTR})
+			visited := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, v := t.Query(queries[i%len(queries)])
+				visited += v
+			}
+			b.ReportMetric(float64(visited)/float64(b.N), "nodes/query")
+		})
+	}
+}
+
+// BenchmarkJuxtaposition compares the simultaneous-traversal join with
+// the index-nested-loop alternative.
+func BenchmarkJuxtaposition(b *testing.B) {
+	params := rtree.Params{Max: 16, Min: 8}
+	a := pack.Tree(params, workload.PointItems(workload.UniformPoints(5000, 46)), pack.Options{Method: pack.MethodSTR})
+	d := pack.Tree(params, workload.RectItems(workload.UniformRects(500, 25, 47)), pack.Options{Method: pack.MethodSTR})
+
+	b.Run("simultaneous", func(b *testing.B) {
+		pairs := 0
+		for i := 0; i < b.N; i++ {
+			pairs = 0
+			rtree.JoinPairs(a, d, func(x, y geom.Rect) bool { return y.Contains(x) },
+				func(_, _ rtree.Item) bool { pairs++; return true })
+		}
+		b.ReportMetric(float64(pairs), "pairs")
+	})
+	b.Run("indexNestedLoop", func(b *testing.B) {
+		pairs := 0
+		for i := 0; i < b.N; i++ {
+			pairs = 0
+			for _, it := range a.Items() {
+				d.Search(it.Rect, func(dd rtree.Item) bool {
+					if dd.Rect.Contains(it.Rect) {
+						pairs++
+					}
+					return true
+				})
+			}
+		}
+		b.ReportMetric(float64(pairs), "pairs")
+	})
+}
+
+// BenchmarkClusteredWorkload runs the PACK vs INSERT comparison on
+// clustered (city-like) data, where the paper's magnitude of
+// improvement appears.
+func BenchmarkClusteredWorkload(b *testing.B) {
+	pts := workload.ClusteredPoints(20000, 40, 35, 48)
+	items := workload.PointItems(pts)
+	params := rtree.Params{Max: 64, Min: 32, Split: rtree.SplitLinear}
+	queries := workload.QueryWindows(512, 10, 49)
+
+	run := func(b *testing.B, t *rtree.Tree) {
+		visited := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, v := t.Query(queries[i%len(queries)])
+			visited += v
+		}
+		b.ReportMetric(float64(visited)/float64(b.N), "nodes/query")
+		m := t.ComputeMetrics()
+		b.ReportMetric(m.Coverage, "coverage")
+		b.ReportMetric(m.Overlap, "overlap")
+	}
+	b.Run("insert", func(b *testing.B) {
+		t := rtree.New(params)
+		for _, it := range items {
+			t.InsertItem(it)
+		}
+		run(b, t)
+	})
+	b.Run("pack", func(b *testing.B) {
+		run(b, pack.Tree(params, items, pack.Options{Method: pack.MethodNN}))
+	})
+}
+
+// BenchmarkPSQLQueries measures end-to-end PSQL execution on the US
+// database: the §2.2 direct search and juxtaposition.
+func BenchmarkPSQLQueries(b *testing.B) {
+	db, err := pictdb.BuildUSDatabase()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	queries := map[string]string{
+		"directSearch": `
+			select city, state, population, loc from cities on us-map
+			at loc covered-by {800±200, 500±500} where population > 450_000`,
+		"juxtaposition": `
+			select city, zone from cities, time-zones on us-map, time-zone-map
+			at cities.loc covered-by time-zones.loc`,
+		"nestedMapping": `
+			select lake, lakes.loc from lakes on lake-map
+			at lakes.loc covered-by
+			select states.loc from states on state-map
+			at states.loc overlapping eastern-us`,
+	}
+	for name, q := range queries {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiskSearch measures page-level search cost (pager I/O) for
+// a packed disk tree with a cold-ish pool.
+func BenchmarkDiskSearch(b *testing.B) {
+	p := pager.OpenMem(64) // small pool: queries pay eviction traffic
+	defer p.Close()
+	items := workload.PointItems(workload.UniformPoints(20000, 50))
+	dt, err := rtree.BulkLoadDisk(p, 0, 0, items, pack.Grouper(pack.MethodSTR))
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := workload.QueryWindows(512, 25, 51)
+	visited := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, v, err := dt.Query(queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		visited += v
+	}
+	b.ReportMetric(float64(visited)/float64(b.N), "pages/query")
+}

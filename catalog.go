@@ -1,0 +1,433 @@
+package pictdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/pack"
+	"repro/internal/pager"
+	"repro/internal/picture"
+	"repro/internal/storage"
+)
+
+// Catalog persistence. A file-backed database reserves its first
+// allocated page as the superblock:
+//
+//	bytes 0..7  magic "PICTCAT1"
+//	bytes 8..11 PageID of the current catalog snapshot heap (0 = none)
+//
+// Checkpoint serializes the catalog — named locations, pictures with
+// their objects, and relation definitions (schema, tuple-heap handle,
+// indexed columns, picture associations with pack options) — into a
+// fresh heap, atomically points the superblock at it, and frees the
+// previous snapshot. Open replays the snapshot: heaps are reopened in
+// place; B-tree and R-tree indexes are rebuilt from the persisted
+// definitions (the paper's databases are static, so a one-time rebuild
+// on open mirrors the one-time initial PACK).
+var catMagic = [8]byte{'P', 'I', 'C', 'T', 'C', 'A', 'T', '1'}
+
+// superblockID is the well-known page of the superblock: the first
+// page ever allocated in a database file.
+const superblockID pager.PageID = 1
+
+// Catalog record type tags.
+const (
+	catLocation = 'L'
+	catPicture  = 'P'
+	catObject   = 'O'
+	catRelation = 'R'
+)
+
+// ensureSuperblock creates or validates the superblock page.
+func (db *Database) ensureSuperblock() error {
+	if db.pager.NumPages() <= int(superblockID) {
+		pg, err := db.pager.Allocate()
+		if err != nil {
+			return err
+		}
+		if pg.ID != superblockID {
+			db.pager.Unpin(pg)
+			return fmt.Errorf("pictdb: superblock landed on page %d", pg.ID)
+		}
+		copy(pg.Data[:8], catMagic[:])
+		binary.LittleEndian.PutUint32(pg.Data[8:12], 0)
+		pg.MarkDirty()
+		db.pager.Unpin(pg)
+		return nil
+	}
+	pg, err := db.pager.Fetch(superblockID)
+	if err != nil {
+		return err
+	}
+	defer db.pager.Unpin(pg)
+	if [8]byte(pg.Data[:8]) != catMagic {
+		return fmt.Errorf("pictdb: page %d is not a catalog superblock", superblockID)
+	}
+	return nil
+}
+
+func (db *Database) readSnapshotPage() (pager.PageID, error) {
+	pg, err := db.pager.Fetch(superblockID)
+	if err != nil {
+		return pager.InvalidPage, err
+	}
+	defer db.pager.Unpin(pg)
+	return pager.PageID(binary.LittleEndian.Uint32(pg.Data[8:12])), nil
+}
+
+func (db *Database) writeSnapshotPage(id pager.PageID) error {
+	pg, err := db.pager.Fetch(superblockID)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(pg.Data[8:12], uint32(id))
+	pg.MarkDirty()
+	db.pager.Unpin(pg)
+	return db.pager.Flush()
+}
+
+// --- encoding helpers -------------------------------------------------
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(rec []byte, pos int) (string, int, error) {
+	l, w := binary.Uvarint(rec[pos:])
+	if w <= 0 || pos+w+int(l) > len(rec) {
+		return "", 0, fmt.Errorf("pictdb: truncated catalog string")
+	}
+	pos += w
+	return string(rec[pos : pos+int(l)]), pos + int(l), nil
+}
+
+func appendRect(buf []byte, r geom.Rect) []byte {
+	for _, v := range [4]float64{r.Min.X, r.Min.Y, r.Max.X, r.Max.Y} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func readRect(rec []byte, pos int) (geom.Rect, int, error) {
+	if pos+32 > len(rec) {
+		return geom.Rect{}, 0, fmt.Errorf("pictdb: truncated catalog rect")
+	}
+	var v [4]float64
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(rec[pos:]))
+		pos += 8
+	}
+	return geom.Rect{Min: Pt(v[0], v[1]), Max: Pt(v[2], v[3])}, pos, nil
+}
+
+// --- checkpoint -------------------------------------------------------
+
+// Checkpoint persists the catalog to the page file, replacing any
+// previous snapshot. Tuple data is already on disk (heaps write
+// through the pager); the checkpoint records everything needed to
+// rebuild the in-memory structures on Open.
+func (db *Database) Checkpoint() error {
+	old, err := db.readSnapshotPage()
+	if err != nil {
+		return err
+	}
+	snap, _, err := storage.Create(db.pager)
+	if err != nil {
+		return err
+	}
+
+	// Named locations.
+	locNames := make([]string, 0, len(db.locations))
+	for name := range db.locations {
+		locNames = append(locNames, name)
+	}
+	sort.Strings(locNames)
+	for _, name := range locNames {
+		rec := []byte{catLocation}
+		rec = appendString(rec, name)
+		rec = appendRect(rec, db.locations[name])
+		if _, err := snap.Insert(rec); err != nil {
+			return err
+		}
+	}
+
+	// Pictures and their objects.
+	picNames := make([]string, 0, len(db.pictures))
+	for name := range db.pictures {
+		picNames = append(picNames, name)
+	}
+	sort.Strings(picNames)
+	for _, name := range picNames {
+		pic := db.pictures[name]
+		rec := []byte{catPicture}
+		rec = appendString(rec, name)
+		rec = appendRect(rec, pic.Extent())
+		if _, err := snap.Insert(rec); err != nil {
+			return err
+		}
+		for _, obj := range pic.Objects() {
+			orec := []byte{catObject}
+			orec = appendString(orec, name)
+			orec = append(orec, picture.EncodeObject(obj)...)
+			if _, err := snap.Insert(orec); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Relations.
+	relNames := make([]string, 0, len(db.relations))
+	for name := range db.relations {
+		relNames = append(relNames, name)
+	}
+	sort.Strings(relNames)
+	for _, name := range relNames {
+		rel := db.relations[name]
+		rec := []byte{catRelation}
+		rec = appendString(rec, name)
+		rec = binary.LittleEndian.AppendUint32(rec, uint32(rel.HeapFirstPage()))
+		schema := rel.Schema()
+		rec = binary.AppendUvarint(rec, uint64(schema.Arity()))
+		for _, col := range schema.Columns {
+			rec = appendString(rec, col.Name)
+			rec = append(rec, byte(col.Type))
+		}
+		indexed := rel.IndexedColumns()
+		sort.Strings(indexed)
+		rec = binary.AppendUvarint(rec, uint64(len(indexed)))
+		for _, col := range indexed {
+			rec = appendString(rec, col)
+		}
+		pics := rel.Pictures()
+		sort.Strings(pics)
+		rec = binary.AppendUvarint(rec, uint64(len(pics)))
+		for _, pn := range pics {
+			si := rel.Spatial(pn)
+			rec = appendString(rec, pn)
+			rec = append(rec, byte(si.Opts.Method))
+			if si.Opts.TrimToMultiple {
+				rec = append(rec, 1)
+			} else {
+				rec = append(rec, 0)
+			}
+		}
+		if _, err := snap.Insert(rec); err != nil {
+			return err
+		}
+	}
+
+	if err := db.writeSnapshotPage(snap.FirstPage()); err != nil {
+		return err
+	}
+	// Free the superseded snapshot only after the superblock points at
+	// the new one.
+	if old != pager.InvalidPage {
+		oldHeap, err := storage.Open(db.pager, old)
+		if err != nil {
+			return err
+		}
+		if err := oldHeap.Free(); err != nil {
+			return err
+		}
+	}
+	return db.pager.Flush()
+}
+
+// --- load -------------------------------------------------------------
+
+// loadCatalog replays the current snapshot, if any.
+func (db *Database) loadCatalog() error {
+	snapID, err := db.readSnapshotPage()
+	if err != nil {
+		return err
+	}
+	if snapID == pager.InvalidPage {
+		return nil
+	}
+	snap, err := storage.Open(db.pager, snapID)
+	if err != nil {
+		return err
+	}
+
+	var rels []decodedRel
+
+	var scanErr error
+	err = snap.Scan(func(_ storage.TupleID, rec []byte) bool {
+		if len(rec) == 0 {
+			scanErr = fmt.Errorf("pictdb: empty catalog record")
+			return false
+		}
+		switch rec[0] {
+		case catLocation:
+			name, pos, err := readString(rec, 1)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			r, _, err := readRect(rec, pos)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			db.locations[name] = r
+		case catPicture:
+			name, pos, err := readString(rec, 1)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			extent, _, err := readRect(rec, pos)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			db.pictures[name] = picture.New(name, extent)
+		case catObject:
+			name, pos, err := readString(rec, 1)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			pic := db.pictures[name]
+			if pic == nil {
+				scanErr = fmt.Errorf("pictdb: object for unknown picture %q", name)
+				return false
+			}
+			obj, err := picture.DecodeObject(rec[pos:])
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if err := pic.Restore(obj); err != nil {
+				scanErr = err
+				return false
+			}
+		case catRelation:
+			def, err := decodeRelDef(rec)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			rels = append(rels, def)
+		default:
+			scanErr = fmt.Errorf("pictdb: unknown catalog record tag %q", rec[0])
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+
+	// Relations last: their index rebuilds resolve pictures.
+	for _, def := range rels {
+		rel, err := openRelation(db, def.name, def.schema, def.heapFirst)
+		if err != nil {
+			return err
+		}
+		for _, col := range def.indexed {
+			if err := rel.CreateIndex(col); err != nil {
+				return err
+			}
+		}
+		for _, a := range def.assocs {
+			pic := db.pictures[a.pic]
+			if pic == nil {
+				return fmt.Errorf("pictdb: relation %q associated with unknown picture %q", def.name, a.pic)
+			}
+			if err := rel.AttachPicture(pic, a.opts); err != nil {
+				return err
+			}
+		}
+		db.relations[def.name] = rel
+	}
+	return nil
+}
+
+// decodedRel mirrors the persisted relation definition.
+type decodedRel struct {
+	name      string
+	heapFirst pager.PageID
+	schema    Schema
+	indexed   []string
+	assocs    []struct {
+		pic  string
+		opts pack.Options
+	}
+}
+
+func decodeRelDef(rec []byte) (decodedRel, error) {
+	var def decodedRel
+	name, pos, err := readString(rec, 1)
+	if err != nil {
+		return def, err
+	}
+	def.name = name
+	if pos+4 > len(rec) {
+		return def, fmt.Errorf("pictdb: truncated relation heap page")
+	}
+	def.heapFirst = pager.PageID(binary.LittleEndian.Uint32(rec[pos:]))
+	pos += 4
+
+	arity, w := binary.Uvarint(rec[pos:])
+	if w <= 0 {
+		return def, fmt.Errorf("pictdb: truncated relation arity")
+	}
+	pos += w
+	for i := uint64(0); i < arity; i++ {
+		colName, np, err := readString(rec, pos)
+		if err != nil {
+			return def, err
+		}
+		pos = np
+		if pos >= len(rec) {
+			return def, fmt.Errorf("pictdb: truncated column type")
+		}
+		def.schema.Columns = append(def.schema.Columns, Column{Name: colName, Type: ColumnType(rec[pos])})
+		pos++
+	}
+
+	nIdx, w := binary.Uvarint(rec[pos:])
+	if w <= 0 {
+		return def, fmt.Errorf("pictdb: truncated index list")
+	}
+	pos += w
+	for i := uint64(0); i < nIdx; i++ {
+		col, np, err := readString(rec, pos)
+		if err != nil {
+			return def, err
+		}
+		def.indexed = append(def.indexed, col)
+		pos = np
+	}
+
+	nAssoc, w := binary.Uvarint(rec[pos:])
+	if w <= 0 {
+		return def, fmt.Errorf("pictdb: truncated association list")
+	}
+	pos += w
+	for i := uint64(0); i < nAssoc; i++ {
+		pn, np, err := readString(rec, pos)
+		if err != nil {
+			return def, err
+		}
+		pos = np
+		if pos+2 > len(rec) {
+			return def, fmt.Errorf("pictdb: truncated association options")
+		}
+		opts := pack.Options{Method: pack.Method(rec[pos]), TrimToMultiple: rec[pos+1] == 1}
+		pos += 2
+		def.assocs = append(def.assocs, struct {
+			pic  string
+			opts pack.Options
+		}{pic: pn, opts: opts})
+	}
+	return def, nil
+}

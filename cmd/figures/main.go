@@ -1,0 +1,53 @@
+// Command figures regenerates the paper's figure experiments and
+// theorem verifications as text reports:
+//
+//	figures                 # all of them
+//	figures -fig 3.4        # just Figure 3.4
+//	figures -fig thm33      # just the Theorem 3.3 counterexample
+//	figures -fig update     # the §3.4 update-drift experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure: 3.3, 3.4, 3.7, 3.8, thm32, thm33, update, fanout, all")
+	seed := flag.Int64("seed", 1985, "random seed where applicable")
+	flag.Parse()
+
+	run := func(name string, f func() experiments.FigureReport) {
+		if *fig == "all" || *fig == name {
+			fmt.Println(f())
+		}
+	}
+	run("3.3", experiments.Figure33)
+	run("3.4", experiments.Figure34)
+	run("3.7", experiments.Figure37)
+	run("3.8", experiments.Figure38)
+	run("thm32", func() experiments.FigureReport { return experiments.Theorem32(128, *seed) })
+	run("thm33", experiments.Theorem33)
+
+	if *fig == "all" || *fig == "fanout" {
+		fmt.Println("[ablation] branching-factor sweep (10k uniform points, 500 window queries)")
+		fmt.Print(experiments.FormatFanout(experiments.RunFanoutSweep(experiments.FanoutConfig{Seed: *seed})))
+		fmt.Println()
+	}
+
+	if *fig == "all" || *fig == "update" {
+		fmt.Println("[§3.4] update drift: packed tree under Guttman INSERT/DELETE vs fresh repack")
+		rows := experiments.RunUpdateDrift(experiments.UpdateDriftConfig{Seed: *seed})
+		fmt.Print(experiments.FormatUpdateDrift(rows))
+	}
+
+	switch *fig {
+	case "all", "3.3", "3.4", "3.7", "3.8", "thm32", "thm33", "update", "fanout":
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

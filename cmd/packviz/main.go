@@ -1,0 +1,155 @@
+// Command packviz visualizes how an R-tree organizes space: it builds
+// a tree over a workload with either dynamic INSERT or one of the
+// packing methods and draws each level's node MBRs as ASCII boxes —
+// the pictures behind the paper's Figures 3.3, 3.4, 3.7 and 3.8.
+//
+//	packviz -n 64 -build pack-nn -level 1
+//	packviz -n 200 -build insert -workload clustered -level all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/pack"
+	"repro/internal/rtree"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 64, "number of points")
+	seed := flag.Int64("seed", 1985, "random seed")
+	build := flag.String("build", "pack-nn", "insert, insert-quadratic, pack-nn, pack-lowx, pack-str, pack-hilbert, pack-rotate")
+	wl := flag.String("workload", "uniform", "uniform, clustered, skewed, cities")
+	level := flag.String("level", "leaf", "tree level to draw: 0 (root), 1, ..., leaf, all")
+	width := flag.Int("width", 78, "drawing width in characters")
+	height := flag.Int("height", 32, "drawing height in characters")
+	flag.Parse()
+
+	var pts []geom.Point
+	switch *wl {
+	case "uniform":
+		pts = workload.UniformPoints(*n, *seed)
+	case "clustered":
+		pts = workload.ClusteredPoints(*n, 6, 40, *seed)
+	case "skewed":
+		pts = workload.SkewedPoints(*n, *seed)
+	case "cities":
+		for _, c := range workload.USCities() {
+			pts = append(pts, c.Pos)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "packviz: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	items := workload.PointItems(pts)
+	params := rtree.Params{Max: 4, Min: 2, Split: rtree.SplitLinear}
+
+	var t *rtree.Tree
+	switch *build {
+	case "insert":
+		t = rtree.New(params)
+		for _, it := range items {
+			t.InsertItem(it)
+		}
+	case "insert-quadratic":
+		params.Split = rtree.SplitQuadratic
+		t = rtree.New(params)
+		for _, it := range items {
+			t.InsertItem(it)
+		}
+	case "pack-nn", "pack-lowx", "pack-str", "pack-hilbert", "pack-rotate":
+		m := map[string]pack.Method{
+			"pack-nn": pack.MethodNN, "pack-lowx": pack.MethodLowX,
+			"pack-str": pack.MethodSTR, "pack-hilbert": pack.MethodHilbert,
+			"pack-rotate": pack.MethodRotate,
+		}[*build]
+		t = pack.Tree(params, items, pack.Options{Method: m})
+	default:
+		fmt.Fprintf(os.Stderr, "packviz: unknown build %q\n", *build)
+		os.Exit(2)
+	}
+
+	m := t.ComputeMetrics()
+	fmt.Printf("%s over %d %s points: depth=%d nodes=%d leaves=%d\n",
+		*build, len(items), *wl, m.Depth, m.Nodes, m.Leaves)
+	fmt.Printf("coverage=%.0f overlap=%.0f dead-space=%.0f\n\n", m.Coverage, m.Overlap, m.DeadSpace)
+
+	levels := t.LevelRects()
+	draw := func(li int) {
+		if li < 0 || li >= len(levels) {
+			fmt.Fprintf(os.Stderr, "packviz: no level %d (tree has %d)\n", li, len(levels))
+			os.Exit(2)
+		}
+		fmt.Printf("level %d: %d node MBR(s)\n", li, len(levels[li]))
+		fmt.Print(drawBoxes(levels[li], pts, *width, *height))
+		fmt.Println()
+	}
+	switch *level {
+	case "all":
+		for li := range levels {
+			draw(li)
+		}
+	case "leaf":
+		draw(len(levels) - 1)
+	default:
+		var li int
+		if _, err := fmt.Sscanf(*level, "%d", &li); err != nil {
+			fmt.Fprintf(os.Stderr, "packviz: bad level %q\n", *level)
+			os.Exit(2)
+		}
+		draw(li)
+	}
+}
+
+// drawBoxes renders rectangles and points on a character grid.
+func drawBoxes(rects []geom.Rect, pts []geom.Point, w, h int) string {
+	frame := workload.Frame
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	sx := float64(w-1) / math.Max(frame.Width(), 1)
+	sy := float64(h-1) / math.Max(frame.Height(), 1)
+	cell := func(p geom.Point) (int, int) {
+		return int((p.X - frame.Min.X) * sx), h - 1 - int((p.Y-frame.Min.Y)*sy)
+	}
+	set := func(cx, cy int, ch byte) {
+		if cx >= 0 && cx < w && cy >= 0 && cy < h && (grid[cy][cx] == ' ' || ch == '*') {
+			grid[cy][cx] = ch
+		}
+	}
+	for _, r := range rects {
+		x0, y0 := cell(r.Min)
+		x1, y1 := cell(r.Max)
+		if y1 > y0 {
+			y0, y1 = y1, y0
+		}
+		for x := x0; x <= x1; x++ {
+			set(x, y0, '-')
+			set(x, y1, '-')
+		}
+		for y := y1; y <= y0; y++ {
+			set(x0, y, '|')
+			set(x1, y, '|')
+		}
+		set(x0, y0, '+')
+		set(x1, y0, '+')
+		set(x0, y1, '+')
+		set(x1, y1, '+')
+	}
+	for _, p := range pts {
+		cx, cy := cell(p)
+		set(cx, cy, '*')
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

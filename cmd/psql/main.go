@@ -1,0 +1,158 @@
+// Command psql is an interactive shell for PSQL, the paper's pictorial
+// query language, running against the built-in US map database
+// (cities, states, time-zones, lakes, highways — §2.1 of the paper).
+//
+// Queries end with a semicolon or a blank line. The alphanumeric
+// result prints as a table; when the result contains loc values, the
+// matching objects are also drawn on an ASCII rendering of their
+// picture — the paper's two output devices.
+//
+//	$ psql
+//	psql> select city, state, population, loc
+//	      from cities on us-map
+//	      at loc covered-by {800±200, 500±500}
+//	      where population > 450000;
+//
+// Meta commands: \tables, \pictures, \help, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	pictdb "repro"
+)
+
+func main() {
+	command := flag.String("c", "", "run a single PSQL query and exit")
+	showPlan := flag.Bool("plan", false, "print the executor's access-path plan with each result")
+	dbPath := flag.String("db", "", "open a persisted database file (default: the built-in US map demo)")
+	flag.Parse()
+
+	var db *pictdb.Database
+	var err error
+	if *dbPath != "" {
+		db, err = pictdb.Open(*dbPath, 256)
+	} else {
+		db, err = pictdb.BuildUSDatabase()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psql: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	plan = *showPlan
+	if *command != "" {
+		if !execute(db, strings.TrimSuffix(strings.TrimSpace(*command), ";")) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("PSQL — pictorial query shell over the US map database.")
+	fmt.Println(`Relations: cities, states, time-zones, lakes, highways. Type \help for help.`)
+
+	in := bufio.NewScanner(os.Stdin)
+	var buf strings.Builder
+	prompt := "psql> "
+	for {
+		fmt.Print(prompt)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if meta(db, trimmed) {
+				return
+			}
+			continue
+		}
+
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		done := strings.HasSuffix(trimmed, ";") || (trimmed == "" && buf.Len() > 1)
+		if !done {
+			prompt = "  ... "
+			continue
+		}
+		prompt = "psql> "
+		src := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+		buf.Reset()
+		if src == "" {
+			continue
+		}
+		execute(db, src)
+	}
+}
+
+// meta handles backslash commands; it reports whether to exit.
+func meta(db *pictdb.Database, cmd string) bool {
+	switch strings.Fields(cmd)[0] {
+	case `\quit`, `\q`:
+		return true
+	case `\tables`:
+		fmt.Println("cities(city, state, population, loc)        on us-map")
+		fmt.Println("states(state, population-density, loc)      on state-map")
+		fmt.Println("time-zones(zone, hour-diff, loc)            on time-zone-map")
+		fmt.Println("lakes(lake, area, loc)                      on lake-map")
+		fmt.Println("highways(hwy-name, hwy-section, loc)        on highway-map")
+	case `\pictures`:
+		fmt.Println("us-map, state-map, time-zone-map, lake-map, highway-map — all on the [0,1000]^2 frame")
+		fmt.Println("named locations: eastern-us, western-us")
+	case `\help`, `\h`:
+		fmt.Println("PSQL mapping:  select <targets> from <relations> [on <pictures>]")
+		fmt.Println("               [at <area> <op> <area>] [where <qualification>]")
+		fmt.Println("spatial ops:   covering, covered-by, overlapping, disjoined")
+		fmt.Println("areas:         {cx±dx, cy±dy} (or +-), a loc column, a named location,")
+		fmt.Println("               or a nested select whose result binds the window")
+		fmt.Println("functions:     area(loc), length(loc), perimeter(loc), northest(loc),")
+		fmt.Println("               centerx/centery(loc), distance(a,b), mbr(loc), label(loc), kind(loc)")
+		fmt.Println("end a query with ';' or a blank line.")
+		fmt.Println()
+		fmt.Println("example:")
+		fmt.Println("  select city, zone from cities, time-zones on us-map, time-zone-map")
+		fmt.Println("  at cities.loc covered-by time-zones.loc;")
+	default:
+		fmt.Printf("unknown meta command %s (try \\help)\n", cmd)
+	}
+	return false
+}
+
+// plan toggles access-path output.
+var plan bool
+
+// execute runs one query, reporting success.
+func execute(db *pictdb.Database, src string) bool {
+	res, err := db.Query(src)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return false
+	}
+	fmt.Print(res.Format())
+	fmt.Printf("(%d rows, %d R-tree nodes visited)\n", res.Len(), res.NodesVisited)
+	if plan {
+		for _, step := range res.Plan {
+			fmt.Printf("plan: %s\n", step)
+		}
+	}
+
+	// Graphical output: group locs by picture and render each.
+	byPic := map[string]bool{}
+	for _, loc := range res.Locs {
+		byPic[loc.Picture] = true
+	}
+	for pic := range byPic {
+		out, err := db.Render(res, pic, pictdb.R(0, 0, 1000, 1000))
+		if err == nil && out != "" {
+			fmt.Printf("\n%s:\n%s", pic, out)
+		}
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+// Cartography: the paper's target workload at scale. A large static
+// map database (50,000 point features, clustered like real settlement
+// patterns) is indexed once with PACK and once with dynamic INSERT;
+// the example compares build time, structure and search cost, then
+// demonstrates the §3.4 update problem: dynamic inserts and deletes on
+// the packed tree, drift of the quality metrics, and a repack.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	pictdb "repro"
+)
+
+const n = 50_000
+
+func clusteredItems(seed int64) []pictdb.IndexItem {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]pictdb.Point, 40)
+	for i := range centers {
+		centers[i] = pictdb.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	items := make([]pictdb.IndexItem, n)
+	for i := range items {
+		c := centers[rng.Intn(len(centers))]
+		x := clamp(c.X+rng.NormFloat64()*35, 0, 1000)
+		y := clamp(c.Y+rng.NormFloat64()*35, 0, 1000)
+		items[i] = pictdb.IndexItem{Rect: pictdb.Pt(x, y).Rect(), Data: int64(i)}
+	}
+	return items
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func searchCost(idx *pictdb.Index, seed int64) (visited int, found int) {
+	rng := rand.New(rand.NewSource(seed))
+	for q := 0; q < 1000; q++ {
+		w := pictdb.WindowAt(rng.Float64()*1000, 10, rng.Float64()*1000, 10)
+		items, v := idx.Query(w)
+		visited += v
+		found += len(items)
+	}
+	return visited, found
+}
+
+func report(name string, idx *pictdb.Index, build time.Duration) {
+	m := idx.ComputeMetrics()
+	visited, found := searchCost(idx, 7)
+	fmt.Printf("%-14s build=%8s nodes=%6d depth=%d coverage=%11.0f overlap=%12.0f\n",
+		name, build.Round(time.Millisecond), m.Nodes, m.Depth, m.Coverage, m.Overlap)
+	fmt.Printf("%-14s 1000 window queries: %d nodes visited, %d results\n\n", "", visited, found)
+}
+
+func main() {
+	// Page-filling branching factor, as §3 prescribes for real use.
+	params := pictdb.RTreeParams{Max: 64, Min: 32, Split: pictdb.SplitLinear}
+	items := clusteredItems(1985)
+	fmt.Printf("static cartographic database: %d clustered point features, fanout %d\n\n", n, params.Max)
+
+	start := time.Now()
+	dynamic := pictdb.NewIndex(params)
+	for _, it := range items {
+		dynamic.InsertItem(it)
+	}
+	report("INSERT-built", dynamic, time.Since(start))
+
+	start = time.Now()
+	packed := pictdb.PackIndex(params, items, pictdb.PackOptions{Method: pictdb.PackNN})
+	report("PACK(nn)", packed, time.Since(start))
+
+	start = time.Now()
+	packedSTR := pictdb.PackIndex(params, items, pictdb.PackOptions{Method: pictdb.PackSTR})
+	report("PACK(str)", packedSTR, time.Since(start))
+
+	// §3.4: the update problem. The packed tree stays dynamic —
+	// Guttman's INSERT and DELETE keep working — but quality drifts.
+	fmt.Println("§3.4 update problem: 20% churn on the packed tree")
+	rng := rand.New(rand.NewSource(99))
+	live := map[int64]pictdb.Rect{}
+	for _, it := range items {
+		live[it.Data] = it.Rect
+	}
+	next := int64(n)
+	churn := n / 5
+	start = time.Now()
+	for i := 0; i < churn; i++ {
+		if i%2 == 0 {
+			p := pictdb.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			packed.Insert(p.Rect(), next)
+			live[next] = p.Rect()
+			next++
+		} else {
+			for id, r := range live {
+				packed.Delete(r, id)
+				delete(live, id)
+				break
+			}
+		}
+	}
+	fmt.Printf("applied %d updates in %s\n", churn, time.Since(start).Round(time.Millisecond))
+	report("drifted", packed, 0)
+
+	// Repack from the live items: the paper's periodic reorganization.
+	liveItems := make([]pictdb.IndexItem, 0, len(live))
+	for id, r := range live {
+		liveItems = append(liveItems, pictdb.IndexItem{Rect: r, Data: id})
+	}
+	start = time.Now()
+	repacked := pictdb.PackIndex(params, liveItems, pictdb.PackOptions{Method: pictdb.PackNN})
+	report("repacked", repacked, time.Since(start))
+}

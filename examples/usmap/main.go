@@ -1,0 +1,91 @@
+// The paper's Section 2.2 walkthrough on the built-in US map database:
+// direct spatial search, juxtaposition of two pictures ("geographic
+// join"), a nested mapping, and indirect spatial search — each query
+// printed with its alphanumeric table and, where it selects locs, the
+// ASCII rendering of the picture.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pictdb "repro"
+)
+
+func run(db *pictdb.Database, title, query string, render string) {
+	fmt.Printf("== %s ==\n%s\n", title, query)
+	res, err := db.Query(query)
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	fmt.Print(res.Format())
+	fmt.Printf("(%d rows, %d R-tree nodes visited)\n", res.Len(), res.NodesVisited)
+	if render != "" {
+		out, err := db.Render(res, render, pictdb.R(0, 0, 1000, 1000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+	fmt.Println()
+}
+
+func main() {
+	db, err := pictdb.BuildUSDatabase()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Figure 2.1: "select all cities in the Eastern-US area having
+	// population greater than 450,000." The paper's window {4±4,11±9}
+	// is in its map units; eastern-us is the equivalent on our frame.
+	run(db, "direct spatial search (Figure 2.1)", `
+	select city, state, population, loc
+	from   cities
+	on     us-map
+	at     loc covered-by eastern-us
+	where  population > 450_000`, "us-map")
+
+	// Figure 2.2: juxtaposition of us-map and time-zone-map.
+	run(db, "juxtaposition / geographic join (Figure 2.2)", `
+	select city, zone
+	from   cities, time-zones
+	on     us-map, time-zone-map
+	at     cities.loc covered-by time-zones.loc`, "")
+
+	// The nested mapping of §2.2: lakes covered by Eastern states,
+	// where the inner mapping's result binds the outer window.
+	run(db, "nested mapping (lakes within eastern states)", `
+	select lake, area, lakes.loc
+	from   lakes
+	on     lake-map
+	at     lakes.loc covered-by
+	       select states.loc
+	       from   states
+	       on     state-map
+	       at     states.loc overlapping eastern-us`, "lake-map")
+
+	// Indirect spatial search: locate by alphanumeric attributes, then
+	// display on the picture ("Display the city ... if the population
+	// exceeds 2 million").
+	run(db, "indirect spatial search (population > 2M)", `
+	select city, population, loc
+	from   cities
+	where  population > 2_000_000`, "us-map")
+
+	// Pictorial functions: the paper's area() on region domains plus
+	// the northest() aggregate example.
+	run(db, "pictorial functions on region domains", `
+	select lake, area(loc) as true-area, northest(loc) as north-edge
+	from   lakes
+	on     lake-map
+	where  area(loc) > 5_000`, "")
+
+	// Segments: highway sections crossing the Eastern seaboard window.
+	run(db, "segment objects (highways overlapping a window)", `
+	select hwy-name, hwy-section, length(loc) as len, loc
+	from   highways
+	on     highway-map
+	at     loc overlapping {850±80, 400±350}`, "highway-map")
+}

@@ -1,0 +1,312 @@
+// Package btree implements an in-memory B+-tree over byte-string keys,
+// the "usual way" the paper indexes alphanumeric relation columns
+// (§2.1: "The relation columns that correspond to alphanumeric domains
+// are indexed the usual way") and the ancestral structure R-trees
+// generalize [Bayer & McCreight 1972]. Keys are compared with
+// bytes.Compare; package relation provides order-preserving encodings
+// for its column types. Duplicate keys are allowed: each (key, value)
+// pair is one entry.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Value is the payload stored per key: an int64, typically a packed
+// storage.TupleID.
+type Value = int64
+
+// DefaultOrder is the default maximum number of keys per node, sized
+// so a node comfortably fills a fraction of a disk page.
+const DefaultOrder = 64
+
+type leafNode struct {
+	keys   [][]byte
+	vals   []Value
+	next   *leafNode // right sibling for range scans
+	parent *innerNode
+}
+
+type innerNode struct {
+	// keys[i] is the smallest key in children[i+1]'s subtree.
+	keys     [][]byte
+	children []node
+	parent   *innerNode
+}
+
+type node interface {
+	parentNode() *innerNode
+	setParent(*innerNode)
+}
+
+func (l *leafNode) parentNode() *innerNode   { return l.parent }
+func (l *leafNode) setParent(p *innerNode)   { l.parent = p }
+func (in *innerNode) parentNode() *innerNode { return in.parent }
+func (in *innerNode) setParent(p *innerNode) { in.parent = p }
+
+// Tree is an in-memory B+-tree.
+type Tree struct {
+	order int
+	root  node
+	first *leafNode
+	size  int
+}
+
+// New returns an empty tree with the given order (max keys per node);
+// order must be at least 3.
+func New(order int) *Tree {
+	if order < 3 {
+		panic(fmt.Sprintf("btree: order %d < 3", order))
+	}
+	leaf := &leafNode{}
+	return &Tree{order: order, root: leaf, first: leaf}
+}
+
+// NewDefault returns an empty tree with DefaultOrder.
+func NewDefault() *Tree { return New(DefaultOrder) }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// findLeaf descends to the leaf that should contain key.
+func (t *Tree) findLeaf(key []byte) *leafNode {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leafNode:
+			return v
+		case *innerNode:
+			// Descend left on equality: with duplicate keys a split
+			// separator can equal the key, and equal entries may live
+			// in the left sibling; scans then walk right via the leaf
+			// chain.
+			i := 0
+			for i < len(v.keys) && bytes.Compare(key, v.keys[i]) > 0 {
+				i++
+			}
+			n = v.children[i]
+		}
+	}
+}
+
+// lowerBound returns the index of the first key in leaf >= key.
+func lowerBound(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds (key, value). Duplicate keys are kept; the key slice is
+// copied.
+func (t *Tree) Insert(key []byte, value Value) {
+	k := append([]byte(nil), key...)
+	leaf := t.findLeaf(k)
+	i := lowerBound(leaf.keys, k)
+	leaf.keys = append(leaf.keys, nil)
+	copy(leaf.keys[i+1:], leaf.keys[i:])
+	leaf.keys[i] = k
+	leaf.vals = append(leaf.vals, 0)
+	copy(leaf.vals[i+1:], leaf.vals[i:])
+	leaf.vals[i] = value
+	t.size++
+	if len(leaf.keys) > t.order {
+		t.splitLeaf(leaf)
+	}
+}
+
+func (t *Tree) splitLeaf(leaf *leafNode) {
+	mid := len(leaf.keys) / 2
+	right := &leafNode{
+		keys: append([][]byte(nil), leaf.keys[mid:]...),
+		vals: append([]Value(nil), leaf.vals[mid:]...),
+		next: leaf.next,
+	}
+	leaf.keys = leaf.keys[:mid]
+	leaf.vals = leaf.vals[:mid]
+	leaf.next = right
+	t.insertIntoParent(leaf, right.keys[0], right)
+}
+
+func (t *Tree) splitInner(in *innerNode) {
+	mid := len(in.keys) / 2
+	upKey := in.keys[mid]
+	right := &innerNode{
+		keys:     append([][]byte(nil), in.keys[mid+1:]...),
+		children: append([]node(nil), in.children[mid+1:]...),
+	}
+	for _, c := range right.children {
+		c.setParent(right)
+	}
+	in.keys = in.keys[:mid]
+	in.children = in.children[:mid+1]
+	t.insertIntoParent(in, upKey, right)
+}
+
+// insertIntoParent links right as the sibling of left with separator
+// key, creating a new root when left was the root.
+func (t *Tree) insertIntoParent(left node, key []byte, right node) {
+	p := left.parentNode()
+	if p == nil {
+		root := &innerNode{keys: [][]byte{key}, children: []node{left, right}}
+		left.setParent(root)
+		right.setParent(root)
+		t.root = root
+		return
+	}
+	// Find left's position in p.
+	pos := 0
+	for pos < len(p.children) && p.children[pos] != left {
+		pos++
+	}
+	p.keys = append(p.keys, nil)
+	copy(p.keys[pos+1:], p.keys[pos:])
+	p.keys[pos] = key
+	p.children = append(p.children, nil)
+	copy(p.children[pos+2:], p.children[pos+1:])
+	p.children[pos+1] = right
+	right.setParent(p)
+	if len(p.keys) > t.order {
+		t.splitInner(p)
+	}
+}
+
+// Get returns the values stored under key (nil when absent).
+func (t *Tree) Get(key []byte) []Value {
+	var out []Value
+	t.AscendRange(key, append(append([]byte(nil), key...), 0), func(k []byte, v Value) bool {
+		if bytes.Equal(k, key) {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// Delete removes one entry matching (key, value), reporting whether an
+// entry was removed. Underfull nodes are tolerated (this index serves
+// a read-mostly pictorial database; structural rebalancing on delete
+// is not required for correctness of searches), but empty leaves are
+// unlinked lazily during scans.
+func (t *Tree) Delete(key []byte, value Value) bool {
+	leaf := t.findLeaf(key)
+	for leaf != nil {
+		i := lowerBound(leaf.keys, key)
+		if i == len(leaf.keys) {
+			leaf = leaf.next
+			continue
+		}
+		for ; i < len(leaf.keys) && bytes.Equal(leaf.keys[i], key); i++ {
+			if leaf.vals[i] == value {
+				leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+				leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+				t.size--
+				return true
+			}
+		}
+		if i < len(leaf.keys) {
+			return false // passed beyond key
+		}
+		leaf = leaf.next
+	}
+	return false
+}
+
+// Ascend calls fn on every entry in ascending key order; returning
+// false stops the scan.
+func (t *Tree) Ascend(fn func(key []byte, value Value) bool) {
+	for leaf := t.first; leaf != nil; leaf = leaf.next {
+		for i := range leaf.keys {
+			if !fn(leaf.keys[i], leaf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// AscendRange calls fn on entries with lo <= key < hi in ascending
+// order; returning false stops the scan.
+func (t *Tree) AscendRange(lo, hi []byte, fn func(key []byte, value Value) bool) {
+	leaf := t.findLeaf(lo)
+	for leaf != nil {
+		for i := lowerBound(leaf.keys, lo); i < len(leaf.keys); i++ {
+			if bytes.Compare(leaf.keys[i], hi) >= 0 {
+				return
+			}
+			if !fn(leaf.keys[i], leaf.vals[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+	}
+}
+
+// AscendFrom calls fn on entries with key >= lo in ascending order;
+// returning false stops the scan.
+func (t *Tree) AscendFrom(lo []byte, fn func(key []byte, value Value) bool) {
+	leaf := t.findLeaf(lo)
+	for leaf != nil {
+		for i := lowerBound(leaf.keys, lo); i < len(leaf.keys); i++ {
+			if !fn(leaf.keys[i], leaf.vals[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+	}
+}
+
+// CheckInvariants verifies B+-tree ordering and linkage; it returns
+// nil for a valid tree.
+func (t *Tree) CheckInvariants() error {
+	// Leaf chain must be globally sorted and cover size entries.
+	var prev []byte
+	count := 0
+	for leaf := t.first; leaf != nil; leaf = leaf.next {
+		if len(leaf.keys) != len(leaf.vals) {
+			return fmt.Errorf("btree: leaf keys/vals mismatch")
+		}
+		for _, k := range leaf.keys {
+			if prev != nil && bytes.Compare(prev, k) > 0 {
+				return fmt.Errorf("btree: leaf chain out of order: %q > %q", prev, k)
+			}
+			prev = k
+			count++
+		}
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but %d entries in leaf chain", t.size, count)
+	}
+	// Inner node separators must be ordered and children linked back.
+	var walk func(n node) error
+	walk = func(n node) error {
+		in, ok := n.(*innerNode)
+		if !ok {
+			return nil
+		}
+		if len(in.children) != len(in.keys)+1 {
+			return fmt.Errorf("btree: inner children/keys mismatch")
+		}
+		for i := 1; i < len(in.keys); i++ {
+			if bytes.Compare(in.keys[i-1], in.keys[i]) > 0 {
+				return fmt.Errorf("btree: inner keys out of order")
+			}
+		}
+		for _, c := range in.children {
+			if c.parentNode() != in {
+				return fmt.Errorf("btree: child parent link broken")
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}

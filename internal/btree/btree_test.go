@@ -1,0 +1,307 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewDefault()
+	if tr.Len() != 0 {
+		t.Fatal("non-zero length")
+	}
+	if got := tr.Get([]byte("missing")); got != nil {
+		t.Fatalf("Get on empty = %v", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	tr.Ascend(func([]byte, Value) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("ascend on empty visited entries")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New(4) // tiny order to force deep splits
+	const n = 1000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Insert(key(i), Value(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := tr.Get(key(i))
+		if len(got) != 1 || got[0] != Value(i) {
+			t.Fatalf("Get(%d) = %v", i, got)
+		}
+	}
+	if got := tr.Get([]byte("nope")); got != nil {
+		t.Fatalf("Get(nope) = %v", got)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New(4)
+	k := []byte("dup")
+	for v := 0; v < 20; v++ {
+		tr.Insert(k, Value(v))
+	}
+	got := tr.Get(k)
+	if len(got) != 20 {
+		t.Fatalf("Get returned %d values", len(got))
+	}
+	seen := map[Value]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	if len(seen) != 20 {
+		t.Fatal("duplicate values collapsed")
+	}
+	// Delete one specific duplicate.
+	if !tr.Delete(k, 13) {
+		t.Fatal("delete of duplicate failed")
+	}
+	got = tr.Get(k)
+	if len(got) != 19 {
+		t.Fatalf("after delete: %d values", len(got))
+	}
+	for _, v := range got {
+		if v == 13 {
+			t.Fatal("deleted value still present")
+		}
+	}
+}
+
+func TestAscendSorted(t *testing.T) {
+	tr := New(6)
+	perm := rand.New(rand.NewSource(2)).Perm(500)
+	for _, i := range perm {
+		tr.Insert(key(i), Value(i))
+	}
+	var got [][]byte
+	tr.Ascend(func(k []byte, _ Value) bool {
+		got = append(got, append([]byte(nil), k...))
+		return true
+	})
+	if len(got) != 500 {
+		t.Fatalf("ascend visited %d", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return bytes.Compare(got[i], got[j]) < 0 }) {
+		t.Fatal("ascend not sorted")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New(5)
+	for i := 0; i < 100; i++ {
+		tr.Insert(key(i), Value(i))
+	}
+	var got []Value
+	tr.AscendRange(key(20), key(30), func(_ []byte, v Value) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("range [20,30) returned %d entries: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != Value(20+i) {
+			t.Fatalf("range entry %d = %d", i, v)
+		}
+	}
+	// Empty range.
+	got = nil
+	tr.AscendRange(key(50), key(50), func(_ []byte, v Value) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+	// Range past the end.
+	got = nil
+	tr.AscendRange(key(95), []byte("zzzz"), func(_ []byte, v Value) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 5 {
+		t.Fatalf("tail range returned %d", len(got))
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 50; i++ {
+		tr.Insert(key(i), Value(i))
+	}
+	n := 0
+	tr.Ascend(func([]byte, Value) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(4)
+	const n = 300
+	for i := 0; i < n; i++ {
+		tr.Insert(key(i), Value(i))
+	}
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for _, i := range perm[:150] {
+		if !tr.Delete(key(i), Value(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	deleted := map[int]bool{}
+	for _, i := range perm[:150] {
+		deleted[i] = true
+	}
+	for i := 0; i < n; i++ {
+		got := tr.Get(key(i))
+		if deleted[i] && len(got) != 0 {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if !deleted[i] && len(got) != 1 {
+			t.Fatalf("surviving key %d lost", i)
+		}
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := New(4)
+	tr.Insert([]byte("a"), 1)
+	if tr.Delete([]byte("b"), 1) {
+		t.Fatal("deleted a missing key")
+	}
+	if tr.Delete([]byte("a"), 2) {
+		t.Fatal("deleted wrong value")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("length changed")
+	}
+}
+
+func TestKeyAliasing(t *testing.T) {
+	// The tree must copy keys: mutating the caller's buffer afterwards
+	// must not corrupt the index.
+	tr := New(4)
+	buf := []byte("mutable")
+	tr.Insert(buf, 9)
+	buf[0] = 'X'
+	if got := tr.Get([]byte("mutable")); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("key aliased caller buffer: %v", got)
+	}
+}
+
+func TestQuickMatchesMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		tr := New(3 + rng.Intn(6))
+		oracle := map[string][]Value{}
+		for op := 0; op < 300; op++ {
+			k := []byte(fmt.Sprintf("k%02d", rng.Intn(40)))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := Value(rng.Intn(1000))
+				tr.Insert(k, v)
+				oracle[string(k)] = append(oracle[string(k)], v)
+			case 2:
+				vs := oracle[string(k)]
+				if len(vs) > 0 {
+					victim := vs[rng.Intn(len(vs))]
+					if !tr.Delete(k, victim) {
+						return false
+					}
+					// Remove one instance from the oracle.
+					for i, v := range vs {
+						if v == victim {
+							oracle[string(k)] = append(vs[:i], vs[i+1:]...)
+							break
+						}
+					}
+				} else if tr.Delete(k, 0) {
+					return false
+				}
+			}
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		total := 0
+		for k, vs := range oracle {
+			got := tr.Get([]byte(k))
+			if len(got) != len(vs) {
+				return false
+			}
+			want := map[Value]int{}
+			for _, v := range vs {
+				want[v]++
+			}
+			for _, v := range got {
+				want[v]--
+			}
+			for _, c := range want {
+				if c != 0 {
+					return false
+				}
+			}
+			total += len(vs)
+		}
+		return tr.Len() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(key(i), Value(i))
+	}
+	var got []Value
+	tr.AscendFrom(key(95), func(_ []byte, v Value) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 5 {
+		t.Fatalf("AscendFrom(95) returned %d entries", len(got))
+	}
+	for i, v := range got {
+		if v != Value(95+i) {
+			t.Fatalf("entry %d = %d", i, v)
+		}
+	}
+	// nil lower bound scans everything.
+	n := 0
+	tr.AscendFrom(nil, func([]byte, Value) bool { n++; return true })
+	if n != 100 {
+		t.Fatalf("AscendFrom(nil) visited %d", n)
+	}
+	// Early stop.
+	n = 0
+	tr.AscendFrom(key(50), func([]byte, Value) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}

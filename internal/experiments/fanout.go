@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pack"
+	"repro/internal/rtree"
+	"repro/internal/workload"
+)
+
+// FanoutRow is one row of the branching-factor ablation: the paper
+// presents everything at branching factor 4 "for illustrative
+// purposes" and notes that practical deployments use factors that fill
+// a disk block; this sweep quantifies that remark.
+type FanoutRow struct {
+	M           int
+	PackNodes   int
+	PackDepth   int
+	PackVisits  float64 // mean nodes visited per window query
+	InsNodes    int
+	InsDepth    int
+	InsVisits   float64
+	PackEntries float64 // mean entries touched per query (work proxy)
+}
+
+// FanoutConfig parameterizes the sweep.
+type FanoutConfig struct {
+	// N is the number of points; zero means 10000.
+	N int
+	// Fanouts lists the branching factors; nil means {4, 8, 16, 64, 256}.
+	Fanouts []int
+	// Queries is the number of window queries; zero means 500.
+	Queries int
+	// HalfExtent is the query window half-size; zero means 25.
+	HalfExtent float64
+	Seed       int64
+}
+
+// RunFanoutSweep builds packed and dynamic trees at each branching
+// factor over the same points and measures window-query visit counts.
+func RunFanoutSweep(cfg FanoutConfig) []FanoutRow {
+	if cfg.N == 0 {
+		cfg.N = 10000
+	}
+	if cfg.Fanouts == nil {
+		cfg.Fanouts = []int{4, 8, 16, 64, 256}
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 500
+	}
+	if cfg.HalfExtent == 0 {
+		cfg.HalfExtent = 25
+	}
+	items := workload.PointItems(workload.UniformPoints(cfg.N, cfg.Seed))
+	queries := workload.QueryWindows(cfg.Queries, cfg.HalfExtent, cfg.Seed+1)
+
+	rows := make([]FanoutRow, 0, len(cfg.Fanouts))
+	for _, m := range cfg.Fanouts {
+		params := rtree.Params{Max: m, Min: m / 2, Split: rtree.SplitLinear}
+		packed := pack.Tree(params, items, pack.Options{Method: pack.MethodSTR})
+		ins := rtree.New(params)
+		for _, it := range items {
+			ins.InsertItem(it)
+		}
+		row := FanoutRow{M: m}
+		row.PackNodes, row.PackDepth = packed.NodeCount(), packed.Depth()
+		row.InsNodes, row.InsDepth = ins.NodeCount(), ins.Depth()
+		var pv, iv, pe int
+		for _, w := range queries {
+			res, v := packed.Query(w)
+			pv += v
+			pe += len(res)
+			_, v = ins.Query(w)
+			iv += v
+		}
+		q := float64(len(queries))
+		row.PackVisits = float64(pv) / q
+		row.InsVisits = float64(iv) / q
+		row.PackEntries = float64(pe) / q
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatFanout renders the sweep.
+func FormatFanout(rows []FanoutRow) string {
+	var b strings.Builder
+	b.WriteString("      M |  packed: nodes depth visits/q |  insert: nodes depth visits/q\n")
+	b.WriteString("  ------+-------------------------------+------------------------------\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %5d | %14d %5d %8.2f | %14d %5d %8.2f\n",
+			r.M, r.PackNodes, r.PackDepth, r.PackVisits, r.InsNodes, r.InsDepth, r.InsVisits)
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package geom
+
+import "sort"
+
+// This file implements the quality measures of Section 3.1:
+//
+//	"Coverage" is defined as the total area of all the MBRs of all
+//	leaf R-tree nodes, and "overlap" is defined as the total area
+//	contained within two or more leaf MBRs.
+//
+// Coverage is a plain sum of areas. For overlap we provide two
+// readings: OverlapPairwise sums the pairwise intersection areas
+// (counting multiplicity, which is what reproduces the paper's Table 1
+// — its INSERT overlap exceeds the total domain area at J >= 800, which
+// a set measure cannot do), and OverlapMeasure computes the exact area
+// of the region covered by at least two rectangles via coordinate
+// compression.
+
+// CoverageArea returns the sum of the areas of rects — the paper's C.
+func CoverageArea(rects []Rect) float64 {
+	sum := 0.0
+	for _, r := range rects {
+		sum += r.Area()
+	}
+	return sum
+}
+
+// OverlapPairwise returns the sum over all unordered pairs of rects of
+// their intersection area — the paper's O as reported in Table 1.
+func OverlapPairwise(rects []Rect) float64 {
+	sum := 0.0
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			sum += rects[i].Intersection(rects[j]).Area()
+		}
+	}
+	return sum
+}
+
+// UnionArea returns the exact area of the union of rects, computed by
+// coordinate compression: O(n^2) cells over the n distinct x and y
+// boundaries, each tested against every rectangle. Suitable for the
+// node counts arising in the paper's experiments (hundreds of leaves).
+func UnionArea(rects []Rect) float64 {
+	return measureAtLeast(rects, 1)
+}
+
+// OverlapMeasure returns the exact area of the region covered by two
+// or more of rects — the set-measure reading of the paper's "overlap".
+func OverlapMeasure(rects []Rect) float64 {
+	return measureAtLeast(rects, 2)
+}
+
+// DeadSpace returns coverage minus union area: the amount of leaf MBR
+// area counted redundantly, i.e. the "dead space" plus multiple
+// counting that packing seeks to eliminate relative to the footprint.
+// It uses the O(n log n) sweep so metrics stay cheap on large trees.
+func DeadSpace(rects []Rect) float64 {
+	return CoverageArea(rects) - UnionAreaSweep(rects)
+}
+
+// measureAtLeast returns the area of the region covered by at least k
+// of rects.
+func measureAtLeast(rects []Rect, k int) float64 {
+	var xs, ys []float64
+	nonEmpty := rects[:0:0]
+	for _, r := range rects {
+		if r.IsEmpty() || r.Area() == 0 {
+			// Zero-area rectangles contribute nothing to any measure.
+			continue
+		}
+		nonEmpty = append(nonEmpty, r)
+		xs = append(xs, r.Min.X, r.Max.X)
+		ys = append(ys, r.Min.Y, r.Max.Y)
+	}
+	if len(nonEmpty) < k {
+		return 0
+	}
+	xs = dedupSorted(xs)
+	ys = dedupSorted(ys)
+	total := 0.0
+	for i := 0; i+1 < len(xs); i++ {
+		cx := (xs[i] + xs[i+1]) / 2
+		w := xs[i+1] - xs[i]
+		// Collect the y-intervals of rectangles spanning this x-slab,
+		// then scan the compressed y cells once per slab.
+		var active []Rect
+		for _, r := range nonEmpty {
+			if r.Min.X <= cx && cx <= r.Max.X {
+				active = append(active, r)
+			}
+		}
+		if len(active) < k {
+			continue
+		}
+		for j := 0; j+1 < len(ys); j++ {
+			cy := (ys[j] + ys[j+1]) / 2
+			n := 0
+			for _, r := range active {
+				if r.Min.Y <= cy && cy <= r.Max.Y {
+					n++
+					if n >= k {
+						break
+					}
+				}
+			}
+			if n >= k {
+				total += w * (ys[j+1] - ys[j])
+			}
+		}
+	}
+	return total
+}
+
+func dedupSorted(v []float64) []float64 {
+	sort.Float64s(v)
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// PairwiseDisjoint reports whether no two of rects share interior
+// area (boundary contact is allowed). It is the property guaranteed by
+// Theorem 3.2's rotation packing for point objects.
+func PairwiseDisjoint(rects []Rect) bool {
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			if rects[i].Intersection(rects[j]).Area() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,78 @@
+// Package geom provides the planar geometry substrate used throughout the
+// pictorial database: points, rectangles, line segments and polygonal
+// regions, the minimal-bounding-rectangle (MBR) algebra that R-trees are
+// built on, the spatial comparison predicates exposed by PSQL (covers,
+// covered-by, overlaps, disjoint), and the area measures (coverage and
+// overlap) used to evaluate R-tree quality in the paper's Section 3.
+//
+// All coordinates are float64 in an arbitrary planar frame. The paper's
+// experiments use the frame [0,1000] x [0,1000].
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// DistSq returns the squared Euclidean distance between p and q. It is
+// cheaper than Dist and order-equivalent, so nearest-neighbor searches
+// (such as the NN function inside PACK) use it.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns the vector sum p+q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p-q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Rotate returns p rotated counter-clockwise about the origin by angle
+// alpha (radians). Rotation is the device behind the paper's Lemma 3.1:
+// any finite point set can be rotated so that all x-coordinates become
+// distinct.
+func (p Point) Rotate(alpha float64) Point {
+	sin, cos := math.Sincos(alpha)
+	return Point{
+		X: p.X*cos - p.Y*sin,
+		Y: p.X*sin + p.Y*cos,
+	}
+}
+
+// Eq reports whether p and q are exactly equal.
+func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// Rect returns the degenerate rectangle containing only p.
+func (p Point) Rect() Rect { return Rect{Min: p, Max: p} }
+
+// String formats the point as "(x, y)".
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Cross returns the z-component of the cross product (b-a) x (c-a).
+// It is positive when a,b,c turn counter-clockwise, negative when
+// clockwise, and zero when collinear.
+func Cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// Collinear reports whether a, b and c lie on one line within eps.
+func Collinear(a, b, c Point, eps float64) bool {
+	return math.Abs(Cross(a, b, c)) <= eps
+}

@@ -1,0 +1,91 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same", Pt(1, 1), Pt(1, 1), 0},
+		{"unitX", Pt(0, 0), Pt(1, 0), 1},
+		{"pythagorean", Pt(0, 0), Pt(3, 4), 5},
+		{"negative", Pt(-3, -4), Pt(0, 0), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); got != tt.want {
+				t.Errorf("Dist = %g, want %g", got, tt.want)
+			}
+			if got := tt.p.DistSq(tt.q); got != tt.want*tt.want {
+				t.Errorf("DistSq = %g, want %g", got, tt.want*tt.want)
+			}
+		})
+	}
+}
+
+func TestPointRotate(t *testing.T) {
+	p := Pt(1, 0)
+	got := p.Rotate(math.Pi / 2)
+	if math.Abs(got.X) > 1e-12 || math.Abs(got.Y-1) > 1e-12 {
+		t.Errorf("rotate (1,0) by pi/2 = %v, want (0,1)", got)
+	}
+	got = p.Rotate(math.Pi)
+	if math.Abs(got.X+1) > 1e-12 || math.Abs(got.Y) > 1e-12 {
+		t.Errorf("rotate (1,0) by pi = %v, want (-1,0)", got)
+	}
+}
+
+func TestQuickRotatePreservesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := func() bool {
+		p := Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+		q := Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+		a := rng.Float64() * 2 * math.Pi
+		return math.Abs(p.Rotate(a).Dist(q.Rotate(a))-p.Dist(q)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCross(t *testing.T) {
+	a, b := Pt(0, 0), Pt(1, 0)
+	if Cross(a, b, Pt(1, 1)) <= 0 {
+		t.Error("ccw turn should be positive")
+	}
+	if Cross(a, b, Pt(1, -1)) >= 0 {
+		t.Error("cw turn should be negative")
+	}
+	if Cross(a, b, Pt(2, 0)) != 0 {
+		t.Error("collinear should be zero")
+	}
+	if !Collinear(a, b, Pt(5, 0), 1e-9) {
+		t.Error("Collinear failed on collinear points")
+	}
+	if Collinear(a, b, Pt(5, 1), 1e-9) {
+		t.Error("Collinear accepted non-collinear points")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Pt(1, 2)
+	if got := p.Add(Pt(3, 4)); !got.Eq(Pt(4, 6)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(Pt(3, 4)); !got.Eq(Pt(-2, -2)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(3); !got.Eq(Pt(3, 6)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if r := p.Rect(); !r.ContainsPoint(p) || r.Area() != 0 {
+		t.Errorf("point Rect wrong: %v", r)
+	}
+}

@@ -1,0 +1,212 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle, the "minimal bounding rectangle"
+// (MBR) of the paper: the region Min.X <= x <= Max.X, Min.Y <= y <= Max.Y.
+// A Rect with Min == Max is a point; a Rect is empty (contains nothing)
+// when Min.X > Max.X or Min.Y > Max.Y.
+type Rect struct {
+	Min, Max Point
+}
+
+// R builds the rectangle spanning the two corner points (x1,y1) and
+// (x2,y2) given in any order.
+func R(x1, y1, x2, y2 float64) Rect {
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	if y1 > y2 {
+		y1, y2 = y2, y1
+	}
+	return Rect{Min: Point{x1, y1}, Max: Point{x2, y2}}
+}
+
+// EmptyRect returns the canonical empty rectangle, the identity element
+// of Union: Union(EmptyRect, r) == r for every r.
+func EmptyRect() Rect {
+	return Rect{
+		Min: Point{math.Inf(1), math.Inf(1)},
+		Max: Point{math.Inf(-1), math.Inf(-1)},
+	}
+}
+
+// WindowAt builds a rectangle from the paper's PSQL area syntax
+// {cx±dx, cy±dy}: the rectangle centered at (cx, cy) with half-widths
+// dx and dy. The paper's example {4±4, 11±9} denotes [0,8] x [2,20].
+func WindowAt(cx, dx, cy, dy float64) Rect {
+	return R(cx-dx, cy-dy, cx+dx, cy+dy)
+}
+
+// IsEmpty reports whether r contains no points.
+func (r Rect) IsEmpty() bool { return r.Min.X > r.Max.X || r.Min.Y > r.Max.Y }
+
+// Width returns the extent of r along x (zero for empty rectangles).
+func (r Rect) Width() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Max.X - r.Min.X
+}
+
+// Height returns the extent of r along y (zero for empty rectangles).
+func (r Rect) Height() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Max.Y - r.Min.Y
+}
+
+// Area returns the area of r. Degenerate rectangles (points, horizontal
+// or vertical segments) have zero area, as do empty rectangles.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Margin returns half the perimeter of r (width + height), the measure
+// minimized by some R-tree split heuristics.
+func (r Rect) Margin() float64 { return r.Width() + r.Height() }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// ContainsPoint reports whether p lies inside r (boundary inclusive).
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Contains reports whether s lies entirely inside r (boundary
+// inclusive). Every rectangle contains the empty rectangle.
+func (r Rect) Contains(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	if r.IsEmpty() {
+		return false
+	}
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X &&
+		s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and s share at least one point
+// (touching boundaries count). This is the INTERSECTS test of the
+// paper's SEARCH procedure: a subtree is visited only if its MBR
+// intersects the target window.
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Intersection returns the common rectangle of r and s, or an empty
+// rectangle when they are disjoint.
+func (r Rect) Intersection(s Rect) Rect {
+	out := Rect{
+		Min: Point{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if out.IsEmpty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// Union returns the minimal rectangle enclosing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// ExtendPoint returns the minimal rectangle enclosing r and p.
+func (r Rect) ExtendPoint(p Point) Rect { return r.Union(p.Rect()) }
+
+// Enlargement returns the area increase needed for r to also enclose s.
+// Guttman's ChooseLeaf descends into the entry whose rectangle needs
+// the least enlargement to include the new object.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// Eq reports whether r and s are exactly equal (all empty rectangles
+// compare equal to each other).
+func (r Rect) Eq(s Rect) bool {
+	if r.IsEmpty() && s.IsEmpty() {
+		return true
+	}
+	return r.Min.Eq(s.Min) && r.Max.Eq(s.Max)
+}
+
+// Corners returns the four corner points of r in counter-clockwise
+// order starting at Min.
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		r.Min,
+		{r.Max.X, r.Min.Y},
+		r.Max,
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// String formats the rectangle as "[x1,y1 x2,y2]".
+func (r Rect) String() string {
+	if r.IsEmpty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%g,%g %g,%g]", r.Min.X, r.Min.Y, r.Max.X, r.Max.Y)
+}
+
+// MBR returns the minimal bounding rectangle of a set of points, the
+// paper's (P1, P2, ..., Pn): the rectangle bounded by the lines
+// x = min xi, x = max xi, y = min yi, y = max yi. It returns the empty
+// rectangle for an empty set.
+func MBR(pts ...Point) Rect {
+	out := EmptyRect()
+	for _, p := range pts {
+		out = out.ExtendPoint(p)
+	}
+	return out
+}
+
+// MBRRects returns the minimal bounding rectangle of a set of
+// rectangles, used when PACK recurses: the MBRs of leaf nodes become
+// the data objects of the next level up.
+func MBRRects(rs ...Rect) Rect {
+	out := EmptyRect()
+	for _, r := range rs {
+		out = out.Union(r)
+	}
+	return out
+}
+
+// The PSQL spatial comparison operators of Section 2.2. Each receives
+// two area specifications and reports whether the spatial relation
+// holds on the picture.
+
+// Covers reports whether r covers s: every point of s is a point of r.
+func Covers(r, s Rect) bool { return r.Contains(s) }
+
+// CoveredBy reports whether r is covered by s (the paper's
+// "loc covered-by {4±4, 11±9}" predicate).
+func CoveredBy(r, s Rect) bool { return s.Contains(r) }
+
+// Overlapping reports whether r and s share interior area or touch:
+// the paper's "overlapping" operator. Two rectangles overlap when they
+// intersect.
+func Overlapping(r, s Rect) bool { return r.Intersects(s) }
+
+// Disjoined reports whether r and s have no common point: the paper's
+// "disjoined" operator.
+func Disjoined(r, s Rect) bool { return !r.Intersects(s) }

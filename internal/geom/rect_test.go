@@ -1,0 +1,266 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNormalizesCorners(t *testing.T) {
+	tests := []struct {
+		name string
+		r    Rect
+		want Rect
+	}{
+		{"ordered", R(1, 2, 3, 4), Rect{Point{1, 2}, Point{3, 4}}},
+		{"xSwapped", R(3, 2, 1, 4), Rect{Point{1, 2}, Point{3, 4}}},
+		{"ySwapped", R(1, 4, 3, 2), Rect{Point{1, 2}, Point{3, 4}}},
+		{"bothSwapped", R(3, 4, 1, 2), Rect{Point{1, 2}, Point{3, 4}}},
+		{"degenerate", R(5, 5, 5, 5), Rect{Point{5, 5}, Point{5, 5}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.r != tt.want {
+				t.Errorf("got %v, want %v", tt.r, tt.want)
+			}
+		})
+	}
+}
+
+func TestWindowAt(t *testing.T) {
+	// The paper's example window {4±4, 11±9} = [0,8] x [2,20].
+	w := WindowAt(4, 4, 11, 9)
+	want := R(0, 2, 8, 20)
+	if !w.Eq(want) {
+		t.Fatalf("WindowAt(4,4,11,9) = %v, want %v", w, want)
+	}
+}
+
+func TestRectAreaMarginCenter(t *testing.T) {
+	r := R(2, 3, 10, 7)
+	if got := r.Area(); got != 32 {
+		t.Errorf("Area = %g, want 32", got)
+	}
+	if got := r.Margin(); got != 12 {
+		t.Errorf("Margin = %g, want 12", got)
+	}
+	if got := r.Center(); !got.Eq(Pt(6, 5)) {
+		t.Errorf("Center = %v, want (6,5)", got)
+	}
+	if e := EmptyRect(); e.Area() != 0 || e.Margin() != 0 {
+		t.Errorf("empty rect should have zero area and margin")
+	}
+}
+
+func TestContainsAndIntersects(t *testing.T) {
+	base := R(0, 0, 10, 10)
+	tests := []struct {
+		name       string
+		other      Rect
+		contains   bool
+		intersects bool
+	}{
+		{"identical", R(0, 0, 10, 10), true, true},
+		{"inside", R(2, 2, 8, 8), true, true},
+		{"touchingEdgeInside", R(0, 0, 5, 5), true, true},
+		{"straddling", R(5, 5, 15, 15), false, true},
+		{"touchingBorder", R(10, 0, 20, 10), false, true},
+		{"touchingCorner", R(10, 10, 20, 20), false, true},
+		{"disjointRight", R(11, 0, 20, 10), false, false},
+		{"disjointAbove", R(0, 11, 10, 20), false, false},
+		{"surrounding", R(-5, -5, 15, 15), false, true},
+		{"empty", EmptyRect(), true, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := base.Contains(tt.other); got != tt.contains {
+				t.Errorf("Contains = %v, want %v", got, tt.contains)
+			}
+			if got := base.Intersects(tt.other); got != tt.intersects {
+				t.Errorf("Intersects = %v, want %v", got, tt.intersects)
+			}
+			if got := tt.other.Intersects(base); got != tt.intersects {
+				t.Errorf("Intersects not symmetric: got %v, want %v", got, tt.intersects)
+			}
+		})
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	in := []Point{{0, 0}, {10, 10}, {5, 5}, {0, 10}, {10, 0}, {0, 5}}
+	out := []Point{{-0.001, 5}, {10.001, 5}, {5, -1}, {5, 10.5}, {11, 11}}
+	for _, p := range in {
+		if !r.ContainsPoint(p) {
+			t.Errorf("expected %v inside %v", p, r)
+		}
+	}
+	for _, p := range out {
+		if r.ContainsPoint(p) {
+			t.Errorf("expected %v outside %v", p, r)
+		}
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Rect
+		want Rect
+	}{
+		{"overlap", R(0, 0, 10, 10), R(5, 5, 15, 15), R(5, 5, 10, 10)},
+		{"contained", R(0, 0, 10, 10), R(2, 2, 4, 4), R(2, 2, 4, 4)},
+		{"edge", R(0, 0, 10, 10), R(10, 0, 20, 10), R(10, 0, 10, 10)},
+		{"disjoint", R(0, 0, 1, 1), R(5, 5, 6, 6), EmptyRect()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.a.Intersection(tt.b)
+			if !got.Eq(tt.want) {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+			if sym := tt.b.Intersection(tt.a); !sym.Eq(tt.want) {
+				t.Errorf("intersection not symmetric: %v vs %v", sym, tt.want)
+			}
+		})
+	}
+}
+
+func TestUnionIdentity(t *testing.T) {
+	r := R(3, 4, 7, 9)
+	if got := EmptyRect().Union(r); !got.Eq(r) {
+		t.Errorf("empty ∪ r = %v, want %v", got, r)
+	}
+	if got := r.Union(EmptyRect()); !got.Eq(r) {
+		t.Errorf("r ∪ empty = %v, want %v", got, r)
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	tests := []struct {
+		name string
+		s    Rect
+		want float64
+	}{
+		{"contained", R(1, 1, 2, 2), 0},
+		{"extendRight", R(0, 0, 20, 10), 100},
+		{"corner", R(10, 10, 20, 20), 300}, // union 20x20=400 - 100
+		{"point", Pt(15, 5).Rect(), 50},    // union 15x10=150 - 100
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.Enlargement(tt.s); got != tt.want {
+				t.Errorf("Enlargement = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMBR(t *testing.T) {
+	got := MBR(Pt(3, 9), Pt(-1, 4), Pt(7, 0))
+	want := R(-1, 0, 7, 9)
+	if !got.Eq(want) {
+		t.Fatalf("MBR = %v, want %v", got, want)
+	}
+	if !MBR().IsEmpty() {
+		t.Fatal("MBR of no points should be empty")
+	}
+}
+
+func TestMBRRects(t *testing.T) {
+	got := MBRRects(R(0, 0, 1, 1), R(5, 5, 6, 8), EmptyRect())
+	want := R(0, 0, 6, 8)
+	if !got.Eq(want) {
+		t.Fatalf("MBRRects = %v, want %v", got, want)
+	}
+}
+
+func TestSpatialOperators(t *testing.T) {
+	big := R(0, 0, 100, 100)
+	small := R(10, 10, 20, 20)
+	other := R(200, 200, 300, 300)
+	partial := R(50, 50, 150, 150)
+
+	if !Covers(big, small) || Covers(small, big) {
+		t.Error("covers relation wrong")
+	}
+	if !CoveredBy(small, big) || CoveredBy(big, small) {
+		t.Error("covered-by relation wrong")
+	}
+	if !Overlapping(big, partial) || Overlapping(big, other) {
+		t.Error("overlapping relation wrong")
+	}
+	if !Disjoined(big, other) || Disjoined(big, partial) {
+		t.Error("disjoined relation wrong")
+	}
+	// covers implies overlapping, and disjoined is its complement.
+	if Covers(big, small) && !Overlapping(big, small) {
+		t.Error("covers must imply overlapping")
+	}
+}
+
+// randRect draws a random non-empty rectangle inside [0,1000]^2.
+func randRect(rng *rand.Rand) Rect {
+	return R(rng.Float64()*1000, rng.Float64()*1000, rng.Float64()*1000, rng.Float64()*1000)
+}
+
+func TestQuickUnionContainsBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectionContainedInBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		in := a.Intersection(b)
+		return a.Contains(in) && b.Contains(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInclusionExclusionArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		union := UnionArea([]Rect{a, b})
+		want := a.Area() + b.Area() - a.Intersection(b).Area()
+		return math.Abs(union-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEnlargementNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		return a.Enlargement(b) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectsConsistentWithIntersection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		return a.Intersects(b) == !a.Intersection(b).IsEmpty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

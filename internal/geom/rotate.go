@@ -1,0 +1,97 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the machinery behind the paper's Lemma 3.1 and
+// Theorem 3.2. Lemma 3.1: for any finite point set S there exists a
+// rotation angle alpha such that all rotated points have distinct
+// x-coordinates (F_alpha(S) = |S|). Theorem 3.2 then slices the rotated,
+// x-sorted points into groups of the branching factor, producing leaf
+// MBRs that are pairwise disjoint in the rotated frame.
+
+// DistinctX reports whether every point of pts has a distinct
+// x-coordinate, i.e. whether F(S) = |S| in the paper's notation.
+func DistinctX(pts []Point) bool {
+	seen := make(map[float64]struct{}, len(pts))
+	for _, p := range pts {
+		if _, dup := seen[p.X]; dup {
+			return false
+		}
+		seen[p.X] = struct{}{}
+	}
+	return true
+}
+
+// CountDistinctX returns F(S): the number of distinct x-coordinates
+// among pts.
+func CountDistinctX(pts []Point) int {
+	seen := make(map[float64]struct{}, len(pts))
+	for _, p := range pts {
+		seen[p.X] = struct{}{}
+	}
+	return len(seen)
+}
+
+// badAngles returns, for each unordered pair of distinct points, the
+// angle in [0, pi) whose rotation makes the pair share an x-coordinate.
+// A rotation by alpha maps the direction of the segment to vertical
+// exactly when alpha = pi/2 - atan2(dy, dx) (mod pi). Lemma 3.1's proof
+// observes there are at most |S| choose 2 such angles, so any other
+// angle yields distinct x-coordinates.
+func badAngles(pts []Point) []float64 {
+	var out []float64
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			dx := pts[j].X - pts[i].X
+			dy := pts[j].Y - pts[i].Y
+			if dx == 0 && dy == 0 {
+				continue // coincident points: no rotation separates them
+			}
+			a := math.Pi/2 - math.Atan2(dy, dx)
+			a = math.Mod(a, math.Pi)
+			if a < 0 {
+				a += math.Pi
+			}
+			out = append(out, a)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// SeparatingAngle returns an angle alpha such that rotating pts
+// counter-clockwise by alpha gives all points distinct x-coordinates,
+// constructively realizing Lemma 3.1. Coincident points can never be
+// separated; they are tolerated (the caller's grouping simply places
+// them together). The returned angle is the midpoint of the widest gap
+// between consecutive "bad" angles, maximizing numerical robustness.
+func SeparatingAngle(pts []Point) float64 {
+	bad := badAngles(pts)
+	if len(bad) == 0 {
+		return 0
+	}
+	// Find the widest gap on the circle of period pi.
+	bestGap := (bad[0] + math.Pi) - bad[len(bad)-1]
+	best := math.Mod(bad[len(bad)-1]+bestGap/2, math.Pi)
+	for i := 1; i < len(bad); i++ {
+		gap := bad[i] - bad[i-1]
+		if gap > bestGap {
+			bestGap = gap
+			best = bad[i-1] + gap/2
+		}
+	}
+	return best
+}
+
+// RotateAll returns pts rotated counter-clockwise about the origin by
+// alpha.
+func RotateAll(pts []Point, alpha float64) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = p.Rotate(alpha)
+	}
+	return out
+}

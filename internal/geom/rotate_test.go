@@ -1,0 +1,115 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeparatingAngleVerticalPair(t *testing.T) {
+	// Two points sharing an x-coordinate: any angle except multiples
+	// of pi separates them. SeparatingAngle must find one.
+	pts := []Point{{5, 0}, {5, 10}}
+	if DistinctX(pts) {
+		t.Fatal("test points should share x")
+	}
+	a := SeparatingAngle(pts)
+	if !DistinctX(RotateAll(pts, a)) {
+		t.Fatalf("rotation by %g did not separate x-coordinates", a)
+	}
+}
+
+func TestSeparatingAngleGrid(t *testing.T) {
+	// A 4x4 integer grid is maximally collinear: 16 points, many shared
+	// x-coordinates and 45-degree alignments.
+	var pts []Point
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			pts = append(pts, Pt(float64(i), float64(j)))
+		}
+	}
+	a := SeparatingAngle(pts)
+	rot := RotateAll(pts, a)
+	if !DistinctX(rot) {
+		t.Fatalf("grid not separated: F=%d of %d", CountDistinctX(rot), len(rot))
+	}
+}
+
+func TestSeparatingAngleAlreadyDistinct(t *testing.T) {
+	pts := []Point{{1, 5}, {2, 3}, {4, 8}}
+	a := SeparatingAngle(pts)
+	if !DistinctX(RotateAll(pts, a)) {
+		t.Fatal("rotation broke already-distinct x-coordinates")
+	}
+}
+
+func TestSeparatingAngleCoincidentPoints(t *testing.T) {
+	// Coincident points can never be separated; the function must not
+	// panic or loop, and the remaining points must still separate.
+	pts := []Point{{1, 1}, {1, 1}, {2, 2}, {1, 3}}
+	a := SeparatingAngle(pts)
+	rot := RotateAll(pts, a)
+	// Expect |S|-1 distinct x (the duplicated point collapses).
+	if got := CountDistinctX(rot); got != 3 {
+		t.Fatalf("CountDistinctX = %d, want 3", got)
+	}
+}
+
+func TestCountDistinctX(t *testing.T) {
+	tests := []struct {
+		name string
+		pts  []Point
+		want int
+	}{
+		{"empty", nil, 0},
+		{"single", []Point{{1, 2}}, 1},
+		{"allDistinct", []Point{{1, 0}, {2, 0}, {3, 0}}, 3},
+		{"allSame", []Point{{1, 0}, {1, 5}, {1, 9}}, 1},
+		{"mixed", []Point{{1, 0}, {1, 5}, {2, 9}}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CountDistinctX(tt.pts); got != tt.want {
+				t.Errorf("got %d, want %d", got, tt.want)
+			}
+			if want := tt.want == len(tt.pts); DistinctX(tt.pts) != want {
+				t.Errorf("DistinctX = %v, want %v", DistinctX(tt.pts), want)
+			}
+		})
+	}
+}
+
+// TestQuickLemma31 is the property test of Lemma 3.1: for random point
+// sets (including forced duplicates of x-coordinates), SeparatingAngle
+// yields a rotation under which all distinct points have distinct
+// x-coordinates.
+func TestQuickLemma31(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	f := func() bool {
+		n := 2 + rng.Intn(20)
+		pts := make([]Point, 0, n)
+		for i := 0; i < n; i++ {
+			// Integer coordinates force many collinear pairs and
+			// shared x-coordinates, the hard case of the lemma.
+			pts = append(pts, Pt(float64(rng.Intn(10)), float64(rng.Intn(10))))
+		}
+		distinct := dedupPoints(pts)
+		a := SeparatingAngle(distinct)
+		return DistinctX(RotateAll(distinct, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupPoints(pts []Point) []Point {
+	seen := make(map[Point]struct{}, len(pts))
+	out := pts[:0:0]
+	for _, p := range pts {
+		if _, dup := seen[p]; !dup {
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package pack
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// hilbertGrouper orders rectangles by the Hilbert curve value of their
+// centers (Kamel & Faloutsos, VLDB 1994) and slices consecutive runs.
+// The Hilbert curve preserves locality better than raw x-ordering, so
+// consecutive runs tend to be spatially compact without the explicit
+// nearest-neighbor step of the paper's PACK.
+type hilbertGrouper struct{}
+
+func (hilbertGrouper) Name() string { return "hilbert" }
+
+// hilbertOrder is the resolution of the discrete grid the centers are
+// quantized onto: the curve has 2^hilbertOrder cells per side.
+const hilbertOrder = 16
+
+func (hilbertGrouper) Group(rects []geom.Rect, max int) [][]int {
+	n := len(rects)
+	if n == 0 {
+		return nil
+	}
+	bounds := geom.EmptyRect()
+	for _, r := range rects {
+		bounds = bounds.Union(r)
+	}
+	side := uint32(1) << hilbertOrder
+	scaleX, scaleY := 0.0, 0.0
+	if w := bounds.Width(); w > 0 {
+		scaleX = float64(side-1) / w
+	}
+	if h := bounds.Height(); h > 0 {
+		scaleY = float64(side-1) / h
+	}
+	keys := make([]uint64, n)
+	for i, r := range rects {
+		c := r.Center()
+		x := uint32((c.X - bounds.Min.X) * scaleX)
+		y := uint32((c.Y - bounds.Min.Y) * scaleY)
+		keys[i] = hilbertD(hilbertOrder, x, y)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
+	return slices2(order, max)
+}
+
+// hilbertD maps grid cell (x, y) to its 1-D distance along the Hilbert
+// curve of the given order (the classic xy2d conversion).
+func hilbertD(order uint, x, y uint32) uint64 {
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}

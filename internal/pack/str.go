@@ -1,0 +1,52 @@
+package pack
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// strGrouper implements Sort-Tile-Recursive packing (Leutenegger,
+// Lopez & Edgington, ICDE 1997), the best-known descendant of this
+// paper's packing idea: sort by center x, cut into ceil(sqrt(n/max))
+// vertical slabs of ~max*slabCount entries each, sort each slab by
+// center y, and slice runs of max.
+type strGrouper struct{}
+
+func (strGrouper) Name() string { return "str" }
+
+func (strGrouper) Group(rects []geom.Rect, max int) [][]int {
+	n := len(rects)
+	if n == 0 {
+		return nil
+	}
+	order := sortedByCenter(rects, func(a, b geom.Point) bool {
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+	nodeCount := (n + max - 1) / max
+	slabs := int(math.Ceil(math.Sqrt(float64(nodeCount))))
+	perSlab := slabs * max
+
+	var groups [][]int
+	for start := 0; start < n; start += perSlab {
+		end := start + perSlab
+		if end > n {
+			end = n
+		}
+		slab := make([]int, end-start)
+		copy(slab, order[start:end])
+		sort.SliceStable(slab, func(i, j int) bool {
+			a, b := rects[slab[i]].Center(), rects[slab[j]].Center()
+			if a.Y != b.Y {
+				return a.Y < b.Y
+			}
+			return a.X < b.X
+		})
+		groups = append(groups, slices2(slab, max)...)
+	}
+	return groups
+}

@@ -1,0 +1,430 @@
+// Package pager provides the disk substrate for the pictorial database:
+// a file of fixed-size pages plus an LRU buffer pool. Both the
+// alphanumeric B-tree indexes and the disk-resident R-tree variant
+// store their nodes in pager pages, which is what gives R-trees the
+// property the paper emphasizes: "because the storage organization of
+// R-trees is based on B-trees, they are better in dealing with paging
+// and disk I/O buffering".
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the size of every page in bytes. 4096 matches a common
+// logical disk block, the unit the paper sizes R-tree nodes to fill.
+const PageSize = 4096
+
+// PageID identifies a page within a file. Page 0 is the file header
+// and is never handed out by Allocate.
+type PageID uint32
+
+// InvalidPage is the zero PageID; it never refers to an allocatable page.
+const InvalidPage PageID = 0
+
+// ErrClosed is returned by operations on a closed pager.
+var ErrClosed = errors.New("pager: closed")
+
+// ErrPageRange is returned when a PageID is outside the file.
+var ErrPageRange = errors.New("pager: page id out of range")
+
+// Page is an in-memory image of one disk page.
+type Page struct {
+	ID    PageID
+	Data  [PageSize]byte
+	dirty bool
+	pins  int
+	// prev/next link the page into the LRU list when unpinned.
+	prev, next *Page
+}
+
+// MarkDirty records that the page image differs from disk and must be
+// written back before eviction.
+func (p *Page) MarkDirty() { p.dirty = true }
+
+// Header layout of page 0:
+//
+//	bytes 0..7   magic "PICTDB01"
+//	bytes 8..11  number of pages in the file (including header)
+//	bytes 12..15 head of the free-page list (0 = none)
+var magic = [8]byte{'P', 'I', 'C', 'T', 'D', 'B', '0', '1'}
+
+// backend abstracts the byte store so the pager can run on a real file
+// or fully in memory (for tests and ephemeral indexes).
+type backend interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// memBackend is an in-memory backend.
+type memBackend struct {
+	buf []byte
+}
+
+func (m *memBackend) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memBackend) WriteAt(p []byte, off int64) (int, error) {
+	end := off + int64(len(p))
+	if end > int64(len(m.buf)) {
+		grown := make([]byte, end)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	return copy(m.buf[off:], p), nil
+}
+
+func (m *memBackend) Truncate(size int64) error {
+	if size <= int64(len(m.buf)) {
+		m.buf = m.buf[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, m.buf)
+	m.buf = grown
+	return nil
+}
+
+func (m *memBackend) Sync() error  { return nil }
+func (m *memBackend) Close() error { return nil }
+
+// Stats reports buffer-pool behaviour: the counters one watches when
+// comparing packed against unpacked trees on disk.
+type Stats struct {
+	Hits      uint64 // page found in the pool
+	Misses    uint64 // page read from the backend
+	Evictions uint64 // pages evicted to make room
+	Writes    uint64 // dirty pages written back
+	Allocs    uint64 // pages allocated
+	Frees     uint64 // pages freed
+}
+
+// Pager manages a page file through a fixed-capacity LRU buffer pool.
+// It is safe for concurrent use.
+type Pager struct {
+	mu       sync.Mutex
+	backend  backend
+	capacity int
+	pages    map[PageID]*Page
+	// lruHead/lruTail delimit the unpinned pages, most recent first.
+	lruHead, lruTail *Page
+	numPages         uint32 // pages in file including header
+	freeHead         PageID
+	closed           bool
+	stats            Stats
+}
+
+// Open opens (or creates) a page file at path with a buffer pool of
+// poolPages pages. poolPages must be at least 1.
+func Open(path string, poolPages int) (*Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	p, err := newPager(f, poolPages)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// OpenMem creates a purely in-memory pager, useful for tests and for
+// indexes that never need to persist.
+func OpenMem(poolPages int) *Pager {
+	p, err := newPager(&memBackend{}, poolPages)
+	if err != nil {
+		// The memory backend cannot fail to initialize.
+		panic(err)
+	}
+	return p
+}
+
+func newPager(b backend, poolPages int) (*Pager, error) {
+	if poolPages < 1 {
+		return nil, fmt.Errorf("pager: pool must hold at least 1 page, got %d", poolPages)
+	}
+	p := &Pager{
+		backend:  b,
+		capacity: poolPages,
+		pages:    make(map[PageID]*Page, poolPages),
+	}
+	var hdr [PageSize]byte
+	n, err := b.ReadAt(hdr[:], 0)
+	switch {
+	case err == io.EOF && n == 0:
+		// Fresh file: write a header.
+		p.numPages = 1
+		p.freeHead = InvalidPage
+		if err := p.writeHeader(); err != nil {
+			return nil, err
+		}
+	case err != nil && err != io.EOF:
+		return nil, fmt.Errorf("pager: read header: %w", err)
+	default:
+		if [8]byte(hdr[0:8]) != magic {
+			return nil, errors.New("pager: bad magic: not a pictdb page file")
+		}
+		p.numPages = binary.LittleEndian.Uint32(hdr[8:12])
+		p.freeHead = PageID(binary.LittleEndian.Uint32(hdr[12:16]))
+	}
+	return p, nil
+}
+
+func (p *Pager) writeHeader() error {
+	var hdr [PageSize]byte
+	copy(hdr[0:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], p.numPages)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(p.freeHead))
+	if _, err := p.backend.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("pager: write header: %w", err)
+	}
+	return nil
+}
+
+// NumPages returns the number of pages in the file, header included.
+func (p *Pager) NumPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.numPages)
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pager) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the pool counters (between experiment phases).
+func (p *Pager) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Allocate returns a pinned, zeroed page, reusing a freed page when one
+// is available and extending the file otherwise. Callers must Unpin it.
+func (p *Pager) Allocate() (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	var id PageID
+	if p.freeHead != InvalidPage {
+		// Pop the free list; its next pointer lives in the page bytes.
+		pg, err := p.fetchLocked(p.freeHead)
+		if err != nil {
+			return nil, err
+		}
+		id = pg.ID
+		p.freeHead = PageID(binary.LittleEndian.Uint32(pg.Data[0:4]))
+		pg.Data = [PageSize]byte{}
+		pg.MarkDirty()
+		p.stats.Allocs++
+		if err := p.writeHeader(); err != nil {
+			p.unpinLocked(pg)
+			return nil, err
+		}
+		return pg, nil
+	}
+	id = PageID(p.numPages)
+	p.numPages++
+	if err := p.writeHeader(); err != nil {
+		p.numPages--
+		return nil, err
+	}
+	pg, err := p.installLocked(id, false)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.Allocs++
+	pg.MarkDirty()
+	return pg, nil
+}
+
+// Free returns a page to the free list. The page must not be pinned.
+func (p *Pager) Free(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage || uint32(id) >= p.numPages {
+		return fmt.Errorf("%w: %d", ErrPageRange, id)
+	}
+	pg, err := p.fetchLocked(id)
+	if err != nil {
+		return err
+	}
+	if pg.pins > 1 {
+		p.unpinLocked(pg)
+		return fmt.Errorf("pager: freeing pinned page %d", id)
+	}
+	binary.LittleEndian.PutUint32(pg.Data[0:4], uint32(p.freeHead))
+	pg.MarkDirty()
+	p.freeHead = id
+	p.stats.Frees++
+	p.unpinLocked(pg)
+	return p.writeHeader()
+}
+
+// Fetch returns the page with the given id, pinned. Callers must Unpin.
+func (p *Pager) Fetch(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if id == InvalidPage || uint32(id) >= p.numPages {
+		return nil, fmt.Errorf("%w: %d", ErrPageRange, id)
+	}
+	return p.fetchLocked(id)
+}
+
+func (p *Pager) fetchLocked(id PageID) (*Page, error) {
+	if pg, ok := p.pages[id]; ok {
+		p.stats.Hits++
+		if pg.pins == 0 {
+			p.lruRemove(pg)
+		}
+		pg.pins++
+		return pg, nil
+	}
+	p.stats.Misses++
+	return p.installLocked(id, true)
+}
+
+// installLocked makes room in the pool and installs page id, reading
+// its contents from the backend when read is true.
+func (p *Pager) installLocked(id PageID, read bool) (*Page, error) {
+	for len(p.pages) >= p.capacity {
+		victim := p.lruTail
+		if victim == nil {
+			return nil, fmt.Errorf("pager: pool exhausted (%d pages, all pinned)", p.capacity)
+		}
+		if err := p.flushPageLocked(victim); err != nil {
+			return nil, err
+		}
+		p.lruRemove(victim)
+		delete(p.pages, victim.ID)
+		p.stats.Evictions++
+	}
+	pg := &Page{ID: id, pins: 1}
+	if read {
+		if _, err := p.backend.ReadAt(pg.Data[:], int64(id)*PageSize); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+		}
+	}
+	p.pages[id] = pg
+	return pg, nil
+}
+
+// Unpin releases a pin taken by Fetch or Allocate. Unpinned pages
+// become eligible for eviction.
+func (p *Pager) Unpin(pg *Page) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.unpinLocked(pg)
+}
+
+func (p *Pager) unpinLocked(pg *Page) {
+	if pg.pins <= 0 {
+		panic(fmt.Sprintf("pager: unpin of unpinned page %d", pg.ID))
+	}
+	pg.pins--
+	if pg.pins == 0 {
+		p.lruPush(pg)
+	}
+}
+
+// lruPush inserts pg at the head (most recently used).
+func (p *Pager) lruPush(pg *Page) {
+	pg.prev = nil
+	pg.next = p.lruHead
+	if p.lruHead != nil {
+		p.lruHead.prev = pg
+	}
+	p.lruHead = pg
+	if p.lruTail == nil {
+		p.lruTail = pg
+	}
+}
+
+func (p *Pager) lruRemove(pg *Page) {
+	if pg.prev != nil {
+		pg.prev.next = pg.next
+	} else if p.lruHead == pg {
+		p.lruHead = pg.next
+	}
+	if pg.next != nil {
+		pg.next.prev = pg.prev
+	} else if p.lruTail == pg {
+		p.lruTail = pg.prev
+	}
+	pg.prev, pg.next = nil, nil
+}
+
+func (p *Pager) flushPageLocked(pg *Page) error {
+	if !pg.dirty {
+		return nil
+	}
+	if _, err := p.backend.WriteAt(pg.Data[:], int64(pg.ID)*PageSize); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", pg.ID, err)
+	}
+	pg.dirty = false
+	p.stats.Writes++
+	return nil
+}
+
+// Flush writes every dirty page and syncs the backend.
+func (p *Pager) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	for _, pg := range p.pages {
+		if err := p.flushPageLocked(pg); err != nil {
+			return err
+		}
+	}
+	return p.backend.Sync()
+}
+
+// Close flushes and closes the pager. Further operations fail with
+// ErrClosed.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	for _, pg := range p.pages {
+		if err := p.flushPageLocked(pg); err != nil {
+			return err
+		}
+	}
+	p.closed = true
+	if err := p.backend.Sync(); err != nil {
+		return err
+	}
+	return p.backend.Close()
+}

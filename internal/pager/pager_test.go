@@ -1,0 +1,340 @@
+package pager
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestAllocateFetchRoundtrip(t *testing.T) {
+	p := OpenMem(4)
+	defer p.Close()
+
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.ID == InvalidPage {
+		t.Fatal("allocated the invalid page id")
+	}
+	copy(pg.Data[:], "hello pages")
+	pg.MarkDirty()
+	id := pg.ID
+	p.Unpin(pg)
+
+	got, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Unpin(got)
+	if string(got.Data[:11]) != "hello pages" {
+		t.Fatalf("page data = %q", got.Data[:11])
+	}
+}
+
+func TestFetchInvalid(t *testing.T) {
+	p := OpenMem(2)
+	defer p.Close()
+	if _, err := p.Fetch(InvalidPage); err == nil {
+		t.Error("fetching page 0 should fail")
+	}
+	if _, err := p.Fetch(99); err == nil {
+		t.Error("fetching out-of-range page should fail")
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	p := OpenMem(2)
+	defer p.Close()
+
+	// Allocate 5 pages, each stamped with its id; pool holds only 2,
+	// so earlier pages must be evicted and written back.
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint32(pg.Data[:4], uint32(pg.ID))
+		pg.MarkDirty()
+		ids = append(ids, pg.ID)
+		p.Unpin(pg)
+	}
+	if s := p.Stats(); s.Evictions == 0 {
+		t.Error("expected evictions with a 2-page pool")
+	}
+	for _, id := range ids {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := PageID(binary.LittleEndian.Uint32(pg.Data[:4])); got != id {
+			t.Errorf("page %d round-tripped as %d", id, got)
+		}
+		p.Unpin(pg)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	p := OpenMem(2)
+	defer p.Close()
+	a, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(); err == nil {
+		t.Fatal("third allocation with all pages pinned should fail")
+	}
+	p.Unpin(a)
+	c, err := p.Allocate()
+	if err != nil {
+		t.Fatalf("allocation after unpin should succeed: %v", err)
+	}
+	p.Unpin(b)
+	p.Unpin(c)
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	p := OpenMem(4)
+	defer p.Close()
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID
+	p.Unpin(pg)
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Unpin(pg2)
+	if pg2.ID != id {
+		t.Errorf("expected freed page %d to be reused, got %d", id, pg2.ID)
+	}
+	for _, b := range pg2.Data {
+		if b != 0 {
+			t.Fatal("reused page not zeroed")
+		}
+	}
+}
+
+func TestFreePinnedFails(t *testing.T) {
+	p := OpenMem(4)
+	defer p.Close()
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(pg.ID); err == nil {
+		t.Error("freeing a pinned page should fail")
+	}
+	p.Unpin(pg)
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.db")
+	p, err := Open(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID
+	copy(pg.Data[100:], "persisted")
+	pg.MarkDirty()
+	p.Unpin(pg)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.NumPages() != 2 {
+		t.Errorf("NumPages = %d, want 2", p2.NumPages())
+	}
+	got, err := p2.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Unpin(got)
+	if string(got.Data[100:109]) != "persisted" {
+		t.Errorf("data not persisted: %q", got.Data[100:109])
+	}
+}
+
+func TestFreeListPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "free.db")
+	p, err := Open(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Allocate()
+	b, _ := p.Allocate()
+	idA := a.ID
+	p.Unpin(a)
+	p.Unpin(b)
+	if err := p.Free(idA); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	pg, err := p2.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Unpin(pg)
+	if pg.ID != idA {
+		t.Errorf("free list lost across reopen: got %d, want %d", pg.ID, idA)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.db")
+	p, err := Open(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the magic on disk and reopen.
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("XXXXXXXX"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(path, 2); err == nil {
+		t.Fatal("opening a corrupt file should fail")
+	}
+}
+
+func TestClosedOperationsFail(t *testing.T) {
+	p := OpenMem(2)
+	p.Close()
+	if _, err := p.Allocate(); err != ErrClosed {
+		t.Errorf("Allocate after close: %v, want ErrClosed", err)
+	}
+	if _, err := p.Fetch(1); err != ErrClosed {
+		t.Errorf("Fetch after close: %v, want ErrClosed", err)
+	}
+	if err := p.Flush(); err != ErrClosed {
+		t.Errorf("Flush after close: %v, want ErrClosed", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	p := OpenMem(8)
+	defer p.Close()
+	pg, _ := p.Allocate()
+	id := pg.ID
+	p.Unpin(pg)
+	pg2, _ := p.Fetch(id) // pooled: hit
+	p.Unpin(pg2)
+	s := p.Stats()
+	if s.Allocs != 1 {
+		t.Errorf("Allocs = %d, want 1", s.Allocs)
+	}
+	if s.Hits == 0 {
+		t.Errorf("expected at least one pool hit")
+	}
+	p.ResetStats()
+	if s := p.Stats(); s != (Stats{}) {
+		t.Errorf("ResetStats left %+v", s)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	p := OpenMem(2)
+	defer p.Close()
+	a, _ := p.Allocate()
+	b, _ := p.Allocate()
+	idA, idB := a.ID, b.ID
+	p.Unpin(a)
+	p.Unpin(b)
+	// Touch A so B becomes the LRU victim.
+	a2, _ := p.Fetch(idA)
+	p.Unpin(a2)
+	c, _ := p.Allocate() // evicts B
+	p.Unpin(c)
+	s := p.Stats()
+	// Fetching A should still hit; fetching B should miss.
+	p.ResetStats()
+	a3, _ := p.Fetch(idA)
+	p.Unpin(a3)
+	b2, _ := p.Fetch(idB)
+	p.Unpin(b2)
+	s = p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1 and 1", s.Hits, s.Misses)
+	}
+}
+
+func TestConcurrentFetches(t *testing.T) {
+	p := OpenMem(8)
+	defer p.Close()
+	var ids []PageID
+	for i := 0; i < 32; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint32(pg.Data[:4], uint32(pg.ID))
+		pg.MarkDirty()
+		ids = append(ids, pg.ID)
+		p.Unpin(pg)
+	}
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := ids[(start+i)%len(ids)]
+				pg, err := p.Fetch(id)
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				if got := PageID(binary.LittleEndian.Uint32(pg.Data[:4])); got != id {
+					fail <- "page content mismatch"
+					p.Unpin(pg)
+					return
+				}
+				p.Unpin(pg)
+			}
+		}(g * 4)
+	}
+	wg.Wait()
+	close(fail)
+	for e := range fail {
+		t.Fatal(e)
+	}
+}

@@ -1,0 +1,120 @@
+package picture
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Renderer draws a window of a picture onto a character grid: the
+// project's stand-in for the paper's graphics monitor. Points render
+// as '*', segments as '·' chains, region boundaries as '#', and each
+// object's label is placed near its anchor — "the object names are
+// displayed on the picture to assist the user to visualize their
+// correspondence" (§2.2).
+type Renderer struct {
+	// Width and Height are the character-grid dimensions.
+	Width, Height int
+	// Labels toggles label placement.
+	Labels bool
+}
+
+// DefaultRenderer returns a renderer with a terminal-friendly grid.
+func DefaultRenderer() Renderer { return Renderer{Width: 72, Height: 24, Labels: true} }
+
+// Render draws the given objects as they appear within window.
+// Objects wholly outside the window are skipped.
+func (r Renderer) Render(window geom.Rect, objects []Object) string {
+	if r.Width < 2 || r.Height < 2 || window.IsEmpty() {
+		return ""
+	}
+	grid := make([][]byte, r.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", r.Width))
+	}
+
+	sx := float64(r.Width-1) / math.Max(window.Width(), 1e-9)
+	sy := float64(r.Height-1) / math.Max(window.Height(), 1e-9)
+	toCell := func(p geom.Point) (int, int, bool) {
+		if !window.ContainsPoint(p) {
+			return 0, 0, false
+		}
+		cx := int((p.X - window.Min.X) * sx)
+		// Screen y grows downward.
+		cy := r.Height - 1 - int((p.Y-window.Min.Y)*sy)
+		return cx, cy, true
+	}
+	plot := func(p geom.Point, ch byte) {
+		if cx, cy, ok := toCell(p); ok {
+			grid[cy][cx] = ch
+		}
+	}
+	drawSeg := func(s geom.Segment, ch byte) {
+		steps := int(s.Length()*math.Max(sx, sy)) + 1
+		for i := 0; i <= steps; i++ {
+			t := float64(i) / float64(steps)
+			plot(geom.Pt(s.A.X+(s.B.X-s.A.X)*t, s.A.Y+(s.B.Y-s.A.Y)*t), ch)
+		}
+	}
+
+	for _, o := range objects {
+		switch o.Kind {
+		case KindSegment:
+			drawSeg(o.Segment, '.')
+		case KindRegion:
+			vs := o.Region.Vertices
+			for i := range vs {
+				drawSeg(geom.Seg(vs[i], vs[(i+1)%len(vs)]), '#')
+			}
+		}
+	}
+	// Points and labels go last so they stay visible on top of region
+	// boundaries.
+	for _, o := range objects {
+		if o.Kind == KindPoint {
+			plot(o.Point, '*')
+		}
+	}
+	if r.Labels {
+		for _, o := range objects {
+			r.placeLabel(grid, window, toCell, o)
+		}
+	}
+
+	var b strings.Builder
+	border := "+" + strings.Repeat("-", r.Width) + "+\n"
+	b.WriteString(border)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString(border)
+	return b.String()
+}
+
+func (r Renderer) placeLabel(grid [][]byte, window geom.Rect, toCell func(geom.Point) (int, int, bool), o Object) {
+	if o.Label == "" {
+		return
+	}
+	cx, cy, ok := toCell(o.Anchor())
+	if !ok {
+		return
+	}
+	// Write the label to the right of the anchor, clipped to the grid,
+	// skipping the anchor cell itself.
+	label := o.Label
+	start := cx + 1
+	if start+len(label) > r.Width {
+		start = r.Width - len(label)
+		if start < 0 {
+			start = 0
+		}
+	}
+	for i := 0; i < len(label) && start+i < r.Width; i++ {
+		if grid[cy][start+i] == ' ' || grid[cy][start+i] == '#' {
+			grid[cy][start+i] = label[i]
+		}
+	}
+}

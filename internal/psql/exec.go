@@ -1,0 +1,729 @@
+package psql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/picture"
+	"repro/internal/relation"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// Catalog resolves names in queries: relations, pictures, and named
+// locations ("a name of a location predefined outside the retrieve
+// mapping").
+type Catalog interface {
+	Relation(name string) (*relation.Relation, bool)
+	Picture(name string) (*picture.Picture, bool)
+	Location(name string) (geom.Rect, bool)
+}
+
+// Executor runs PSQL queries against a catalog.
+type Executor struct {
+	cat   Catalog
+	funcs map[string]Func
+	// MaxProductRows caps unindexed cartesian products as a safety
+	// net; zero means the default of one million.
+	MaxProductRows int
+}
+
+// NewExecutor returns an executor with the builtin function registry.
+func NewExecutor(cat Catalog) *Executor {
+	return &Executor{cat: cat, funcs: builtinFuncs()}
+}
+
+// RegisterFunc installs (or replaces) a PSQL-callable function — the
+// paper's application-defined extension hook.
+func (e *Executor) RegisterFunc(name string, f Func) {
+	e.funcs[strings.ToLower(name)] = f
+}
+
+// Run parses and executes one PSQL mapping.
+func (e *Executor) Run(src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Exec(q)
+}
+
+// binding is one from-clause entry resolved against the catalog.
+type binding struct {
+	name    string // alias or relation name
+	rel     *relation.Relation
+	schema  relation.Schema
+	picture string // picture from the on-clause, "" when none
+}
+
+// row is one candidate result row: a tuple per binding.
+type row struct {
+	ids    []storage.TupleID
+	tuples []relation.Tuple
+}
+
+// execState carries one query execution.
+type execState struct {
+	e        *Executor
+	q        *Query
+	bindings []binding
+	visited  int
+	plan     []string
+}
+
+// note records one access-path decision for Result.Plan.
+func (st *execState) note(format string, args ...any) {
+	st.plan = append(st.plan, fmt.Sprintf(format, args...))
+}
+
+// Exec executes a parsed query.
+func (e *Executor) Exec(q *Query) (*Result, error) {
+	st := &execState{e: e, q: q}
+	if err := st.resolveFrom(); err != nil {
+		return nil, err
+	}
+	rows, err := st.candidateRows()
+	if err != nil {
+		return nil, err
+	}
+	// Qualification filter.
+	if q.Where != nil && hasAggregate(q.Where) {
+		return nil, fmt.Errorf("psql: aggregates are not allowed in the where-clause")
+	}
+	if q.Where != nil {
+		kept := rows[:0]
+		for _, r := range rows {
+			d, err := st.eval(q.Where, &r)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := d.Truth()
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	// An aggregated target list collapses to one row; order-by and
+	// limit are meaningless then.
+	for _, it := range q.Select {
+		if isAggregate(it.Expr) {
+			if len(q.OrderBy) > 0 || q.Limit != nil {
+				return nil, fmt.Errorf("psql: order by / limit cannot combine with aggregates")
+			}
+			return st.projectAggregates(rows)
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		if err := st.orderRows(rows); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit != nil && len(rows) > *q.Limit {
+		rows = rows[:*q.Limit]
+	}
+	return st.project(rows)
+}
+
+func (st *execState) resolveFrom() error {
+	q := st.q
+	if len(q.From) == 0 {
+		return fmt.Errorf("psql: query has no from-clause")
+	}
+	seen := map[string]bool{}
+	for i, ref := range q.From {
+		rel, ok := st.e.cat.Relation(ref.Relation)
+		if !ok {
+			return fmt.Errorf("psql: unknown relation %q", ref.Relation)
+		}
+		b := binding{name: ref.Binding(), rel: rel, schema: rel.Schema()}
+		if seen[b.name] {
+			return fmt.Errorf("psql: duplicate relation binding %q", b.name)
+		}
+		seen[b.name] = true
+		// Positional on-clause match; a single picture applies to all.
+		switch {
+		case len(q.On) == 0:
+		case len(q.On) == 1:
+			b.picture = q.On[0]
+		case len(q.On) == len(q.From):
+			b.picture = q.On[i]
+		default:
+			return fmt.Errorf("psql: on-clause lists %d pictures for %d relations", len(q.On), len(q.From))
+		}
+		if b.picture != "" {
+			if _, ok := st.e.cat.Picture(b.picture); !ok {
+				return fmt.Errorf("psql: unknown picture %q", b.picture)
+			}
+		}
+		st.bindings = append(st.bindings, b)
+	}
+	return nil
+}
+
+// bindingIndex resolves a table name (alias) to its binding index; an
+// empty table name matches when there is exactly one binding.
+func (st *execState) bindingIndex(table string, pos int) (int, error) {
+	if table == "" {
+		if len(st.bindings) == 1 {
+			return 0, nil
+		}
+		return 0, errf(pos, "ambiguous unqualified loc with %d relations", len(st.bindings))
+	}
+	for i, b := range st.bindings {
+		if b.name == table {
+			return i, nil
+		}
+	}
+	return 0, errf(pos, "unknown relation %q", table)
+}
+
+// scanIDs returns every tuple id of binding i.
+func (st *execState) scanIDs(i int) ([]storage.TupleID, error) {
+	var out []storage.TupleID
+	err := st.bindings[i].rel.Scan(func(id storage.TupleID, _ relation.Tuple) bool {
+		out = append(out, id)
+		return true
+	})
+	return out, err
+}
+
+// spatialPred returns the geometry predicate for op with the object
+// MBR as first argument and the window as second.
+func spatialPred(op SpatialOp) func(obj, win geom.Rect) bool {
+	switch op {
+	case OpCovering:
+		return geom.Covers
+	case OpOverlapping:
+		return geom.Overlapping
+	case OpDisjoined:
+		return geom.Disjoined
+	default:
+		return geom.CoveredBy
+	}
+}
+
+// converse returns the operator with its arguments swapped.
+func converse(op SpatialOp) SpatialOp {
+	switch op {
+	case OpCovering:
+		return OpCoveredBy
+	case OpCoveredBy:
+		return OpCovering
+	default:
+		return op // overlapping and disjoined are symmetric
+	}
+}
+
+// candidateRows builds the candidate row set, using the at-clause and
+// the R-trees for direct spatial search whenever possible; absent an
+// at-clause, a single-relation query with an indexable qualification
+// conjunct uses the B-tree index instead of a scan — the paper's
+// "indexed the usual way" alphanumeric path.
+func (st *execState) candidateRows() ([]row, error) {
+	at := st.q.At
+	if at == nil {
+		if len(st.bindings) == 1 {
+			if ids, ok := st.indexedCandidates(); ok {
+				return st.cartesian(map[int][]storage.TupleID{0: ids})
+			}
+		}
+		st.note("scan: full scan of %d relation(s)", len(st.bindings))
+		return st.cartesian(nil)
+	}
+
+	// Normalize: if the left side is not a loc term but the right is,
+	// flip using the converse operator so the loc ends up on the left.
+	left, op, right := at.Left, at.Op, at.Right
+	if _, lok := left.(LocTerm); !lok {
+		if _, rok := right.(LocTerm); rok {
+			left, right = right, left
+			op = converse(op)
+		}
+	}
+
+	switch l := left.(type) {
+	case LocTerm:
+		bi, err := st.bindingIndex(l.Table, l.Pos)
+		if err != nil {
+			return nil, err
+		}
+		switch r := right.(type) {
+		case LocTerm:
+			// Juxtaposition: simultaneous search of two R-trees.
+			bj, err := st.bindingIndex(r.Table, r.Pos)
+			if err != nil {
+				return nil, err
+			}
+			if bi == bj {
+				return nil, errf(at.Pos, "at-clause relates %q to itself", l.Table)
+			}
+			st.note("juxtaposition: simultaneous R-tree traversal of %q and %q (%s)",
+				st.bindings[bi].name, st.bindings[bj].name, op)
+			return st.juxtapose(bi, bj, op)
+		default:
+			windows, err := st.termWindows(right)
+			if err != nil {
+				return nil, err
+			}
+			ids, err := st.directSearch(bi, op, windows)
+			if err != nil {
+				return nil, err
+			}
+			st.note("direct spatial search: R-tree of %q on %q, %d window(s), %s",
+				st.bindings[bi].name, st.bindings[bi].picture, len(windows), op)
+			fixed := map[int][]storage.TupleID{bi: ids}
+			return st.cartesian(fixed)
+		}
+	default:
+		// No loc side at all: a constant predicate.
+		lw, err := st.termWindows(left)
+		if err != nil {
+			return nil, err
+		}
+		rw, err := st.termWindows(right)
+		if err != nil {
+			return nil, err
+		}
+		pred := spatialPred(op)
+		hold := false
+		for _, a := range lw {
+			for _, b := range rw {
+				if pred(a, b) {
+					hold = true
+				}
+			}
+		}
+		if !hold {
+			return nil, nil
+		}
+		return st.cartesian(nil)
+	}
+}
+
+// indexedCandidates inspects the qualification's top-level AND
+// conjuncts for the first "column op literal" (or "literal op column")
+// predicate over an indexed column of the single bound relation, and
+// answers it with a B-tree range lookup. The full qualification is
+// still evaluated afterwards, so using the index only narrows the
+// candidates. ok is false when no conjunct is indexable.
+func (st *execState) indexedCandidates() ([]storage.TupleID, bool) {
+	b := st.bindings[0]
+	var conjuncts []Expr
+	var split func(e Expr)
+	split = func(e Expr) {
+		if be, isBin := e.(BinaryExpr); isBin && be.Op == "and" {
+			split(be.Left)
+			split(be.Right)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	if st.q.Where == nil {
+		return nil, false
+	}
+	split(st.q.Where)
+
+	for _, c := range conjuncts {
+		be, isBin := c.(BinaryExpr)
+		if !isBin {
+			continue
+		}
+		col, lit, op, ok := columnVsLiteral(be)
+		if !ok {
+			continue
+		}
+		if col.Table != "" && col.Table != b.name {
+			continue
+		}
+		ci := b.schema.ColumnIndex(col.Column)
+		if ci < 0 || b.rel.Index(col.Column) == nil {
+			continue
+		}
+		v, ok := literalAsColumnValue(lit, b.schema.Columns[ci].Type)
+		if !ok {
+			continue
+		}
+		var lo, hi *relation.Bound
+		switch op {
+		case "=":
+			lo = &relation.Bound{Value: v, Inclusive: true}
+			hi = &relation.Bound{Value: v, Inclusive: true}
+		case ">":
+			lo = &relation.Bound{Value: v}
+		case ">=":
+			lo = &relation.Bound{Value: v, Inclusive: true}
+		case "<":
+			hi = &relation.Bound{Value: v}
+		case "<=":
+			hi = &relation.Bound{Value: v, Inclusive: true}
+		default:
+			continue
+		}
+		if ids, used := b.rel.LookupRange(col.Column, lo, hi); used {
+			st.note("index lookup: B-tree on %s.%s (%s)", b.name, col.Column, op)
+			return ids, true
+		}
+	}
+	return nil, false
+}
+
+// columnVsLiteral matches "col op literal" or its mirror, normalizing
+// the operator so the column is on the left.
+func columnVsLiteral(be BinaryExpr) (ColumnRef, Expr, string, bool) {
+	flip := map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+	if _, ok := flip[be.Op]; !ok {
+		return ColumnRef{}, nil, "", false
+	}
+	if col, ok := be.Left.(ColumnRef); ok && isLiteralExpr(be.Right) {
+		return col, be.Right, be.Op, true
+	}
+	if col, ok := be.Right.(ColumnRef); ok && isLiteralExpr(be.Left) {
+		return col, be.Left, flip[be.Op], true
+	}
+	return ColumnRef{}, nil, "", false
+}
+
+func isLiteralExpr(e Expr) bool {
+	switch v := e.(type) {
+	case NumberLit, StringLit:
+		return true
+	case UnaryExpr:
+		if v.Op != "-" {
+			return false
+		}
+		_, num := v.Expr.(NumberLit)
+		return num
+	}
+	return false
+}
+
+// literalAsColumnValue converts a literal expression to a relation
+// value of the column's type, so index keys order correctly.
+func literalAsColumnValue(e Expr, t relation.Type) (relation.Value, bool) {
+	neg := false
+	if u, isU := e.(UnaryExpr); isU {
+		neg = true
+		e = u.Expr
+	}
+	switch lit := e.(type) {
+	case NumberLit:
+		f := lit.Value
+		i := lit.Int
+		if neg {
+			f, i = -f, -i
+		}
+		switch t {
+		case relation.TypeInt:
+			if !lit.IsInt {
+				// A fractional bound on an int column: fall back to
+				// the scan path rather than rounding.
+				return relation.Value{}, false
+			}
+			return relation.I(i), true
+		case relation.TypeFloat:
+			return relation.F(f), true
+		}
+	case StringLit:
+		if t == relation.TypeString && !neg {
+			return relation.S(lit.Value), true
+		}
+	}
+	return relation.Value{}, false
+}
+
+// termWindows evaluates a non-loc spatial term to one or more windows.
+func (st *execState) termWindows(t SpatialTerm) ([]geom.Rect, error) {
+	switch tt := t.(type) {
+	case AreaTerm:
+		return []geom.Rect{geom.WindowAt(tt.CX, tt.DX, tt.CY, tt.DY)}, nil
+	case NameTerm:
+		r, ok := st.e.cat.Location(tt.Name)
+		if !ok {
+			return nil, errf(tt.Pos, "unknown location %q", tt.Name)
+		}
+		return []geom.Rect{r}, nil
+	case SubqueryTerm:
+		// Nested mapping: run it, collect the loc/area values of its
+		// rows as windows — "The binding of the top level window is
+		// dynamically done during the evaluation of the query."
+		res, err := st.e.Exec(tt.Query)
+		if err != nil {
+			return nil, err
+		}
+		st.visited += res.NodesVisited
+		var out []geom.Rect
+		for _, r := range res.Rows {
+			for _, d := range r {
+				if d.Kind == KindLoc || d.Kind == KindRect {
+					out = append(out, d.Rect)
+				}
+			}
+		}
+		if len(out) == 0 {
+			return nil, errf(tt.Pos, "nested mapping produced no locations (select a loc column)")
+		}
+		return out, nil
+	case LocTerm:
+		return nil, errf(tt.Pos, "internal: loc term where a window was expected")
+	}
+	return nil, fmt.Errorf("psql: unhandled spatial term %T", t)
+}
+
+// directSearch finds the tuples of binding bi whose loc satisfies op
+// against any of the windows, via the R-tree when the operator admits
+// intersection pruning.
+func (st *execState) directSearch(bi int, op SpatialOp, windows []geom.Rect) ([]storage.TupleID, error) {
+	b := st.bindings[bi]
+	if b.picture == "" {
+		return nil, fmt.Errorf("psql: relation %q has no picture in the on-clause for direct search", b.name)
+	}
+	si := b.rel.Spatial(b.picture)
+	if si == nil {
+		return nil, fmt.Errorf("psql: relation %q is not spatially indexed on picture %q", b.name, b.picture)
+	}
+	pred := spatialPred(op)
+	seen := map[storage.TupleID]bool{}
+	var out []storage.TupleID
+	for _, w := range windows {
+		if op == OpDisjoined {
+			// Disjointness cannot be pruned by intersection: scan all
+			// leaf entries.
+			st.visited += si.Tree.Search(si.Tree.Bounds(), func(it rtree.Item) bool {
+				if pred(it.Rect, w) {
+					id := storage.TupleIDFromInt64(it.Data)
+					if !seen[id] {
+						seen[id] = true
+						out = append(out, id)
+					}
+				}
+				return true
+			})
+			continue
+		}
+		ids, visited, err := b.rel.SearchArea(b.picture, w, pred)
+		if err != nil {
+			return nil, err
+		}
+		st.visited += visited
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out, nil
+}
+
+// juxtapose performs the paper's geographic join between bindings bi
+// and bj via simultaneous R-tree traversal, producing joined rows.
+func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
+	if len(st.bindings) != 2 {
+		return nil, fmt.Errorf("psql: juxtaposition currently joins exactly two relations, got %d", len(st.bindings))
+	}
+	a, b := st.bindings[bi], st.bindings[bj]
+	if a.picture == "" || b.picture == "" {
+		return nil, fmt.Errorf("psql: juxtaposition requires pictures for both relations")
+	}
+	sa := a.rel.Spatial(a.picture)
+	sb := b.rel.Spatial(b.picture)
+	if sa == nil || sb == nil {
+		return nil, fmt.Errorf("psql: juxtaposition requires spatial indexes on both relations")
+	}
+	pred := spatialPred(op)
+	type pair struct{ x, y storage.TupleID }
+	var pairs []pair
+	if op == OpDisjoined {
+		// Nested loop: disjoint pairs are exactly what tree pruning
+		// eliminates.
+		for _, ia := range sa.Tree.Items() {
+			for _, ib := range sb.Tree.Items() {
+				if pred(ia.Rect, ib.Rect) {
+					pairs = append(pairs, pair{storage.TupleIDFromInt64(ia.Data), storage.TupleIDFromInt64(ib.Data)})
+				}
+			}
+		}
+		st.visited += sa.Tree.NodeCount() + sb.Tree.NodeCount()
+	} else {
+		st.visited += rtree.JoinPairs(sa.Tree, sb.Tree,
+			func(x, y geom.Rect) bool { return pred(x, y) },
+			func(x, y rtree.Item) bool {
+				pairs = append(pairs, pair{storage.TupleIDFromInt64(x.Data), storage.TupleIDFromInt64(y.Data)})
+				return true
+			})
+	}
+	rows := make([]row, 0, len(pairs))
+	for _, p := range pairs {
+		r := row{ids: make([]storage.TupleID, 2), tuples: make([]relation.Tuple, 2)}
+		ta, err := a.rel.Get(p.x)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := b.rel.Get(p.y)
+		if err != nil {
+			return nil, err
+		}
+		r.ids[bi], r.tuples[bi] = p.x, ta
+		r.ids[bj], r.tuples[bj] = p.y, tb
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// cartesian builds the product of candidate id lists; fixed overrides
+// the candidate list for specific bindings, others are full scans.
+func (st *execState) cartesian(fixed map[int][]storage.TupleID) ([]row, error) {
+	lists := make([][]storage.TupleID, len(st.bindings))
+	product := 1
+	limit := st.e.MaxProductRows
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	for i := range st.bindings {
+		if ids, ok := fixed[i]; ok {
+			lists[i] = ids
+		} else {
+			ids, err := st.scanIDs(i)
+			if err != nil {
+				return nil, err
+			}
+			lists[i] = ids
+		}
+		product *= len(lists[i])
+		if product > limit {
+			return nil, fmt.Errorf("psql: cartesian product exceeds %d rows; add an at-clause", limit)
+		}
+	}
+	if product == 0 {
+		return nil, nil
+	}
+	rows := make([]row, 0, product)
+	idx := make([]int, len(lists))
+	for {
+		r := row{ids: make([]storage.TupleID, len(lists)), tuples: make([]relation.Tuple, len(lists))}
+		for i, l := range lists {
+			id := l[idx[i]]
+			t, err := st.bindings[i].rel.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			r.ids[i], r.tuples[i] = id, t
+		}
+		rows = append(rows, r)
+		// Odometer increment.
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(lists[k]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			return rows, nil
+		}
+	}
+}
+
+// orderRows sorts rows by the order-by keys. Key expressions are
+// evaluated per row; evaluation or comparison errors abort the query.
+func (st *execState) orderRows(rows []row) error {
+	keys := make([][]Datum, len(rows))
+	for i := range rows {
+		ks := make([]Datum, len(st.q.OrderBy))
+		for j, ob := range st.q.OrderBy {
+			d, err := st.eval(ob.Expr, &rows[i])
+			if err != nil {
+				return err
+			}
+			ks[j] = d
+		}
+		keys[i] = ks
+	}
+	// Sort an index permutation (keys and rows must move together).
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		if sortErr != nil {
+			return false
+		}
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for j, ob := range st.q.OrderBy {
+			c, err := compare(ka[j], kb[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	sorted := make([]row, len(rows))
+	for i, j := range idx {
+		sorted[i] = rows[j]
+	}
+	copy(rows, sorted)
+	return nil
+}
+
+// project evaluates the target list over the qualifying rows.
+func (st *execState) project(rows []row) (*Result, error) {
+	res := &Result{NodesVisited: st.visited, Plan: st.plan}
+
+	// Expand the target list.
+	var items []SelectItem
+	if st.q.Star {
+		for bi, b := range st.bindings {
+			for _, col := range b.schema.Columns {
+				ref := ColumnRef{Column: col.Name}
+				if len(st.bindings) > 1 {
+					ref.Table = st.bindings[bi].name
+				}
+				items = append(items, SelectItem{Expr: ref})
+			}
+		}
+	} else {
+		items = st.q.Select
+	}
+	for _, it := range items {
+		name := it.Alias
+		if name == "" {
+			name = it.Expr.String()
+		}
+		res.Columns = append(res.Columns, name)
+	}
+
+	for _, r := range rows {
+		out := make([]Datum, len(items))
+		for i, it := range items {
+			d, err := st.eval(it.Expr, &r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = d
+			if d.Kind == KindLoc {
+				res.Locs = append(res.Locs, d.Loc)
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}

@@ -1,0 +1,183 @@
+package psql
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer turns PSQL text into tokens. Identifier rules follow the
+// paper's examples: letters, digits, underscores, and interior hyphens
+// when followed by a letter or digit (us-map, covered-by, hwy-name).
+// Subtraction therefore needs surrounding spaces: "a - b".
+type lexer struct {
+	src string
+	pos int
+}
+
+// Lex tokenizes src, returning the token stream or a lexical error.
+func Lex(src string) ([]Token, error) {
+	l := lexer{src: src}
+	var out []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+func (l *lexer) next() (Token, error) {
+	// Skip whitespace and comments ("--" to end of line).
+	for l.pos < len(l.src) {
+		r, w := l.peekRune()
+		switch {
+		case unicode.IsSpace(r):
+			l.pos += w
+		case strings.HasPrefix(l.src[l.pos:], "--"):
+			if nl := strings.IndexByte(l.src[l.pos:], '\n'); nl >= 0 {
+				l.pos += nl + 1
+			} else {
+				l.pos = len(l.src)
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	r, w := l.peekRune()
+
+	switch {
+	case r == '±':
+		l.pos += w
+		return Token{Kind: TokPlusMinus, Text: "±", Pos: start}, nil
+	case r == '+' && strings.HasPrefix(l.src[l.pos:], "+-"):
+		l.pos += 2
+		return Token{Kind: TokPlusMinus, Text: "+-", Pos: start}, nil
+	case unicode.IsLetter(r) || r == '_':
+		return l.lexIdent(start), nil
+	case unicode.IsDigit(r):
+		return l.lexNumber(start), nil
+	case r == '\'' || r == '"':
+		return l.lexString(start, byte(r))
+	}
+
+	l.pos += w
+	switch r {
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case '.':
+		return Token{Kind: TokDot, Text: ".", Pos: start}, nil
+	case '(':
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case ')':
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Text: "{", Pos: start}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Text: "}", Pos: start}, nil
+	case '*':
+		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case '+', '-', '/':
+		return Token{Kind: TokOp, Text: string(r), Pos: start}, nil
+	case '=':
+		return Token{Kind: TokOp, Text: "=", Pos: start}, nil
+	case '<':
+		if l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '=':
+				l.pos++
+				return Token{Kind: TokOp, Text: "<=", Pos: start}, nil
+			case '>':
+				l.pos++
+				return Token{Kind: TokOp, Text: "<>", Pos: start}, nil
+			}
+		}
+		return Token{Kind: TokOp, Text: "<", Pos: start}, nil
+	case '>':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return Token{Kind: TokOp, Text: ">=", Pos: start}, nil
+		}
+		return Token{Kind: TokOp, Text: ">", Pos: start}, nil
+	}
+	return Token{}, errf(start, "unexpected character %q", r)
+}
+
+// lexIdent scans an identifier. A hyphen continues the identifier only
+// when the next rune is a letter or digit, so "covered-by" is one
+// token but "a - b" is three.
+func (l *lexer) lexIdent(start int) Token {
+	for l.pos < len(l.src) {
+		r, w := l.peekRune()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			l.pos += w
+			continue
+		}
+		if r == '-' && l.pos+w < len(l.src) {
+			nr, _ := utf8.DecodeRuneInString(l.src[l.pos+w:])
+			if unicode.IsLetter(nr) || unicode.IsDigit(nr) {
+				l.pos += w
+				continue
+			}
+		}
+		break
+	}
+	return Token{Kind: TokIdent, Text: l.src[start:l.pos], Pos: start}
+}
+
+func (l *lexer) lexNumber(start int) Token {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && l.pos+1 < len(l.src) &&
+			l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			seenDot = true
+			l.pos++
+		case c == '_': // digit grouping, e.g. 450_000
+			l.pos++
+		default:
+			return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}
+		}
+	}
+	return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}
+}
+
+func (l *lexer) lexString(start int, quote byte) (Token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			// Doubled quote escapes itself, SQL style.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				b.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, errf(start, "unterminated string literal")
+}

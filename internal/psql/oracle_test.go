@@ -1,0 +1,108 @@
+package psql_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	pictdb "repro"
+)
+
+// TestRandomizedSpatialOracle cross-checks every spatial operator's
+// PSQL execution path (R-tree direct search) against a brute-force
+// scan over randomly generated databases. Any divergence between the
+// index-accelerated answer and the scan answer is a bug somewhere in
+// the R-tree, packing, executor, or geometry stack.
+func TestRandomizedSpatialOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1985))
+	ops := []string{"covered-by", "covering", "overlapping", "disjoined"}
+	methods := []pictdb.PackMethod{pictdb.PackNN, pictdb.PackLowX, pictdb.PackSTR, pictdb.PackHilbert}
+
+	for trial := 0; trial < 8; trial++ {
+		db := pictdb.New()
+		pic, err := db.CreatePicture("m", pictdb.R(0, 0, 1000, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := db.CreateRelation("objs", pictdb.MustSchema("n:int", "loc:loc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// A random mix of points, segments, and small regions; remember
+		// each object's MBR for the oracle.
+		n := 50 + rng.Intn(250)
+		mbrs := make(map[int64]pictdb.Rect, n)
+		for i := 0; i < n; i++ {
+			var oid pictdb.ObjectID
+			switch rng.Intn(3) {
+			case 0:
+				p := pictdb.Pt(rng.Float64()*1000, rng.Float64()*1000)
+				oid = pic.AddPoint("", p)
+			case 1:
+				a := pictdb.Pt(rng.Float64()*1000, rng.Float64()*1000)
+				b := pictdb.Pt(a.X+rng.Float64()*60-30, a.Y+rng.Float64()*60-30)
+				oid = pic.AddSegment("", pictdb.Seg(a, b))
+			default:
+				x, y := rng.Float64()*950, rng.Float64()*950
+				oid = pic.AddRegion("", pictdb.Poly(
+					pictdb.Pt(x, y), pictdb.Pt(x+rng.Float64()*50, y),
+					pictdb.Pt(x+rng.Float64()*50, y+rng.Float64()*50)))
+			}
+			obj, _ := pic.Get(oid)
+			if _, err := rel.Insert(pictdb.Tuple{pictdb.I(int64(i)), pictdb.L("m", oid)}); err != nil {
+				t.Fatal(err)
+			}
+			mbrs[int64(i)] = obj.MBR()
+		}
+		if err := rel.AttachPicture(pic, pictdb.PackOptions{Method: methods[trial%len(methods)]}); err != nil {
+			t.Fatal(err)
+		}
+
+		for q := 0; q < 12; q++ {
+			cx, cy := rng.Float64()*1000, rng.Float64()*1000
+			dx, dy := rng.Float64()*200, rng.Float64()*200
+			w := pictdb.WindowAt(cx, dx, cy, dy)
+			op := ops[rng.Intn(len(ops))]
+
+			query := fmt.Sprintf(`select n from objs on m at loc %s {%g±%g, %g±%g}`,
+				op, cx, dx, cy, dy)
+			res, err := db.Query(query)
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, query, err)
+			}
+			got := map[int64]bool{}
+			for _, r := range res.Rows {
+				got[r[0].Int] = true
+			}
+
+			want := map[int64]bool{}
+			for id, m := range mbrs {
+				var hold bool
+				switch op {
+				case "covered-by":
+					hold = w.Contains(m)
+				case "covering":
+					hold = m.Contains(w)
+				case "overlapping":
+					hold = m.Intersects(w)
+				default:
+					hold = !m.Intersects(w)
+				}
+				if hold {
+					want[id] = true
+				}
+			}
+
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s window %v: got %d, oracle %d", trial, op, w, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("trial %d %s window %v: missing object %d (MBR %v)", trial, op, w, id, mbrs[id])
+				}
+			}
+		}
+		db.Close()
+	}
+}

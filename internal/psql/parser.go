@@ -1,0 +1,575 @@
+package psql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses one PSQL mapping.
+func Parse(src string) (*Query, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.Kind != TokEOF {
+		return nil, errf(tok.Pos, "unexpected %s after query", tok)
+	}
+	return q, nil
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+// keyword reports whether the next token is the given keyword
+// (case-insensitive) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == TokIdent && strings.EqualFold(t.Text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return errf(p.peek().Pos, "expected %q, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	t := p.next()
+	if t.Kind != kind {
+		return t, errf(t.Pos, "expected %s, found %s", kind, t)
+	}
+	return t, nil
+}
+
+// reserved keywords cannot be used as bare column/relation names.
+var reserved = map[string]bool{
+	"select": true, "from": true, "on": true, "at": true, "where": true,
+	"and": true, "or": true, "not": true, "as": true,
+	"covering": true, "covered-by": true, "overlapping": true, "disjoined": true,
+}
+
+func isReserved(s string) bool { return reserved[strings.ToLower(s)] }
+
+// soft keywords introduce optional trailing clauses; they cannot serve
+// as table aliases but remain usable as column names.
+var softKeywords = map[string]bool{
+	"order": true, "by": true, "asc": true, "desc": true, "limit": true,
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+
+	// Target list.
+	if p.peek().Kind == TokStar {
+		p.next()
+		q.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			q.Select = append(q.Select, item)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+
+	// from-clause.
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if isReserved(t.Text) {
+			return nil, errf(t.Pos, "reserved word %q cannot name a relation", t.Text)
+		}
+		ref := TableRef{Relation: t.Text}
+		// Optional alias: a following non-reserved identifier.
+		if nt := p.peek(); nt.Kind == TokIdent && !isReserved(nt.Text) && !softKeywords[strings.ToLower(nt.Text)] {
+			ref.Alias = p.next().Text
+		}
+		q.From = append(q.From, ref)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+
+	// on-clause.
+	if p.keyword("on") {
+		for {
+			t, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			q.On = append(q.On, t.Text)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+
+	// at-clause.
+	if p.keyword("at") {
+		at, err := p.parseAtClause()
+		if err != nil {
+			return nil, err
+		}
+		q.At = at
+	}
+
+	// where-clause.
+	if p.keyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+
+	// order-by clause (an extension beyond the paper, inherited from
+	// the SQL base PSQL extends).
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.keyword("desc") {
+				key.Desc = true
+			} else {
+				p.keyword("asc")
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+
+	// limit clause.
+	if p.keyword("limit") {
+		n, err := p.parseSignedNumber()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n != float64(int(n)) {
+			return nil, errf(p.peek().Pos, "limit must be a non-negative integer")
+		}
+		lim := int(n)
+		q.Limit = &lim
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.keyword("as") {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.Text
+	}
+	return item, nil
+}
+
+func spatialOpFromIdent(s string) (SpatialOp, bool) {
+	switch strings.ToLower(s) {
+	case "covered-by":
+		return OpCoveredBy, true
+	case "covering":
+		return OpCovering, true
+	case "overlapping":
+		return OpOverlapping, true
+	case "disjoined":
+		return OpDisjoined, true
+	}
+	return 0, false
+}
+
+func (p *parser) parseAtClause() (*AtClause, error) {
+	pos := p.peek().Pos
+	left, err := p.parseSpatialTerm()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	if opTok.Kind != TokIdent {
+		return nil, errf(opTok.Pos, "expected a spatial operator, found %s", opTok)
+	}
+	op, ok := spatialOpFromIdent(opTok.Text)
+	if !ok {
+		return nil, errf(opTok.Pos, "unknown spatial operator %q", opTok.Text)
+	}
+	right, err := p.parseSpatialTerm()
+	if err != nil {
+		return nil, err
+	}
+	return &AtClause{Left: left, Op: op, Right: right, Pos: pos}, nil
+}
+
+func (p *parser) parseSpatialTerm() (SpatialTerm, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokLBrace:
+		a, err := p.parseAreaLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return AreaTerm{CX: a.CX, DX: a.DX, CY: a.CY, DY: a.DY, Pos: a.Pos}, nil
+	case t.Kind == TokLParen:
+		p.next()
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return SubqueryTerm{Query: q, Pos: t.Pos}, nil
+	case t.Kind == TokIdent && strings.EqualFold(t.Text, "select"):
+		// The paper writes nested mappings inline without parentheses.
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		return SubqueryTerm{Query: q, Pos: t.Pos}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.peek().Kind == TokDot {
+			p.next()
+			col, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return LocTerm{Table: t.Text, Column: col.Text, Pos: t.Pos}, nil
+		}
+		if strings.EqualFold(t.Text, "loc") || strings.HasSuffix(strings.ToLower(t.Text), "loc") {
+			return LocTerm{Column: t.Text, Pos: t.Pos}, nil
+		}
+		return NameTerm{Name: t.Text, Pos: t.Pos}, nil
+	}
+	return nil, errf(t.Pos, "expected an area specification, found %s", t)
+}
+
+// parseAreaLiteral parses {cx±dx, cy±dy}.
+func (p *parser) parseAreaLiteral() (AreaLit, error) {
+	open, err := p.expect(TokLBrace)
+	if err != nil {
+		return AreaLit{}, err
+	}
+	cx, err := p.parseSignedNumber()
+	if err != nil {
+		return AreaLit{}, err
+	}
+	if _, err := p.expect(TokPlusMinus); err != nil {
+		return AreaLit{}, err
+	}
+	dx, err := p.parseSignedNumber()
+	if err != nil {
+		return AreaLit{}, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return AreaLit{}, err
+	}
+	cy, err := p.parseSignedNumber()
+	if err != nil {
+		return AreaLit{}, err
+	}
+	if _, err := p.expect(TokPlusMinus); err != nil {
+		return AreaLit{}, err
+	}
+	dy, err := p.parseSignedNumber()
+	if err != nil {
+		return AreaLit{}, err
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return AreaLit{}, err
+	}
+	return AreaLit{CX: cx, DX: dx, CY: cy, DY: dy, Pos: open.Pos}, nil
+}
+
+func (p *parser) parseSignedNumber() (float64, error) {
+	neg := false
+	if t := p.peek(); t.Kind == TokOp && (t.Text == "-" || t.Text == "+") {
+		neg = t.Text == "-"
+		p.next()
+	}
+	t, err := p.expect(TokNumber)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(strings.ReplaceAll(t.Text, "_", ""), 64)
+	if err != nil {
+		return 0, errf(t.Pos, "bad number %q", t.Text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr    := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmpExpr
+//	cmpExpr := addExpr ((= | <> | < | <= | > | >= | spatial-op) addExpr)?
+//	addExpr := mulExpr ((+|-) mulExpr)*
+//	mulExpr := unary ((*|/) unary)*
+//	unary   := - unary | primary
+//	primary := number | string | area | func(args) | column | (expr)
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pos := p.peek().Pos
+		if !p.keyword("or") {
+			return left, nil
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "or", Left: left, Right: right, Pos: pos}
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pos := p.peek().Pos
+		if !p.keyword("and") {
+			return left, nil
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "and", Left: left, Right: right, Pos: pos}
+	}
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	pos := p.peek().Pos
+	if p.keyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "not", Expr: e, Pos: pos}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokOp {
+		switch t.Text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return BinaryExpr{Op: t.Text, Left: left, Right: right, Pos: t.Pos}, nil
+		}
+	}
+	// Infix spatial operators are allowed in the qualification too:
+	// "cities.loc covered-by states.loc".
+	if t.Kind == TokIdent {
+		if _, ok := spatialOpFromIdent(t.Text); ok {
+			p.next()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return BinaryExpr{Op: strings.ToLower(t.Text), Left: left, Right: right, Pos: t.Pos}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "+" && t.Text != "-") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: t.Text, Left: left, Right: right, Pos: t.Pos}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		isMul := t.Kind == TokStar || (t.Kind == TokOp && t.Text == "/")
+		if !isMul {
+			return left, nil
+		}
+		p.next()
+		op := "*"
+		if t.Kind == TokOp {
+			op = "/"
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: op, Left: left, Right: right, Pos: t.Pos}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokOp && t.Text == "-" {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "-", Expr: e, Pos: t.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		text := strings.ReplaceAll(t.Text, "_", "")
+		if !strings.Contains(text, ".") {
+			i, err := strconv.ParseInt(text, 10, 64)
+			if err == nil {
+				return NumberLit{IsInt: true, Int: i, Value: float64(i), Pos: t.Pos}, nil
+			}
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad number %q", t.Text)
+		}
+		return NumberLit{Value: v, Pos: t.Pos}, nil
+	case TokString:
+		p.next()
+		return StringLit{Value: t.Text, Pos: t.Pos}, nil
+	case TokLBrace:
+		return p.parseAreaLiteral()
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		if isReserved(t.Text) {
+			return nil, errf(t.Pos, "unexpected keyword %q in expression", t.Text)
+		}
+		p.next()
+		// Function call?
+		if p.peek().Kind == TokLParen {
+			p.next()
+			// count(*) counts rows.
+			if strings.EqualFold(t.Text, "count") && p.peek().Kind == TokStar {
+				p.next()
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+				return FuncCall{Name: "count", Pos: t.Pos}, nil
+			}
+			var args []Expr
+			if p.peek().Kind != TokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().Kind != TokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return FuncCall{Name: strings.ToLower(t.Text), Args: args, Pos: t.Pos}, nil
+		}
+		// Qualified column?
+		if p.peek().Kind == TokDot {
+			p.next()
+			col, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return ColumnRef{Table: t.Text, Column: col.Text, Pos: t.Pos}, nil
+		}
+		return ColumnRef{Column: t.Text, Pos: t.Pos}, nil
+	}
+	return nil, errf(t.Pos, "unexpected %s in expression", t)
+}

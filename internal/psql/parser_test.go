@@ -1,0 +1,370 @@
+package psql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`select city, population from cities where population > 450_000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokenKind{
+		TokIdent, TokIdent, TokComma, TokIdent, TokIdent, TokIdent,
+		TokIdent, TokIdent, TokOp, TokNumber, TokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d: %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexHyphenIdentifiers(t *testing.T) {
+	toks, err := Lex(`us-map covered-by time-zones a - b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks[:len(toks)-1] {
+		texts = append(texts, tk.Text)
+	}
+	want := []string{"us-map", "covered-by", "time-zones", "a", "-", "b"}
+	if strings.Join(texts, "|") != strings.Join(want, "|") {
+		t.Fatalf("texts = %v, want %v", texts, want)
+	}
+}
+
+func TestLexPlusMinusForms(t *testing.T) {
+	for _, src := range []string{"{4±4, 11±9}", "{4+-4, 11+-9}"} {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		pm := 0
+		for _, tk := range toks {
+			if tk.Kind == TokPlusMinus {
+				pm++
+			}
+		}
+		if pm != 2 {
+			t.Fatalf("%q: %d plus-minus tokens", src, pm)
+		}
+	}
+}
+
+func TestLexStringsAndComments(t *testing.T) {
+	toks, err := Lex("select 'it''s' -- comment\nfrom x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokString || toks[1].Text != "it's" {
+		t.Fatalf("string token = %+v", toks[1])
+	}
+	if toks[2].Text != "from" {
+		t.Fatalf("comment not skipped: %+v", toks[2])
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("select @ from x"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+}
+
+func TestParsePaperQuery1(t *testing.T) {
+	// The paper's first example query (§2.2), modulo number grouping.
+	q, err := Parse(`
+		select city, state, population, loc
+		from   cities
+		on     us-map
+		at     loc covered-by {4±4, 11±9}
+		where  population > 450_000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 4 || q.Star {
+		t.Fatalf("select list = %v", q.Select)
+	}
+	if len(q.From) != 1 || q.From[0].Relation != "cities" {
+		t.Fatalf("from = %v", q.From)
+	}
+	if len(q.On) != 1 || q.On[0] != "us-map" {
+		t.Fatalf("on = %v", q.On)
+	}
+	if q.At == nil || q.At.Op != OpCoveredBy {
+		t.Fatalf("at = %+v", q.At)
+	}
+	lt, ok := q.At.Left.(LocTerm)
+	if !ok || lt.Column != "loc" {
+		t.Fatalf("at left = %#v", q.At.Left)
+	}
+	ar, ok := q.At.Right.(AreaTerm)
+	if !ok || ar.CX != 4 || ar.DX != 4 || ar.CY != 11 || ar.DY != 9 {
+		t.Fatalf("at right = %#v", q.At.Right)
+	}
+	be, ok := q.Where.(BinaryExpr)
+	if !ok || be.Op != ">" {
+		t.Fatalf("where = %#v", q.Where)
+	}
+}
+
+func TestParsePaperJuxtaposition(t *testing.T) {
+	// The paper's §2.2 juxtaposition query.
+	q, err := Parse(`
+		select city, zone
+		from   cities, time-zones
+		on     us-map, time-zone-map
+		at     cities.loc covered-by time-zones.loc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 2 || q.From[1].Relation != "time-zones" {
+		t.Fatalf("from = %v", q.From)
+	}
+	if len(q.On) != 2 {
+		t.Fatalf("on = %v", q.On)
+	}
+	l, ok := q.At.Left.(LocTerm)
+	if !ok || l.Table != "cities" || l.Column != "loc" {
+		t.Fatalf("left = %#v", q.At.Left)
+	}
+	r, ok := q.At.Right.(LocTerm)
+	if !ok || r.Table != "time-zones" {
+		t.Fatalf("right = %#v", q.At.Right)
+	}
+}
+
+func TestParseNestedMapping(t *testing.T) {
+	// The paper's §2.2 nested mapping, written inline.
+	q, err := Parse(`
+		select lake, area, lakes.loc
+		from   lakes
+		on     lake-map
+		at     lakes.loc covered-by
+		       select states.loc
+		       from   states
+		       on     state-map
+		       at     states.loc covered-by {4±4, 11±9}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := q.At.Right.(SubqueryTerm)
+	if !ok {
+		t.Fatalf("right = %#v", q.At.Right)
+	}
+	if sub.Query.At == nil {
+		t.Fatal("nested at-clause missing")
+	}
+	if _, ok := sub.Query.At.Right.(AreaTerm); !ok {
+		t.Fatalf("nested right = %#v", sub.Query.At.Right)
+	}
+}
+
+func TestParseParenthesizedSubquery(t *testing.T) {
+	q, err := Parse(`select loc from lakes on lake-map at loc covered-by
+		(select loc from states on state-map)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.At.Right.(SubqueryTerm); !ok {
+		t.Fatalf("right = %#v", q.At.Right)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q, err := Parse(`select * from cities`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Star || len(q.Select) != 0 {
+		t.Fatalf("star = %v select = %v", q.Star, q.Select)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	q, err := Parse(`select c.city as name from cities c where c.population >= 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From[0].Alias != "c" || q.From[0].Binding() != "c" {
+		t.Fatalf("alias = %v", q.From[0])
+	}
+	if q.Select[0].Alias != "name" {
+		t.Fatalf("select alias = %v", q.Select[0])
+	}
+	cr, ok := q.Select[0].Expr.(ColumnRef)
+	if !ok || cr.Table != "c" || cr.Column != "city" {
+		t.Fatalf("column = %#v", q.Select[0].Expr)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	q, err := Parse(`select a from r where a + 2 * 3 > 7 and not b = 1 or c < 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect ((a + (2*3) > 7 AND NOT (b=1)) OR (c<2)).
+	or, ok := q.Where.(BinaryExpr)
+	if !ok || or.Op != "or" {
+		t.Fatalf("top = %#v", q.Where)
+	}
+	and, ok := or.Left.(BinaryExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("left = %#v", or.Left)
+	}
+	gt, ok := and.Left.(BinaryExpr)
+	if !ok || gt.Op != ">" {
+		t.Fatalf("and.left = %#v", and.Left)
+	}
+	plus, ok := gt.Left.(BinaryExpr)
+	if !ok || plus.Op != "+" {
+		t.Fatalf("gt.left = %#v", gt.Left)
+	}
+	mul, ok := plus.Right.(BinaryExpr)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("plus.right = %#v", plus.Right)
+	}
+	not, ok := and.Right.(UnaryExpr)
+	if !ok || not.Op != "not" {
+		t.Fatalf("and.right = %#v", and.Right)
+	}
+}
+
+func TestParseFunctionCalls(t *testing.T) {
+	q, err := Parse(`select area(loc), distance(loc, mbr(loc)) from lakes where area(loc) > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := q.Select[0].Expr.(FuncCall)
+	if !ok || f.Name != "area" || len(f.Args) != 1 {
+		t.Fatalf("func = %#v", q.Select[0].Expr)
+	}
+	nested, ok := q.Select[1].Expr.(FuncCall)
+	if !ok || len(nested.Args) != 2 {
+		t.Fatalf("nested func = %#v", q.Select[1].Expr)
+	}
+	if _, ok := nested.Args[1].(FuncCall); !ok {
+		t.Fatalf("inner func = %#v", nested.Args[1])
+	}
+}
+
+func TestParseSpatialOperatorInWhere(t *testing.T) {
+	q, err := Parse(`select city from cities, states where cities.loc covered-by states.loc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, ok := q.Where.(BinaryExpr)
+	if !ok || be.Op != "covered-by" {
+		t.Fatalf("where = %#v", q.Where)
+	}
+}
+
+func TestParseNamedLocation(t *testing.T) {
+	q, err := Parse(`select city from cities on us-map at loc covered-by eastern-us`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, ok := q.At.Right.(NameTerm)
+	if !ok || nt.Name != "eastern-us" {
+		t.Fatalf("right = %#v", q.At.Right)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select from x",
+		"select a",
+		"select a from",
+		"select a from x at loc covered-by",
+		"select a from x at loc covers {1±1, 2±2}", // not a PSQL operator
+		"select a from x at loc covered-by {1±1}",  // malformed area
+		"select a from x at loc covered-by {1, 2}", // missing ±
+		"select a from x where",
+		"select a from x where (a > 1",
+		"select a from select",
+		"select a from x where a >",
+		"select a from x alias trailing", // two trailing identifiers: alias then junk
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseNegativeAreaCoordinates(t *testing.T) {
+	q, err := Parse(`select a from x at loc overlapping {-10±5, -20±5}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := q.At.Right.(AreaTerm)
+	if ar.CX != -10 || ar.CY != -20 {
+		t.Fatalf("area = %+v", ar)
+	}
+}
+
+func TestSpatialOpString(t *testing.T) {
+	ops := map[SpatialOp]string{
+		OpCoveredBy:   "covered-by",
+		OpCovering:    "covering",
+		OpOverlapping: "overlapping",
+		OpDisjoined:   "disjoined",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q", int(op), op.String())
+		}
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	q, err := Parse(`select city, population from cities
+		where population > 100
+		order by population desc, city
+		limit 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("order by = %v", q.OrderBy)
+	}
+	if !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Fatalf("desc flags wrong: %+v", q.OrderBy)
+	}
+	if q.Limit == nil || *q.Limit != 5 {
+		t.Fatalf("limit = %v", q.Limit)
+	}
+	// asc is accepted and is the default.
+	q2, err := Parse(`select a from x order by a asc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.OrderBy[0].Desc {
+		t.Fatal("asc parsed as desc")
+	}
+	// Errors.
+	for _, bad := range []string{
+		`select a from x order a`,
+		`select a from x limit -3`,
+		`select a from x limit 2.5`,
+		`select a from x order by`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

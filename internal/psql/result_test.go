@@ -1,0 +1,73 @@
+package psql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestFormatAlignment(t *testing.T) {
+	r := &Result{
+		Columns: []string{"name", "n"},
+		Rows: [][]Datum{
+			{stringD("a-much-longer-value"), intD(1)},
+			{stringD("x"), intD(123456)},
+		},
+	}
+	out := r.Format()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Header and separator widths track the widest cell.
+	if !strings.HasPrefix(lines[1], strings.Repeat("-", len("a-much-longer-value"))) {
+		t.Errorf("separator not sized to data:\n%s", out)
+	}
+	// The numeric column starts right after the widest first-column
+	// cell plus the two-space gutter, on every row.
+	idx := len("a-much-longer-value") + 2
+	for _, ln := range lines[2:] {
+		cell := strings.TrimRight(ln[idx:], " ")
+		if cell != "1" && cell != "123456" {
+			t.Errorf("misaligned cell %q in:\n%s", cell, out)
+		}
+	}
+	// No trailing spaces on any line.
+	for i, ln := range lines {
+		if strings.HasSuffix(ln, " ") {
+			t.Errorf("line %d has trailing spaces", i)
+		}
+	}
+}
+
+func TestFormatNoColumns(t *testing.T) {
+	r := &Result{}
+	if out := r.Format(); !strings.Contains(out, "no columns") {
+		t.Errorf("empty result format = %q", out)
+	}
+}
+
+func TestFormatLocAndFloatRendering(t *testing.T) {
+	r := &Result{
+		Columns: []string{"loc", "v"},
+		Rows: [][]Datum{
+			{locD(relation.LocRef{Picture: "m", Object: 3}), floatD(2.5)},
+			{locD(relation.LocRef{Picture: "m", Object: 12}), floatD(3.0)},
+		},
+	}
+	out := r.Format()
+	if !strings.Contains(out, "m#3") || !strings.Contains(out, "m#12") {
+		t.Errorf("loc rendering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "2.5") || !strings.Contains(out, "\n") {
+		t.Errorf("float rendering wrong:\n%s", out)
+	}
+	// Whole floats render without a trailing dot.
+	if strings.Contains(out, "3.\n") {
+		t.Errorf("trailing dot in float:\n%s", out)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,108 @@
+// Package psql implements PSQL, the paper's pictorial query language:
+// lexer, parser, and executor for the extended mapping
+//
+//	select <attribute-target-list>
+//	from   <relation-list>
+//	on     <picture-list>
+//	at     <area-specification>
+//	where  <qualification>
+//
+// including the spatial comparison operators (covering, covered-by,
+// overlapping, disjoined), area literals {x±dx, y±dy}, pictorial
+// functions on loc values, juxtaposition of relations over multiple
+// pictures (the "geographic join"), and nested mappings whose inner
+// result binds the outer at-clause.
+package psql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier; PSQL identifiers may contain hyphens
+	// (us-map, covered-by, time-zones), matching the paper's syntax.
+	TokIdent
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a quoted string literal.
+	TokString
+	// TokComma is ','.
+	TokComma
+	// TokDot is '.'.
+	TokDot
+	// TokLParen and TokRParen are '(' and ')'.
+	TokLParen
+	TokRParen
+	// TokLBrace and TokRBrace are '{' and '}': area literals.
+	TokLBrace
+	TokRBrace
+	// TokPlusMinus is '±' (or the ASCII form '+-').
+	TokPlusMinus
+	// TokOp is a comparison or arithmetic operator.
+	TokOp
+	// TokStar is '*', both the select-all marker and multiplication.
+	TokStar
+)
+
+// String names the kind.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokComma:
+		return "','"
+	case TokDot:
+		return "'.'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokPlusMinus:
+		return "'±'"
+	case TokOp:
+		return "operator"
+	case TokStar:
+		return "'*'"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Error is a PSQL syntax or execution error with a position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("psql: at offset %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,136 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/picture"
+)
+
+// Tuple wire format (heap records):
+//
+//	uvarint column count, then per column:
+//	  byte type tag
+//	  int:    8 bytes little-endian two's complement
+//	  float:  8 bytes little-endian IEEE-754
+//	  string: uvarint length + bytes
+//	  loc:    uvarint picture-name length + bytes, 8-byte object id
+
+// EncodeTuple serializes t.
+func EncodeTuple(t Tuple) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(t)))
+	for _, v := range t {
+		buf = append(buf, byte(v.Type))
+		switch v.Type {
+		case TypeInt:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Int))
+		case TypeFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float))
+		case TypeString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
+			buf = append(buf, v.Str...)
+		case TypeLoc:
+			buf = binary.AppendUvarint(buf, uint64(len(v.Loc.Picture)))
+			buf = append(buf, v.Loc.Picture...)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Loc.Object))
+		}
+	}
+	return buf
+}
+
+// DecodeTuple parses a record produced by EncodeTuple.
+func DecodeTuple(rec []byte) (Tuple, error) {
+	n, off := binary.Uvarint(rec)
+	if off <= 0 {
+		return nil, fmt.Errorf("relation: corrupt tuple header")
+	}
+	pos := off
+	out := make(Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if pos >= len(rec) {
+			return nil, fmt.Errorf("relation: truncated tuple at column %d", i)
+		}
+		typ := Type(rec[pos])
+		pos++
+		var v Value
+		v.Type = typ
+		switch typ {
+		case TypeInt, TypeFloat:
+			if pos+8 > len(rec) {
+				return nil, fmt.Errorf("relation: truncated numeric column %d", i)
+			}
+			bits := binary.LittleEndian.Uint64(rec[pos:])
+			pos += 8
+			if typ == TypeInt {
+				v.Int = int64(bits)
+			} else {
+				v.Float = math.Float64frombits(bits)
+			}
+		case TypeString:
+			l, w := binary.Uvarint(rec[pos:])
+			if w <= 0 || pos+w+int(l) > len(rec) {
+				return nil, fmt.Errorf("relation: truncated string column %d", i)
+			}
+			pos += w
+			v.Str = string(rec[pos : pos+int(l)])
+			pos += int(l)
+		case TypeLoc:
+			l, w := binary.Uvarint(rec[pos:])
+			if w <= 0 || pos+w+int(l)+8 > len(rec) {
+				return nil, fmt.Errorf("relation: truncated loc column %d", i)
+			}
+			pos += w
+			v.Loc.Picture = string(rec[pos : pos+int(l)])
+			pos += int(l)
+			v.Loc.Object = picture.ObjectID(binary.LittleEndian.Uint64(rec[pos:]))
+			pos += 8
+		default:
+			return nil, fmt.Errorf("relation: unknown type tag %d in column %d", typ, i)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// IndexKey returns an order-preserving byte encoding of v:
+// bytes.Compare on keys matches Value.Compare on values of the same
+// type. Used as B-tree keys for alphanumeric indexes.
+func IndexKey(v Value) []byte {
+	switch v.Type {
+	case TypeInt:
+		// Flip the sign bit: two's-complement order becomes unsigned
+		// byte order.
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v.Int)^(1<<63))
+		return b[:]
+	case TypeFloat:
+		bits := math.Float64bits(v.Float)
+		// IEEE-754 totally ordered encoding: flip all bits of
+		// negatives, flip only the sign bit of non-negatives.
+		if bits>>63 == 1 {
+			bits = ^bits
+		} else {
+			bits ^= 1 << 63
+		}
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], bits)
+		return b[:]
+	case TypeString:
+		return []byte(v.Str)
+	case TypeLoc:
+		key := append([]byte(v.Loc.Picture), 0)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v.Loc.Object))
+		return append(key, b[:]...)
+	default:
+		return nil
+	}
+}
+
+// IndexKeySuccessor returns the smallest key strictly greater than
+// every key equal to k: used as the exclusive upper bound for
+// equality scans.
+func IndexKeySuccessor(k []byte) []byte {
+	return append(append([]byte(nil), k...), 0)
+}

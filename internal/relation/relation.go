@@ -1,0 +1,374 @@
+package relation
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/geom"
+	"repro/internal/pack"
+	"repro/internal/pager"
+	"repro/internal/picture"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// SpatialIndex is a packed R-tree over a relation's loc column for one
+// associated picture. Leaf entries carry the MBR of the referenced
+// spatial object and the tuple's storage id — the paper's
+// "(I, tuple-identifier)".
+type SpatialIndex struct {
+	Picture *picture.Picture
+	Tree    *rtree.Tree
+	// Opts records how the index was packed, so a catalog reload can
+	// rebuild it identically.
+	Opts pack.Options
+}
+
+// Relation is one table of the pictorial database: a tuple heap,
+// secondary B-tree indexes on alphanumeric columns, and R-tree spatial
+// indexes on the loc column, one per associated picture.
+type Relation struct {
+	name    string
+	schema  Schema
+	heap    *storage.Heap
+	indexes map[string]*btree.Tree
+	spatial map[string]*SpatialIndex
+	// rtreeParams configures spatial indexes built for this relation.
+	rtreeParams rtree.Params
+}
+
+// New creates an empty relation backed by a fresh heap in p.
+func New(p *pager.Pager, name string, schema Schema) (*Relation, error) {
+	h, _, err := storage.Create(p)
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: %w", name, err)
+	}
+	return &Relation{
+		name:        name,
+		schema:      schema,
+		heap:        h,
+		indexes:     make(map[string]*btree.Tree),
+		spatial:     make(map[string]*SpatialIndex),
+		rtreeParams: rtree.DefaultParams(),
+	}, nil
+}
+
+// Open reattaches to a relation whose tuple heap starts at first —
+// the catalog's reopen path. Indexes are not rebuilt here; callers
+// re-create them (CreateIndex, AttachPicture) from the catalog's
+// records.
+func Open(p *pager.Pager, name string, schema Schema, first pager.PageID) (*Relation, error) {
+	h, err := storage.Open(p, first)
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: %w", name, err)
+	}
+	return &Relation{
+		name:        name,
+		schema:      schema,
+		heap:        h,
+		indexes:     make(map[string]*btree.Tree),
+		spatial:     make(map[string]*SpatialIndex),
+		rtreeParams: rtree.DefaultParams(),
+	}, nil
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// HeapFirstPage returns the first page of the tuple heap, the handle
+// the catalog persists to reopen the relation.
+func (r *Relation) HeapFirstPage() pager.PageID { return r.heap.FirstPage() }
+
+// IndexedColumns returns the names of columns with B-tree indexes, in
+// unspecified order.
+func (r *Relation) IndexedColumns() []string {
+	out := make([]string, 0, len(r.indexes))
+	for col := range r.indexes {
+		out = append(out, col)
+	}
+	return out
+}
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Len returns the number of stored tuples.
+func (r *Relation) Len() int { return r.heap.Len() }
+
+// SetRTreeParams overrides the parameters used for spatial indexes
+// attached after the call.
+func (r *Relation) SetRTreeParams(p rtree.Params) { r.rtreeParams = p }
+
+// Insert validates and stores t, updating every index. It returns the
+// tuple's storage id.
+func (r *Relation) Insert(t Tuple) (storage.TupleID, error) {
+	if err := r.schema.Validate(t); err != nil {
+		return storage.TupleID{}, err
+	}
+	id, err := r.heap.Insert(EncodeTuple(t))
+	if err != nil {
+		return storage.TupleID{}, err
+	}
+	for col, idx := range r.indexes {
+		ci := r.schema.ColumnIndex(col)
+		idx.Insert(IndexKey(t[ci]), id.Int64())
+	}
+	for _, si := range r.spatial {
+		if rect, ok := r.locMBR(t, si.Picture); ok {
+			si.Tree.Insert(rect, id.Int64())
+		}
+	}
+	return id, nil
+}
+
+// locMBR resolves t's loc column against pic, returning the object's
+// MBR when the tuple is associated with that picture.
+func (r *Relation) locMBR(t Tuple, pic *picture.Picture) (geom.Rect, bool) {
+	li := r.schema.LocColumn()
+	if li < 0 {
+		return geom.Rect{}, false
+	}
+	ref := t[li].Loc
+	if ref.Picture != pic.Name() {
+		return geom.Rect{}, false
+	}
+	obj, ok := pic.Get(ref.Object)
+	if !ok {
+		return geom.Rect{}, false
+	}
+	return obj.MBR(), true
+}
+
+// Get returns the tuple stored under id.
+func (r *Relation) Get(id storage.TupleID) (Tuple, error) {
+	rec, err := r.heap.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTuple(rec)
+}
+
+// Delete removes the tuple stored under id from the heap and every
+// index.
+func (r *Relation) Delete(id storage.TupleID) error {
+	t, err := r.Get(id)
+	if err != nil {
+		return err
+	}
+	if err := r.heap.Delete(id); err != nil {
+		return err
+	}
+	for col, idx := range r.indexes {
+		ci := r.schema.ColumnIndex(col)
+		idx.Delete(IndexKey(t[ci]), id.Int64())
+	}
+	for _, si := range r.spatial {
+		if rect, ok := r.locMBR(t, si.Picture); ok {
+			si.Tree.Delete(rect, id.Int64())
+		}
+	}
+	return nil
+}
+
+// Update replaces the tuple stored under id with t, maintaining every
+// index — the paper's §2.3: "an insertion or modification of a tuple
+// should include spatial information for updating each of the spatial
+// index associated with the updated relation". Records are immutable
+// in the slotted pages, so the update is a delete plus insert; the new
+// storage id is returned.
+func (r *Relation) Update(id storage.TupleID, t Tuple) (storage.TupleID, error) {
+	if err := r.schema.Validate(t); err != nil {
+		return storage.TupleID{}, err
+	}
+	if err := r.Delete(id); err != nil {
+		return storage.TupleID{}, err
+	}
+	return r.Insert(t)
+}
+
+// Scan calls fn on every tuple in storage order; returning false stops
+// the scan.
+func (r *Relation) Scan(fn func(id storage.TupleID, t Tuple) bool) error {
+	var decodeErr error
+	err := r.heap.Scan(func(id storage.TupleID, rec []byte) bool {
+		t, err := DecodeTuple(rec)
+		if err != nil {
+			decodeErr = fmt.Errorf("relation %s: tuple %v: %w", r.name, id, err)
+			return false
+		}
+		return fn(id, t)
+	})
+	if err != nil {
+		return err
+	}
+	return decodeErr
+}
+
+// CreateIndex builds a B-tree index over the named alphanumeric
+// column, indexing existing tuples ("the usual way" of §2.1).
+func (r *Relation) CreateIndex(column string) error {
+	ci := r.schema.ColumnIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("relation %s: no column %q", r.name, column)
+	}
+	if r.schema.Columns[ci].Type == TypeLoc {
+		return fmt.Errorf("relation %s: column %q is pictorial; use AttachPicture", r.name, column)
+	}
+	if _, dup := r.indexes[column]; dup {
+		return fmt.Errorf("relation %s: column %q already indexed", r.name, column)
+	}
+	idx := btree.NewDefault()
+	err := r.Scan(func(id storage.TupleID, t Tuple) bool {
+		idx.Insert(IndexKey(t[ci]), id.Int64())
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	r.indexes[column] = idx
+	return nil
+}
+
+// Index returns the B-tree index on the named column, or nil.
+func (r *Relation) Index(column string) *btree.Tree { return r.indexes[column] }
+
+// LookupEqual returns the storage ids of tuples whose column equals v,
+// using the index when one exists and a scan otherwise.
+func (r *Relation) LookupEqual(column string, v Value) ([]storage.TupleID, error) {
+	ci := r.schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("relation %s: no column %q", r.name, column)
+	}
+	if idx := r.indexes[column]; idx != nil {
+		var out []storage.TupleID
+		for _, packed := range idx.Get(IndexKey(v)) {
+			out = append(out, storage.TupleIDFromInt64(packed))
+		}
+		return out, nil
+	}
+	var out []storage.TupleID
+	err := r.Scan(func(id storage.TupleID, t Tuple) bool {
+		if t[ci].Eq(v) {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, err
+}
+
+// Bound is one end of a range lookup.
+type Bound struct {
+	Value Value
+	// Inclusive reports whether the bound itself qualifies.
+	Inclusive bool
+}
+
+// LookupRange returns the storage ids of tuples whose column value v
+// satisfies the given bounds (nil = unbounded) using the B-tree index.
+// It reports ok=false when the column has no index, leaving the caller
+// to scan.
+func (r *Relation) LookupRange(column string, lo, hi *Bound) ([]storage.TupleID, bool) {
+	idx := r.indexes[column]
+	if idx == nil {
+		return nil, false
+	}
+	var loKey []byte
+	if lo != nil {
+		loKey = IndexKey(lo.Value)
+		if !lo.Inclusive {
+			loKey = IndexKeySuccessor(loKey)
+		}
+	}
+	var out []storage.TupleID
+	collect := func(k []byte, v btree.Value) bool {
+		out = append(out, storage.TupleIDFromInt64(v))
+		return true
+	}
+	if hi == nil {
+		idx.AscendFrom(loKey, collect)
+		return out, true
+	}
+	hiKey := IndexKey(hi.Value)
+	if hi.Inclusive {
+		hiKey = IndexKeySuccessor(hiKey)
+	}
+	idx.AscendRange(loKey, hiKey, collect)
+	return out, true
+}
+
+// AttachPicture associates the relation with pic and builds a packed
+// R-tree over the loc column using the given packing options. This is
+// the paper's initial PACK of a static database; subsequent Insert and
+// Delete calls maintain the index dynamically (§3.4).
+func (r *Relation) AttachPicture(pic *picture.Picture, opts pack.Options) error {
+	if r.schema.LocColumn() < 0 {
+		return fmt.Errorf("relation %s: schema has no loc column", r.name)
+	}
+	if _, dup := r.spatial[pic.Name()]; dup {
+		return fmt.Errorf("relation %s: picture %q already attached", r.name, pic.Name())
+	}
+	var items []rtree.Item
+	err := r.Scan(func(id storage.TupleID, t Tuple) bool {
+		if rect, ok := r.locMBR(t, pic); ok {
+			items = append(items, rtree.Item{Rect: rect, Data: id.Int64()})
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	r.spatial[pic.Name()] = &SpatialIndex{
+		Picture: pic,
+		Tree:    pack.Tree(r.rtreeParams, items, opts),
+		Opts:    opts,
+	}
+	return nil
+}
+
+// Spatial returns the spatial index for the named picture, or nil.
+func (r *Relation) Spatial(pictureName string) *SpatialIndex {
+	return r.spatial[pictureName]
+}
+
+// Pictures returns the names of all attached pictures.
+func (r *Relation) Pictures() []string {
+	out := make([]string, 0, len(r.spatial))
+	for name := range r.spatial {
+		out = append(out, name)
+	}
+	return out
+}
+
+// SearchArea performs the paper's direct spatial search: it returns
+// the storage ids of tuples whose loc object MBR satisfies pred
+// against the window, using the R-tree for pruning. pred receives
+// (objectMBR, window); use geom.CoveredBy for the paper's "loc
+// covered-by W", geom.Overlapping for intersection, etc. The returned
+// visit count is the number of R-tree nodes touched.
+func (r *Relation) SearchArea(pictureName string, window geom.Rect, pred func(obj, win geom.Rect) bool) ([]storage.TupleID, int, error) {
+	si := r.spatial[pictureName]
+	if si == nil {
+		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)
+	}
+	var out []storage.TupleID
+	visited := si.Tree.Search(window, func(it rtree.Item) bool {
+		if pred(it.Rect, window) {
+			out = append(out, storage.TupleIDFromInt64(it.Data))
+		}
+		return true
+	})
+	return out, visited, nil
+}
+
+// RepackPicture rebuilds the spatial index for the named picture from
+// the current tuples — the paper's §3.4 periodic reorganization of a
+// drifted index.
+func (r *Relation) RepackPicture(pictureName string, opts pack.Options) error {
+	si := r.spatial[pictureName]
+	if si == nil {
+		return fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)
+	}
+	pic := si.Picture
+	delete(r.spatial, pictureName)
+	return r.AttachPicture(pic, opts)
+}

@@ -1,0 +1,514 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/pack"
+	"repro/internal/pager"
+	"repro/internal/picture"
+	"repro/internal/storage"
+)
+
+func citySchema() Schema {
+	return MustSchema("city:string", "state:string", "population:int", "loc:loc")
+}
+
+func newCities(t *testing.T) (*Relation, *picture.Picture) {
+	t.Helper()
+	p := pager.OpenMem(64)
+	t.Cleanup(func() { p.Close() })
+	rel, err := New(p, "cities", citySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pic := picture.New("us-map", geom.R(0, 0, 1000, 1000))
+	return rel, pic
+}
+
+func addCity(t *testing.T, rel *Relation, pic *picture.Picture, name, state string, pop int64, x, y float64) storage.TupleID {
+	t.Helper()
+	oid := pic.AddPoint(name, geom.Pt(x, y))
+	id, err := rel.Insert(Tuple{S(name), S(state), I(pop), L(pic.Name(), oid)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := citySchema()
+	if s.Arity() != 4 {
+		t.Fatalf("arity = %d", s.Arity())
+	}
+	if s.ColumnIndex("population") != 2 || s.ColumnIndex("nope") != -1 {
+		t.Fatal("ColumnIndex wrong")
+	}
+	if s.LocColumn() != 3 {
+		t.Fatal("LocColumn wrong")
+	}
+	if _, err := NewSchema("bad"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if _, err := NewSchema("a:int", "a:string"); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := NewSchema("a:bogus"); err == nil {
+		t.Fatal("bogus type accepted")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := citySchema()
+	good := Tuple{S("DC"), S("DC"), I(700000), L("us-map", 1)}
+	if err := s.Validate(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(good[:3]); err == nil {
+		t.Fatal("short tuple accepted")
+	}
+	bad := Tuple{S("DC"), S("DC"), S("not-an-int"), L("us-map", 1)}
+	if err := s.Validate(bad); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	tuples := []Tuple{
+		{},
+		{I(0), I(-1), I(1<<62 + 5)},
+		{F(3.14), F(-2.5e300), F(0)},
+		{S(""), S("hello world"), S("unicode: héllo")},
+		{L("map", 42), L("", 0)},
+		{S("mixed"), I(-99), F(0.5), L("pic", 7)},
+	}
+	for i, tu := range tuples {
+		rec := EncodeTuple(tu)
+		got, err := DecodeTuple(rec)
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		if len(got) != len(tu) {
+			t.Fatalf("tuple %d: arity %d", i, len(got))
+		}
+		for j := range tu {
+			if !got[j].Eq(tu[j]) {
+				t.Fatalf("tuple %d col %d: %v != %v", i, j, got[j], tu[j])
+			}
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	good := EncodeTuple(Tuple{S("abc"), I(5)})
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := DecodeTuple(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeTuple([]byte{}); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[1] = 200 // bogus type tag
+	if _, err := DecodeTuple(bad); err == nil {
+		t.Fatal("bogus type tag accepted")
+	}
+}
+
+func TestIndexKeyOrderPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		var a, b Value
+		switch rng.Intn(3) {
+		case 0:
+			a, b = I(rng.Int63()-rng.Int63()), I(rng.Int63()-rng.Int63())
+		case 1:
+			a, b = F((rng.Float64()-0.5)*1e9), F((rng.Float64()-0.5)*1e9)
+		default:
+			a, b = S(randWord(rng)), S(randWord(rng))
+		}
+		ka, kb := IndexKey(a), IndexKey(b)
+		cmpKeys := bytesCompare(ka, kb)
+		cmpVals := a.Compare(b)
+		return sign(cmpKeys) == sign(cmpVals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randWord(rng *rand.Rand) string {
+	n := rng.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+func bytesCompare(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	rel, pic := newCities(t)
+	id := addCity(t, rel, pic, "Washington", "DC", 700000, 770, 390)
+	got, err := rel.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Str != "Washington" || got[2].Int != 700000 {
+		t.Fatalf("Get = %v", got)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("Len = %d", rel.Len())
+	}
+	if err := rel.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 0 {
+		t.Fatal("delete did not shrink relation")
+	}
+	if _, err := rel.Get(id); err == nil {
+		t.Fatal("deleted tuple still readable")
+	}
+}
+
+func TestInsertValidates(t *testing.T) {
+	rel, _ := newCities(t)
+	if _, err := rel.Insert(Tuple{S("x")}); err == nil {
+		t.Fatal("short tuple accepted")
+	}
+}
+
+func TestCreateIndexAndLookup(t *testing.T) {
+	rel, pic := newCities(t)
+	addCity(t, rel, pic, "A", "MD", 100, 1, 1)
+	addCity(t, rel, pic, "B", "VA", 200, 2, 2)
+	if err := rel.CreateIndex("state"); err != nil {
+		t.Fatal(err)
+	}
+	// Index must cover pre-existing and future tuples.
+	addCity(t, rel, pic, "C", "MD", 300, 3, 3)
+
+	ids, err := rel.LookupEqual("state", S("MD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("MD lookup = %d ids", len(ids))
+	}
+	names := map[string]bool{}
+	for _, id := range ids {
+		tu, _ := rel.Get(id)
+		names[tu[0].Str] = true
+	}
+	if !names["A"] || !names["C"] {
+		t.Fatalf("MD cities = %v", names)
+	}
+	// Unindexed column falls back to scan.
+	ids, err = rel.LookupEqual("population", I(200))
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("scan lookup = %v, %v", ids, err)
+	}
+	// Index errors.
+	if err := rel.CreateIndex("state"); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if err := rel.CreateIndex("loc"); err == nil {
+		t.Fatal("index on loc column accepted")
+	}
+	if err := rel.CreateIndex("nope"); err == nil {
+		t.Fatal("index on missing column accepted")
+	}
+}
+
+func TestDeleteMaintainsIndexes(t *testing.T) {
+	rel, pic := newCities(t)
+	if err := rel.CreateIndex("state"); err != nil {
+		t.Fatal(err)
+	}
+	id := addCity(t, rel, pic, "A", "MD", 100, 1, 1)
+	addCity(t, rel, pic, "B", "MD", 200, 2, 2)
+	if err := rel.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := rel.LookupEqual("state", S("MD"))
+	if len(ids) != 1 {
+		t.Fatalf("after delete, MD lookup = %d ids", len(ids))
+	}
+}
+
+func TestAttachPictureAndSearchArea(t *testing.T) {
+	rel, pic := newCities(t)
+	addCity(t, rel, pic, "East1", "AA", 1, 900, 500)
+	addCity(t, rel, pic, "East2", "AA", 2, 850, 400)
+	addCity(t, rel, pic, "West1", "BB", 3, 100, 500)
+	if err := rel.AttachPicture(pic, pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Spatial("us-map") == nil {
+		t.Fatal("spatial index missing")
+	}
+	ids, visited, err := rel.SearchArea("us-map", geom.R(800, 0, 1000, 1000), geom.CoveredBy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("east search = %d tuples", len(ids))
+	}
+	if visited < 1 {
+		t.Fatal("no nodes visited")
+	}
+	// Direct search on a picture never attached fails.
+	if _, _, err := rel.SearchArea("mars-map", geom.R(0, 0, 1, 1), geom.CoveredBy); err == nil {
+		t.Fatal("search on missing picture succeeded")
+	}
+	// Double attach fails.
+	if err := rel.AttachPicture(pic, pack.Options{}); err == nil {
+		t.Fatal("double attach accepted")
+	}
+}
+
+func TestSpatialIndexMaintainedByInsertDelete(t *testing.T) {
+	rel, pic := newCities(t)
+	if err := rel.AttachPicture(pic, pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Insert after attach: the paper's §3.4 dynamic maintenance.
+	id := addCity(t, rel, pic, "NewCity", "ZZ", 42, 500, 500)
+	ids, _, err := rel.SearchArea("us-map", geom.R(490, 490, 510, 510), geom.CoveredBy)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("search after insert = %v, %v", ids, err)
+	}
+	tu, _ := rel.Get(ids[0])
+	if tu[0].Str != "NewCity" {
+		t.Fatalf("found %q", tu[0].Str)
+	}
+	if err := rel.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	ids, _, _ = rel.SearchArea("us-map", geom.R(490, 490, 510, 510), geom.CoveredBy)
+	if len(ids) != 0 {
+		t.Fatal("deleted tuple still in spatial index")
+	}
+}
+
+func TestMultiPictureAssociation(t *testing.T) {
+	// One relation associated with two pictures: tuples carry loc refs
+	// into one picture or the other; each picture gets its own R-tree.
+	p := pager.OpenMem(64)
+	defer p.Close()
+	rel, err := New(p, "landmarks", MustSchema("name:string", "loc:loc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	picA := picture.New("map-a", geom.R(0, 0, 100, 100))
+	picB := picture.New("map-b", geom.R(0, 0, 100, 100))
+	oa := picA.AddPoint("x", geom.Pt(10, 10))
+	ob := picB.AddPoint("y", geom.Pt(90, 90))
+	rel.Insert(Tuple{S("onA"), L("map-a", oa)})
+	rel.Insert(Tuple{S("onB"), L("map-b", ob)})
+	if err := rel.AttachPicture(picA, pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.AttachPicture(picB, pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Pictures()) != 2 {
+		t.Fatalf("Pictures = %v", rel.Pictures())
+	}
+	idsA, _, _ := rel.SearchArea("map-a", geom.R(0, 0, 100, 100), geom.CoveredBy)
+	idsB, _, _ := rel.SearchArea("map-b", geom.R(0, 0, 100, 100), geom.CoveredBy)
+	if len(idsA) != 1 || len(idsB) != 1 {
+		t.Fatalf("per-picture search: a=%d b=%d", len(idsA), len(idsB))
+	}
+}
+
+func TestRepackPicture(t *testing.T) {
+	rel, pic := newCities(t)
+	if err := rel.AttachPicture(pic, pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		addCity(t, rel, pic, randWord(rng), "ST", int64(i), rng.Float64()*1000, rng.Float64()*1000)
+	}
+	before := rel.Spatial("us-map").Tree.ComputeMetrics()
+	if err := rel.RepackPicture("us-map", pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	after := rel.Spatial("us-map").Tree.ComputeMetrics()
+	if after.Items != before.Items {
+		t.Fatalf("repack lost items: %d -> %d", before.Items, after.Items)
+	}
+	if after.Nodes > before.Nodes {
+		t.Fatalf("repack grew the tree: %d -> %d nodes", before.Nodes, after.Nodes)
+	}
+	if err := rel.RepackPicture("nope", pack.Options{}); err == nil {
+		t.Fatal("repack of missing picture accepted")
+	}
+}
+
+func TestScanDecodesAll(t *testing.T) {
+	rel, pic := newCities(t)
+	for i := 0; i < 30; i++ {
+		addCity(t, rel, pic, randWord(rand.New(rand.NewSource(int64(i)))), "ST", int64(i), float64(i), float64(i))
+	}
+	n := 0
+	err := rel.Scan(func(_ storage.TupleID, tu Tuple) bool {
+		if len(tu) != 4 {
+			t.Fatalf("bad arity %d", len(tu))
+		}
+		n++
+		return true
+	})
+	if err != nil || n != 30 {
+		t.Fatalf("scan: n=%d err=%v", n, err)
+	}
+}
+
+func TestLookupRange(t *testing.T) {
+	rel, pic := newCities(t)
+	pops := []int64{100, 250, 250, 400, 900, 1200}
+	for i, p := range pops {
+		addCity(t, rel, pic, string(rune('a'+i)), "ST", p, float64(i), float64(i))
+	}
+	// Unindexed column: not usable.
+	if _, ok := rel.LookupRange("population", nil, nil); ok {
+		t.Fatal("LookupRange on unindexed column claimed success")
+	}
+	if err := rel.CreateIndex("population"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		lo, hi *Bound
+		want   int
+	}{
+		{nil, nil, 6},
+		{&Bound{Value: I(250), Inclusive: true}, nil, 5},
+		{&Bound{Value: I(250)}, nil, 3}, // exclusive
+		{nil, &Bound{Value: I(250)}, 1},
+		{nil, &Bound{Value: I(250), Inclusive: true}, 3},
+		{&Bound{Value: I(250), Inclusive: true}, &Bound{Value: I(900), Inclusive: true}, 4},
+		{&Bound{Value: I(5000), Inclusive: true}, nil, 0},
+	}
+	for i, tt := range cases {
+		ids, ok := rel.LookupRange("population", tt.lo, tt.hi)
+		if !ok {
+			t.Fatalf("case %d: index not used", i)
+		}
+		if len(ids) != tt.want {
+			t.Errorf("case %d: %d ids, want %d", i, len(ids), tt.want)
+		}
+	}
+}
+
+func TestRelationOpen(t *testing.T) {
+	p := pager.OpenMem(64)
+	defer p.Close()
+	rel, err := New(p, "r", MustSchema("name:string", "v:int"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		if _, err := rel.Insert(Tuple{S("x"), I(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := rel.HeapFirstPage()
+
+	re, err := Open(p, "r", rel.Schema(), first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 20 {
+		t.Fatalf("reopened Len = %d", re.Len())
+	}
+	if err := re.CreateIndex("v"); err != nil {
+		t.Fatal(err)
+	}
+	ids, ok := re.LookupRange("v", &Bound{Value: I(15), Inclusive: true}, nil)
+	if !ok || len(ids) != 5 {
+		t.Fatalf("range after reopen: %d ids, ok=%v", len(ids), ok)
+	}
+	cols := re.IndexedColumns()
+	if len(cols) != 1 || cols[0] != "v" {
+		t.Fatalf("IndexedColumns = %v", cols)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	rel, pic := newCities(t)
+	if err := rel.CreateIndex("state"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.AttachPicture(pic, pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	id := addCity(t, rel, pic, "Old", "AA", 100, 10, 10)
+	// Move the tuple to a new spatial object and new attributes.
+	oid2 := pic.AddPoint("New", geom.Pt(900, 900))
+	newID, err := rel.Update(id, Tuple{S("New"), S("BB"), I(500), L(pic.Name(), oid2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The freed slot may be recycled for the new tuple, so the old id
+	// is either dead or now names the new tuple — never the old one.
+	if old, err := rel.Get(id); err == nil && old[0].Str == "Old" {
+		t.Fatal("old tuple still readable")
+	}
+	got, err := rel.Get(newID)
+	if err != nil || got[0].Str != "New" {
+		t.Fatalf("updated tuple = %v, %v", got, err)
+	}
+	// B-tree index follows the update.
+	if ids, _ := rel.LookupEqual("state", S("AA")); len(ids) != 0 {
+		t.Fatalf("old index entry survives: %v", ids)
+	}
+	if ids, _ := rel.LookupEqual("state", S("BB")); len(ids) != 1 {
+		t.Fatalf("new index entry missing")
+	}
+	// Spatial index follows the update.
+	if ids, _, _ := rel.SearchArea("us-map", geom.R(0, 0, 100, 100), geom.CoveredBy); len(ids) != 0 {
+		t.Fatal("old location still indexed")
+	}
+	ids, _, _ := rel.SearchArea("us-map", geom.R(800, 800, 1000, 1000), geom.CoveredBy)
+	if len(ids) != 1 {
+		t.Fatal("new location not indexed")
+	}
+	// Schema violations leave the relation untouched.
+	if _, err := rel.Update(newID, Tuple{S("x")}); err == nil {
+		t.Fatal("bad update accepted")
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("Len = %d after failed update", rel.Len())
+	}
+}

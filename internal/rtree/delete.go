@@ -1,0 +1,89 @@
+package rtree
+
+import "repro/internal/geom"
+
+// This file implements Guttman's DELETE: FindLeaf locates the leaf
+// holding the record, the entry is removed, and CondenseTree
+// eliminates underfull nodes, reinserting their orphaned entries at
+// the appropriate level. Section 3.4 of the paper argues INSERT and
+// DELETE keep working on PACKed trees, which the cartography example
+// and the update-drift experiment exercise.
+
+// Delete removes one item matching (r, data) exactly. It reports
+// whether an item was found and removed.
+func (t *Tree) Delete(r geom.Rect, data int64) bool {
+	leaf, idx := t.findLeaf(t.root, r, data)
+	if leaf == nil {
+		return false
+	}
+	leaf.removeEntryAt(idx)
+	t.size--
+	t.condenseTree(leaf)
+	// If the root is an internal node with a single child, shorten the
+	// tree.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.root.parent = nil
+		t.height--
+	}
+	return true
+}
+
+// findLeaf returns the leaf containing the exact entry and its index,
+// descending only into subtrees whose rectangle contains r.
+func (t *Tree) findLeaf(n *node, r geom.Rect, data int64) (*node, int) {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.data == data && e.rect.Eq(r) {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	for _, e := range n.entries {
+		if e.rect.Contains(r) {
+			if leaf, i := t.findLeaf(e.child, r, data); leaf != nil {
+				return leaf, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condenseTree walks from leaf n to the root: underfull nodes are
+// removed from their parents and their entries queued; covering
+// rectangles are tightened. Queued leaf entries are reinserted at the
+// leaf level and queued subtrees at their original level, preserving
+// leaf depth.
+func (t *Tree) condenseTree(n *node) {
+	type orphan struct {
+		e     entry
+		level int
+	}
+	var orphans []orphan
+	level := 0
+	for n != t.root {
+		p := n.parent
+		if len(n.entries) < t.params.Min {
+			if i := p.entryIndex(n); i >= 0 {
+				p.removeEntryAt(i)
+			}
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e: e, level: level})
+			}
+		} else if i := p.entryIndex(n); i >= 0 {
+			p.entries[i].rect = n.mbr()
+		}
+		n = p
+		level++
+	}
+	for _, o := range orphans {
+		if o.level == 0 {
+			t.insertEntry(o.e, 0)
+		} else {
+			// Reinsert a whole subtree at its original level so its
+			// leaves stay at leaf depth.
+			t.insertEntry(o.e, o.level)
+		}
+	}
+}

@@ -1,0 +1,686 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/pager"
+)
+
+// DiskTree is an R-tree whose nodes live in pager pages — the paper's
+// actual deployment: "because the storage organization of R-trees is
+// based on B-trees, they are better in dealing with paging and disk
+// I/O buffering". Node pages hold up to DiskMaxEntries entries (a
+// branching factor that fills a logical disk block, as §3 suggests for
+// practical applications). The pager's buffer-pool statistics expose
+// the I/O behaviour that the in-memory tree's visit counts
+// approximate.
+//
+// Page layout:
+//
+//	byte  0:     1 = leaf, 0 = internal
+//	bytes 1..2:  uint16 entry count
+//	bytes 3..10: reserved
+//	entries from byte 11, 40 bytes each:
+//	  4 x float64 (MinX, MinY, MaxX, MaxY), 8-byte pointer
+//	  (child PageID for internal entries, item data for leaves)
+type DiskTree struct {
+	p      *pager.Pager
+	root   pager.PageID
+	max    int
+	min    int
+	height int
+	size   int
+}
+
+const (
+	diskHeaderSize = 11
+	diskEntrySize  = 40
+)
+
+// DiskMaxEntries is the page-filling branching factor.
+const DiskMaxEntries = (pager.PageSize - diskHeaderSize) / diskEntrySize
+
+// DiskMeta captures what a caller must persist to reopen a DiskTree.
+type DiskMeta struct {
+	Root   pager.PageID
+	Max    int
+	Min    int
+	Height int
+	Size   int
+}
+
+// NewDisk creates an empty disk R-tree with the given fanout. max of 0
+// means DiskMaxEntries; min of 0 means max/2.
+func NewDisk(p *pager.Pager, max, min int) (*DiskTree, error) {
+	if max == 0 {
+		max = DiskMaxEntries
+	}
+	if min == 0 {
+		min = max / 2
+	}
+	if max < 2 || max > DiskMaxEntries || min < 1 || min > max/2 {
+		return nil, fmt.Errorf("rtree: bad disk fanout max=%d min=%d (page fits %d)", max, min, DiskMaxEntries)
+	}
+	t := &DiskTree{p: p, max: max, min: min}
+	pg, err := p.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	pg.Data[0] = 1 // empty leaf root
+	pg.MarkDirty()
+	t.root = pg.ID
+	p.Unpin(pg)
+	return t, nil
+}
+
+// OpenDisk reattaches to a previously built disk tree.
+func OpenDisk(p *pager.Pager, meta DiskMeta) *DiskTree {
+	return &DiskTree{p: p, root: meta.Root, max: meta.Max, min: meta.Min, height: meta.Height, size: meta.Size}
+}
+
+// Meta returns the data needed to reopen the tree.
+func (t *DiskTree) Meta() DiskMeta {
+	return DiskMeta{Root: t.root, Max: t.max, Min: t.min, Height: t.height, Size: t.size}
+}
+
+// Len returns the number of stored items.
+func (t *DiskTree) Len() int { return t.size }
+
+// Depth returns the number of edges from root to leaves.
+func (t *DiskTree) Depth() int { return t.height }
+
+// diskEntry mirrors entry for page nodes.
+type diskEntry struct {
+	rect geom.Rect
+	ptr  int64
+}
+
+func readEntry(data []byte, i int) diskEntry {
+	off := diskHeaderSize + i*diskEntrySize
+	g := func(k int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(data[off+8*k:]))
+	}
+	return diskEntry{
+		rect: geom.Rect{
+			Min: geom.Pt(g(0), g(1)),
+			Max: geom.Pt(g(2), g(3)),
+		},
+		ptr: int64(binary.LittleEndian.Uint64(data[off+32:])),
+	}
+}
+
+func writeEntry(data []byte, i int, e diskEntry) {
+	off := diskHeaderSize + i*diskEntrySize
+	put := func(k int, v float64) {
+		binary.LittleEndian.PutUint64(data[off+8*k:], math.Float64bits(v))
+	}
+	put(0, e.rect.Min.X)
+	put(1, e.rect.Min.Y)
+	put(2, e.rect.Max.X)
+	put(3, e.rect.Max.Y)
+	binary.LittleEndian.PutUint64(data[off+32:], uint64(e.ptr))
+}
+
+func nodeCount(data []byte) int       { return int(binary.LittleEndian.Uint16(data[1:3])) }
+func setNodeCount(data []byte, n int) { binary.LittleEndian.PutUint16(data[1:3], uint16(n)) }
+func nodeIsLeaf(data []byte) bool     { return data[0] == 1 }
+
+// readEntries loads all entries of a node page.
+func readEntries(data []byte) []diskEntry {
+	n := nodeCount(data)
+	out := make([]diskEntry, n)
+	for i := 0; i < n; i++ {
+		out[i] = readEntry(data, i)
+	}
+	return out
+}
+
+// writeNode stores entries into a page image.
+func writeNode(data []byte, leaf bool, entries []diskEntry) {
+	if leaf {
+		data[0] = 1
+	} else {
+		data[0] = 0
+	}
+	setNodeCount(data, len(entries))
+	for i, e := range entries {
+		writeEntry(data, i, e)
+	}
+}
+
+func nodeMBR(entries []diskEntry) geom.Rect {
+	out := geom.EmptyRect()
+	for _, e := range entries {
+		out = out.Union(e.rect)
+	}
+	return out
+}
+
+// BulkLoadDisk builds a packed disk tree from items using grouper g —
+// PACK straight onto pages, the paper's initial database creation
+// path. Node pages are written level by level, bottom-up.
+func BulkLoadDisk(p *pager.Pager, max, min int, items []Item, g Grouper) (*DiskTree, error) {
+	t, err := NewDisk(p, max, min)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return t, nil
+	}
+	params := Params{Max: t.max, Min: t.min}
+
+	// Current level: entries (rect + pointer) to group into nodes.
+	level := make([]diskEntry, len(items))
+	rects := make([]geom.Rect, len(items))
+	for i, it := range items {
+		level[i] = diskEntry{rect: it.Rect, ptr: it.Data}
+		rects[i] = it.Rect
+	}
+	leaf := true
+	height := 0
+	var rootID pager.PageID
+	for {
+		groups := checkedGroups(g, rects, params)
+		next := make([]diskEntry, 0, len(groups))
+		for _, grp := range groups {
+			entries := make([]diskEntry, 0, len(grp))
+			for _, idx := range grp {
+				entries = append(entries, level[idx])
+			}
+			pg, err := p.Allocate()
+			if err != nil {
+				return nil, err
+			}
+			writeNode(pg.Data[:], leaf, entries)
+			pg.MarkDirty()
+			next = append(next, diskEntry{rect: nodeMBR(entries), ptr: int64(pg.ID)})
+			rootID = pg.ID
+			p.Unpin(pg)
+		}
+		if len(next) == 1 {
+			break
+		}
+		level = next
+		rects = rects[:0]
+		for _, e := range next {
+			rects = append(rects, e.rect)
+		}
+		leaf = false
+		height++
+	}
+	// Free the placeholder empty root made by NewDisk.
+	if err := p.Free(t.root); err != nil {
+		return nil, err
+	}
+	t.root = rootID
+	t.height = height
+	t.size = len(items)
+	return t, nil
+}
+
+// Search visits every item whose rectangle intersects window; fn
+// returning false stops early. It returns the number of node pages
+// visited (each visit is one pager Fetch; hits and misses show up in
+// the pager stats).
+func (t *DiskTree) Search(window geom.Rect, fn func(Item) bool) (int, error) {
+	visited := 0
+	var walk func(id pager.PageID) (bool, error)
+	walk = func(id pager.PageID) (bool, error) {
+		pg, err := t.p.Fetch(id)
+		if err != nil {
+			return false, err
+		}
+		visited++
+		leaf := nodeIsLeaf(pg.Data[:])
+		entries := readEntries(pg.Data[:])
+		t.p.Unpin(pg)
+		for _, e := range entries {
+			if !e.rect.Intersects(window) {
+				continue
+			}
+			if leaf {
+				if !fn(Item{Rect: e.rect, Data: e.ptr}) {
+					return false, nil
+				}
+			} else {
+				cont, err := walk(pager.PageID(e.ptr))
+				if err != nil || !cont {
+					return cont, err
+				}
+			}
+		}
+		return true, nil
+	}
+	_, err := walk(t.root)
+	return visited, err
+}
+
+// Query returns all items intersecting window plus pages visited.
+func (t *DiskTree) Query(window geom.Rect) ([]Item, int, error) {
+	var out []Item
+	visited, err := t.Search(window, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out, visited, err
+}
+
+// Insert adds an item dynamically (Guttman's INSERT on pages):
+// ChooseLeaf by least enlargement, quadratic split on overflow,
+// rectangle adjustment up the root path.
+func (t *DiskTree) Insert(r geom.Rect, data int64) error {
+	// Descend, remembering the path.
+	type pathStep struct {
+		id    pager.PageID
+		index int // entry index taken
+	}
+	var path []pathStep
+	id := t.root
+	for {
+		pg, err := t.p.Fetch(id)
+		if err != nil {
+			return err
+		}
+		if nodeIsLeaf(pg.Data[:]) {
+			t.p.Unpin(pg)
+			break
+		}
+		entries := readEntries(pg.Data[:])
+		best, bestEnl, bestArea := 0, math.Inf(1), math.Inf(1)
+		for i, e := range entries {
+			enl := e.rect.Enlargement(r)
+			area := e.rect.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		t.p.Unpin(pg)
+		path = append(path, pathStep{id: id, index: best})
+		id = pager.PageID(entries[best].ptr)
+	}
+
+	// Install in the leaf.
+	newEntry := diskEntry{rect: r, ptr: data}
+	splitRight, splitRect, leftRect, err := t.insertIntoNode(id, newEntry)
+	if err != nil {
+		return err
+	}
+	t.size++
+
+	// Walk back up adjusting rectangles and installing splits.
+	for i := len(path) - 1; i >= 0; i-- {
+		step := path[i]
+		pg, err := t.p.Fetch(step.id)
+		if err != nil {
+			return err
+		}
+		entries := readEntries(pg.Data[:])
+		entries[step.index].rect = leftRect
+		writeNode(pg.Data[:], false, entries)
+		pg.MarkDirty()
+		t.p.Unpin(pg)
+		if splitRight != pager.InvalidPage {
+			right, rightRect, newLeft, err := t.insertIntoNode(step.id, diskEntry{rect: splitRect, ptr: int64(splitRight)})
+			if err != nil {
+				return err
+			}
+			splitRight, splitRect, leftRect = right, rightRect, newLeft
+		} else {
+			// Only rectangle adjustment continues upward.
+			leftRect, err = t.mbrOf(step.id)
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	if splitRight != pager.InvalidPage {
+		// Root split: new internal root over old root and the split.
+		pg, err := t.p.Allocate()
+		if err != nil {
+			return err
+		}
+		writeNode(pg.Data[:], false, []diskEntry{
+			{rect: leftRect, ptr: int64(t.root)},
+			{rect: splitRect, ptr: int64(splitRight)},
+		})
+		pg.MarkDirty()
+		t.root = pg.ID
+		t.p.Unpin(pg)
+		t.height++
+	}
+	return nil
+}
+
+// mbrOf recomputes a node's MBR.
+func (t *DiskTree) mbrOf(id pager.PageID) (geom.Rect, error) {
+	pg, err := t.p.Fetch(id)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	defer t.p.Unpin(pg)
+	return nodeMBR(readEntries(pg.Data[:])), nil
+}
+
+// insertIntoNode adds e to node id, splitting (quadratic) on overflow.
+// It returns the new right sibling page (or InvalidPage), its MBR, and
+// the (possibly shrunk) MBR of the left node.
+func (t *DiskTree) insertIntoNode(id pager.PageID, e diskEntry) (pager.PageID, geom.Rect, geom.Rect, error) {
+	pg, err := t.p.Fetch(id)
+	if err != nil {
+		return pager.InvalidPage, geom.Rect{}, geom.Rect{}, err
+	}
+	leaf := nodeIsLeaf(pg.Data[:])
+	entries := append(readEntries(pg.Data[:]), e)
+	if len(entries) <= t.max {
+		writeNode(pg.Data[:], leaf, entries)
+		pg.MarkDirty()
+		mbr := nodeMBR(entries)
+		t.p.Unpin(pg)
+		return pager.InvalidPage, geom.Rect{}, mbr, nil
+	}
+	// Overflow: split with the in-memory quadratic heuristic.
+	mem := &Tree{params: Params{Max: t.max, Min: t.min, Split: SplitQuadratic}}
+	memEntries := make([]entry, len(entries))
+	for i, de := range entries {
+		memEntries[i] = entry{rect: de.rect, data: de.ptr}
+	}
+	a, b := mem.splitQuadratic(memEntries)
+	toDisk := func(es []entry) []diskEntry {
+		out := make([]diskEntry, len(es))
+		for i, me := range es {
+			out[i] = diskEntry{rect: me.rect, ptr: me.data}
+		}
+		return out
+	}
+	left, right := toDisk(a), toDisk(b)
+	writeNode(pg.Data[:], leaf, left)
+	pg.MarkDirty()
+	leftRect := nodeMBR(left)
+	t.p.Unpin(pg)
+
+	rpg, err := t.p.Allocate()
+	if err != nil {
+		return pager.InvalidPage, geom.Rect{}, geom.Rect{}, err
+	}
+	writeNode(rpg.Data[:], leaf, right)
+	rpg.MarkDirty()
+	rightID := rpg.ID
+	rightRect := nodeMBR(right)
+	t.p.Unpin(rpg)
+	return rightID, rightRect, leftRect, nil
+}
+
+// Delete removes one item matching (r, data) exactly, reporting
+// whether it was found. Underfull leaves are condensed: the node is
+// removed from its parent and its surviving entries reinserted; an
+// underflowing internal node has the leaf items of its whole subtree
+// reinserted (simpler than level-tagged reinsertion and acceptable for
+// the read-mostly databases the paper targets). A root with a single
+// child is shortened.
+func (t *DiskTree) Delete(r geom.Rect, data int64) (bool, error) {
+	type step struct {
+		id    pager.PageID
+		index int
+	}
+	// findLeaf: DFS into subtrees whose rect contains r.
+	var path []step
+	var find func(id pager.PageID) (pager.PageID, int, error)
+	find = func(id pager.PageID) (pager.PageID, int, error) {
+		pg, err := t.p.Fetch(id)
+		if err != nil {
+			return pager.InvalidPage, 0, err
+		}
+		leaf := nodeIsLeaf(pg.Data[:])
+		entries := readEntries(pg.Data[:])
+		t.p.Unpin(pg)
+		if leaf {
+			for i, e := range entries {
+				if e.ptr == data && e.rect.Eq(r) {
+					return id, i, nil
+				}
+			}
+			return pager.InvalidPage, 0, nil
+		}
+		for i, e := range entries {
+			if !e.rect.Contains(r) {
+				continue
+			}
+			path = append(path, step{id: id, index: i})
+			leafID, idx, err := find(pager.PageID(e.ptr))
+			if err != nil || leafID != pager.InvalidPage {
+				return leafID, idx, err
+			}
+			path = path[:len(path)-1]
+		}
+		return pager.InvalidPage, 0, nil
+	}
+	leafID, idx, err := find(t.root)
+	if err != nil || leafID == pager.InvalidPage {
+		return false, err
+	}
+
+	// Remove the entry from the leaf.
+	pg, err := t.p.Fetch(leafID)
+	if err != nil {
+		return false, err
+	}
+	entries := readEntries(pg.Data[:])
+	entries = append(entries[:idx], entries[idx+1:]...)
+	writeNode(pg.Data[:], true, entries)
+	pg.MarkDirty()
+	t.p.Unpin(pg)
+	t.size--
+
+	// Condense upward, collecting orphaned leaf items.
+	var orphans []Item
+	childID := leafID
+	childEntries := len(entries)
+	for i := len(path) - 1; i >= 0; i-- {
+		st := path[i]
+		ppg, err := t.p.Fetch(st.id)
+		if err != nil {
+			return false, err
+		}
+		pents := readEntries(ppg.Data[:])
+		if childEntries < t.min {
+			// Drop the child from the parent; harvest its leaf items.
+			pents = append(pents[:st.index], pents[st.index+1:]...)
+			items, err := t.collectLeafItems(childID)
+			if err != nil {
+				t.p.Unpin(ppg)
+				return false, err
+			}
+			orphans = append(orphans, items...)
+			if err := t.freeSubtree(childID); err != nil {
+				t.p.Unpin(ppg)
+				return false, err
+			}
+		} else {
+			// Tighten the covering rectangle.
+			mbr, err := t.mbrOf(childID)
+			if err != nil {
+				t.p.Unpin(ppg)
+				return false, err
+			}
+			pents[st.index].rect = mbr
+		}
+		writeNode(ppg.Data[:], false, pents)
+		ppg.MarkDirty()
+		t.p.Unpin(ppg)
+		childID = st.id
+		childEntries = len(pents)
+	}
+
+	// Shorten the root while it is internal with one child.
+	for {
+		pg, err := t.p.Fetch(t.root)
+		if err != nil {
+			return false, err
+		}
+		leaf := nodeIsLeaf(pg.Data[:])
+		ents := readEntries(pg.Data[:])
+		t.p.Unpin(pg)
+		if leaf || len(ents) != 1 {
+			break
+		}
+		old := t.root
+		t.root = pager.PageID(ents[0].ptr)
+		if err := t.p.Free(old); err != nil {
+			return false, err
+		}
+		t.height--
+	}
+
+	// Reinsert the orphans (size was decremented only for the deleted
+	// item; orphan reinserts are net-zero, so compensate).
+	for _, it := range orphans {
+		t.size--
+		if err := t.Insert(it.Rect, it.Data); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// collectLeafItems gathers every leaf item under node id.
+func (t *DiskTree) collectLeafItems(id pager.PageID) ([]Item, error) {
+	pg, err := t.p.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	leaf := nodeIsLeaf(pg.Data[:])
+	entries := readEntries(pg.Data[:])
+	t.p.Unpin(pg)
+	if leaf {
+		out := make([]Item, len(entries))
+		for i, e := range entries {
+			out[i] = Item{Rect: e.rect, Data: e.ptr}
+		}
+		return out, nil
+	}
+	var out []Item
+	for _, e := range entries {
+		sub, err := t.collectLeafItems(pager.PageID(e.ptr))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+// freeSubtree returns every page under (and including) id to the pager
+// free list.
+func (t *DiskTree) freeSubtree(id pager.PageID) error {
+	pg, err := t.p.Fetch(id)
+	if err != nil {
+		return err
+	}
+	leaf := nodeIsLeaf(pg.Data[:])
+	entries := readEntries(pg.Data[:])
+	t.p.Unpin(pg)
+	if !leaf {
+		for _, e := range entries {
+			if err := t.freeSubtree(pager.PageID(e.ptr)); err != nil {
+				return err
+			}
+		}
+	}
+	return t.p.Free(id)
+}
+
+// Metrics computes the structural quality measures by walking pages.
+func (t *DiskTree) Metrics() (Metrics, error) {
+	var leaves []geom.Rect
+	nodes := 0
+	var walk func(id pager.PageID) error
+	walk = func(id pager.PageID) error {
+		pg, err := t.p.Fetch(id)
+		if err != nil {
+			return err
+		}
+		nodes++
+		leaf := nodeIsLeaf(pg.Data[:])
+		entries := readEntries(pg.Data[:])
+		t.p.Unpin(pg)
+		if leaf {
+			if len(entries) > 0 {
+				leaves = append(leaves, nodeMBR(entries))
+			}
+			return nil
+		}
+		for _, e := range entries {
+			if err := walk(pager.PageID(e.ptr)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{
+		Coverage:       geom.CoverageArea(leaves),
+		Overlap:        geom.OverlapPairwise(leaves),
+		OverlapMeasure: geom.OverlapMeasure(leaves),
+		Depth:          t.height,
+		Nodes:          nodes,
+		Leaves:         len(leaves),
+		Items:          t.size,
+		DeadSpace:      geom.DeadSpace(leaves),
+	}, nil
+}
+
+// CheckInvariants validates the on-page structure.
+func (t *DiskTree) CheckInvariants() error {
+	items := 0
+	leafDepth := -1
+	var walk func(id pager.PageID, depth int, want geom.Rect, isRoot bool) error
+	walk = func(id pager.PageID, depth int, want geom.Rect, isRoot bool) error {
+		pg, err := t.p.Fetch(id)
+		if err != nil {
+			return err
+		}
+		leaf := nodeIsLeaf(pg.Data[:])
+		entries := readEntries(pg.Data[:])
+		t.p.Unpin(pg)
+		if !isRoot && len(entries) < t.min {
+			return fmt.Errorf("rtree: disk node %d underfull: %d < %d", id, len(entries), t.min)
+		}
+		if len(entries) > t.max {
+			return fmt.Errorf("rtree: disk node %d overfull: %d > %d", id, len(entries), t.max)
+		}
+		if !isRoot && !nodeMBR(entries).Eq(want) {
+			return fmt.Errorf("rtree: disk node %d MBR %v != parent entry %v", id, nodeMBR(entries), want)
+		}
+		if leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("rtree: disk leaves at depths %d and %d", leafDepth, depth)
+			}
+			items += len(entries)
+			return nil
+		}
+		for _, e := range entries {
+			if err := walk(pager.PageID(e.ptr), depth+1, e.rect, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, geom.Rect{}, true); err != nil {
+		return err
+	}
+	if items != t.size {
+		return fmt.Errorf("rtree: disk size %d but %d items found", t.size, items)
+	}
+	if t.size > 0 && leafDepth != t.height {
+		return fmt.Errorf("rtree: disk height %d but leaves at %d", t.height, leafDepth)
+	}
+	return nil
+}

@@ -1,0 +1,509 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pager"
+)
+
+// nnLikeGrouper is a simple x-sort grouper for disk bulk-load tests
+// (the real packing strategies live in package pack; rtree tests only
+// need a valid Grouper).
+type xSortGrouper struct{}
+
+func (xSortGrouper) Name() string { return "xsort" }
+
+func (xSortGrouper) Group(rects []geom.Rect, max int) [][]int {
+	order := make([]int, len(rects))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && rects[order[j]].Min.X < rects[order[j-1]].Min.X; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var groups [][]int
+	for s := 0; s < len(order); s += max {
+		e := s + max
+		if e > len(order) {
+			e = len(order)
+		}
+		groups = append(groups, append([]int(nil), order[s:e]...))
+	}
+	return groups
+}
+
+// tileGrouper is an STR-style two-pass grouper (sort by x, slab, sort
+// slabs by y) so packed disk leaves are square-ish tiles rather than
+// full-height slivers.
+type tileGrouper struct{}
+
+func (tileGrouper) Name() string { return "tile" }
+
+func (tileGrouper) Group(rects []geom.Rect, max int) [][]int {
+	n := len(rects)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return rects[order[i]].Center().X < rects[order[j]].Center().X
+	})
+	slabs := int(math.Ceil(math.Sqrt(float64((n + max - 1) / max))))
+	perSlab := slabs * max
+	var groups [][]int
+	for s := 0; s < n; s += perSlab {
+		e := s + perSlab
+		if e > n {
+			e = n
+		}
+		slab := append([]int(nil), order[s:e]...)
+		sort.SliceStable(slab, func(i, j int) bool {
+			return rects[slab[i]].Center().Y < rects[slab[j]].Center().Y
+		})
+		for gs := 0; gs < len(slab); gs += max {
+			ge := gs + max
+			if ge > len(slab) {
+				ge = len(slab)
+			}
+			groups = append(groups, append([]int(nil), slab[gs:ge]...))
+		}
+	}
+	return groups
+}
+
+func TestDiskBulkLoadAndSearch(t *testing.T) {
+	p := pager.OpenMem(64)
+	defer p.Close()
+	items := uniformItems(1000, 1)
+	dt, err := BulkLoadDisk(p, 0, 0, items, xSortGrouper{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Len() != 1000 {
+		t.Fatalf("Len = %d", dt.Len())
+	}
+	if err := dt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// With page-filling fanout (102), 1000 items need depth 1.
+	if dt.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", dt.Depth())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 30; q++ {
+		w := geom.WindowAt(rng.Float64()*1000, rng.Float64()*120, rng.Float64()*1000, rng.Float64()*120)
+		want := bruteSearch(items, w)
+		got, visited, err := dt.Query(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("window %v: got %d want %d", w, len(got), len(want))
+		}
+		if visited < 1 {
+			t.Fatal("no pages visited")
+		}
+	}
+}
+
+func TestDiskEmptyTree(t *testing.T) {
+	p := pager.OpenMem(8)
+	defer p.Close()
+	dt, err := NewDisk(p, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, visited, err := dt.Query(geom.R(0, 0, 1000, 1000))
+	if err != nil || len(got) != 0 || visited != 1 {
+		t.Fatalf("empty query: %v %d %v", got, visited, err)
+	}
+	if err := dt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskFanoutValidation(t *testing.T) {
+	p := pager.OpenMem(8)
+	defer p.Close()
+	for _, bad := range [][2]int{{1, 1}, {8, 5}, {DiskMaxEntries + 1, 4}} {
+		if _, err := NewDisk(p, bad[0], bad[1]); err == nil {
+			t.Errorf("NewDisk(%d, %d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestDiskInsertDynamic(t *testing.T) {
+	p := pager.OpenMem(256)
+	defer p.Close()
+	dt, err := NewDisk(p, 8, 4) // small fanout to force deep splits
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := uniformItems(500, 3)
+	for i, it := range items {
+		if err := dt.Insert(it.Rect, it.Data); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if dt.Len() != 500 {
+		t.Fatalf("Len = %d", dt.Len())
+	}
+	if err := dt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if dt.Depth() < 2 {
+		t.Fatalf("Depth = %d, want >= 2 with fanout 8", dt.Depth())
+	}
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 25; q++ {
+		w := geom.WindowAt(rng.Float64()*1000, rng.Float64()*100, rng.Float64()*1000, rng.Float64()*100)
+		want := bruteSearch(items, w)
+		got, _, err := dt.Query(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("window %v: got %d want %d", w, len(got), len(want))
+		}
+	}
+}
+
+func TestDiskInsertAfterBulkLoad(t *testing.T) {
+	// The §3.4 regime on disk: pack first, then keep inserting.
+	p := pager.OpenMem(256)
+	defer p.Close()
+	initial := uniformItems(300, 5)
+	dt, err := BulkLoadDisk(p, 16, 8, initial, xSortGrouper{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := uniformItems(200, 6)
+	for _, it := range extra {
+		it.Data += 10_000
+		if err := dt.Insert(it.Rect, it.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]Item(nil), initial...), func() []Item {
+		out := make([]Item, len(extra))
+		for i, it := range extra {
+			it.Data += 10_000
+			out[i] = it
+		}
+		return out
+	}()...)
+	got, _, err := dt.Query(geom.R(-1, -1, 1001, 1001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("found %d of %d items", len(got), len(all))
+	}
+}
+
+func TestDiskMetrics(t *testing.T) {
+	p := pager.OpenMem(64)
+	defer p.Close()
+	items := uniformItems(400, 7)
+	dt, err := BulkLoadDisk(p, 32, 16, items, xSortGrouper{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dt.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Items != 400 || m.Leaves == 0 || m.Coverage <= 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Nodes < m.Leaves {
+		t.Fatalf("nodes %d < leaves %d", m.Nodes, m.Leaves)
+	}
+}
+
+func TestDiskPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rtree.db")
+	p, err := pager.Open(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := uniformItems(600, 8)
+	dt, err := BulkLoadDisk(p, 0, 0, items, xSortGrouper{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := dt.Meta()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := pager.Open(path, 8) // tiny pool: force real page I/O
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	dt2 := OpenDisk(p2, meta)
+	if err := dt2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	w := geom.R(200, 200, 400, 400)
+	want := bruteSearch(items, w)
+	got, _, err := dt2.Query(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reopened query: got %d want %d", len(got), len(want))
+	}
+	if s := p2.Stats(); s.Misses == 0 {
+		t.Error("expected pager misses with a cold pool")
+	}
+}
+
+func TestDiskPackedFewerIOThanDynamic(t *testing.T) {
+	// The paper's bottom line on disk: a packed tree touches fewer
+	// pages per query than a dynamically grown one.
+	items := uniformItems(2000, 9)
+	queries := make([]geom.Rect, 200)
+	rng := rand.New(rand.NewSource(10))
+	for i := range queries {
+		queries[i] = geom.WindowAt(rng.Float64()*1000, 25, rng.Float64()*1000, 25)
+	}
+
+	measure := func(build func(p *pager.Pager) *DiskTree) int {
+		p := pager.OpenMem(512)
+		defer p.Close()
+		dt := build(p)
+		total := 0
+		for _, w := range queries {
+			_, v, err := dt.Query(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += v
+		}
+		return total
+	}
+
+	packedVisits := measure(func(p *pager.Pager) *DiskTree {
+		dt, err := BulkLoadDisk(p, 16, 8, items, tileGrouper{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dt
+	})
+	dynamicVisits := measure(func(p *pager.Pager) *DiskTree {
+		dt, err := NewDisk(p, 16, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			if err := dt.Insert(it.Rect, it.Data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dt
+	})
+	if packedVisits >= dynamicVisits {
+		t.Fatalf("packed visits %d >= dynamic %d", packedVisits, dynamicVisits)
+	}
+}
+
+func TestDiskDelete(t *testing.T) {
+	p := pager.OpenMem(256)
+	defer p.Close()
+	dt, err := NewDisk(p, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := uniformItems(400, 11)
+	for _, it := range items {
+		if err := dt.Insert(it.Rect, it.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a scrambled half, checking invariants periodically.
+	order := rand.New(rand.NewSource(12)).Perm(len(items))
+	for k, idx := range order[:200] {
+		ok, err := dt.Delete(items[idx].Rect, items[idx].Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("delete %d failed", idx)
+		}
+		if k%25 == 0 {
+			if err := dt.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", k+1, err)
+			}
+		}
+	}
+	if dt.Len() != 200 {
+		t.Fatalf("Len = %d", dt.Len())
+	}
+	if err := dt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted items are gone; survivors remain findable.
+	deleted := map[int64]bool{}
+	for _, idx := range order[:200] {
+		deleted[items[idx].Data] = true
+	}
+	got, _, err := dt.Query(geom.R(-1, -1, 1001, 1001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("query found %d, want 200", len(got))
+	}
+	for _, it := range got {
+		if deleted[it.Data] {
+			t.Fatalf("deleted item %d still present", it.Data)
+		}
+	}
+	// Double delete fails cleanly.
+	idx := order[0]
+	if ok, err := dt.Delete(items[idx].Rect, items[idx].Data); err != nil || ok {
+		t.Fatalf("double delete: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDiskDeleteAll(t *testing.T) {
+	p := pager.OpenMem(128)
+	defer p.Close()
+	dt, err := NewDisk(p, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := uniformItems(120, 13)
+	for _, it := range items {
+		if err := dt.Insert(it.Rect, it.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range items {
+		ok, err := dt.Delete(it.Rect, it.Data)
+		if err != nil || !ok {
+			t.Fatalf("delete: %v %v", ok, err)
+		}
+	}
+	if dt.Len() != 0 || dt.Depth() != 0 {
+		t.Fatalf("after deleting all: len=%d depth=%d", dt.Len(), dt.Depth())
+	}
+	// Tree stays usable.
+	for _, it := range items[:50] {
+		if err := dt.Insert(it.Rect, it.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskKNNAgainstMemory(t *testing.T) {
+	// DiskTree has no KNN; this cross-checks the in-memory KNN against
+	// a brute-force oracle instead (placed here to share uniformItems).
+	items := uniformItems(500, 14)
+	tr := New(DefaultParams())
+	insertAll(tr, items)
+	rng := rand.New(rand.NewSource(15))
+	for q := 0; q < 20; q++ {
+		p := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		k := 1 + rng.Intn(10)
+		got, visited := tr.NearestNeighbors(p, k)
+		if len(got) != k {
+			t.Fatalf("k=%d returned %d items", k, len(got))
+		}
+		if visited < 1 {
+			t.Fatal("no nodes visited")
+		}
+		// Oracle: sort distances.
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Rect.Min.Dist(p)
+		}
+		sort.Float64s(dists)
+		for i, it := range got {
+			d := it.Rect.Min.Dist(p)
+			if d > dists[i]+1e-9 {
+				t.Fatalf("k=%d neighbor %d at dist %g, oracle %g", k, i, d, dists[i])
+			}
+		}
+		// Result must be sorted nearest-first.
+		for i := 1; i < len(got); i++ {
+			if got[i].Rect.Min.Dist(p) < got[i-1].Rect.Min.Dist(p)-1e-9 {
+				t.Fatal("KNN result not sorted")
+			}
+		}
+	}
+	// Edge cases.
+	if out, _ := tr.NearestNeighbors(geom.Pt(0, 0), 0); out != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if out, _ := tr.NearestNeighbors(geom.Pt(0, 0), 10000); len(out) != tr.Len() {
+		t.Fatalf("k>n returned %d items", len(out))
+	}
+}
+
+func TestQuickDiskRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		p := pager.OpenMem(256)
+		dt, err := NewDisk(p, 6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[int64]geom.Rect{}
+		next := int64(0)
+		ops := 150 + rng.Intn(250)
+		for op := 0; op < ops; op++ {
+			if len(live) == 0 || rng.Intn(3) != 0 {
+				r := geom.Pt(rng.Float64()*1000, rng.Float64()*1000).Rect()
+				if err := dt.Insert(r, next); err != nil {
+					t.Fatal(err)
+				}
+				live[next] = r
+				next++
+			} else {
+				for id, r := range live {
+					ok, err := dt.Delete(r, id)
+					if err != nil || !ok {
+						t.Fatalf("delete %d: %v %v", id, ok, err)
+					}
+					delete(live, id)
+					break
+				}
+			}
+		}
+		if err := dt.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d after %d ops: %v", trial, ops, err)
+		}
+		if dt.Len() != len(live) {
+			t.Fatalf("trial %d: len %d, want %d", trial, dt.Len(), len(live))
+		}
+		got, _, err := dt.Query(geom.R(-1, -1, 1001, 1001))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(live) {
+			t.Fatalf("trial %d: query %d, want %d", trial, len(got), len(live))
+		}
+		for _, it := range got {
+			if _, ok := live[it.Data]; !ok {
+				t.Fatalf("trial %d: ghost item %d", trial, it.Data)
+			}
+		}
+		p.Close()
+	}
+}

@@ -1,0 +1,309 @@
+// Package storage implements slotted-page heap files over the pager:
+// the tuple store of the pictorial database. R-tree leaf entries and
+// B-tree index entries point at tuples through TupleIDs — the paper's
+// "tuple-identifier is a pointer to a data object".
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/pager"
+)
+
+// TupleID locates one tuple: the page that holds it and its slot
+// within the page. The zero TupleID is invalid.
+type TupleID struct {
+	Page pager.PageID
+	Slot uint16
+}
+
+// IsValid reports whether the id could refer to a stored tuple.
+func (id TupleID) IsValid() bool { return id.Page != pager.InvalidPage }
+
+// Int64 packs the TupleID into an int64 so it can ride in an R-tree
+// leaf entry's data pointer.
+func (id TupleID) Int64() int64 {
+	return int64(uint64(id.Page)<<16 | uint64(id.Slot))
+}
+
+// TupleIDFromInt64 unpacks an id created by Int64.
+func TupleIDFromInt64(v int64) TupleID {
+	return TupleID{Page: pager.PageID(uint64(v) >> 16), Slot: uint16(uint64(v) & 0xffff)}
+}
+
+// String formats the id as "page:slot".
+func (id TupleID) String() string { return fmt.Sprintf("%d:%d", id.Page, id.Slot) }
+
+// ErrNotFound is returned when a TupleID does not refer to a live tuple.
+var ErrNotFound = errors.New("storage: tuple not found")
+
+// ErrTooLarge is returned when a record cannot fit in a page.
+var ErrTooLarge = errors.New("storage: record larger than page capacity")
+
+// Slotted page layout:
+//
+//	offset 0:  uint16 slotCount
+//	offset 2:  uint16 freeStart   (end of slot directory growth area)
+//	offset 4:  uint16 freeEnd     (start of record data area, grows down)
+//	offset 6:  uint32 nextPage    (heap page chain)
+//	offset 10: slot directory: per slot uint16 offset, uint16 length
+//	           (offset 0xFFFF marks a dead slot)
+//	...
+//	records packed from the end of the page downwards.
+const (
+	headerSize   = 10
+	slotSize     = 4
+	deadOffset   = 0xFFFF
+	offSlotCount = 0
+	offFreeEnd   = 4
+	offNextPage  = 6
+)
+
+// MaxRecordSize is the largest record a single page can hold.
+const MaxRecordSize = pager.PageSize - headerSize - slotSize
+
+type pageView struct {
+	pg *pager.Page
+}
+
+func (v pageView) slotCount() int { return int(binary.LittleEndian.Uint16(v.pg.Data[offSlotCount:])) }
+func (v pageView) setSlotCount(n int) {
+	binary.LittleEndian.PutUint16(v.pg.Data[offSlotCount:], uint16(n))
+}
+func (v pageView) freeEnd() int { return int(binary.LittleEndian.Uint16(v.pg.Data[offFreeEnd:])) }
+func (v pageView) setFreeEnd(n int) {
+	binary.LittleEndian.PutUint16(v.pg.Data[offFreeEnd:], uint16(n))
+}
+func (v pageView) nextPage() pager.PageID {
+	return pager.PageID(binary.LittleEndian.Uint32(v.pg.Data[offNextPage:]))
+}
+func (v pageView) setNextPage(id pager.PageID) {
+	binary.LittleEndian.PutUint32(v.pg.Data[offNextPage:], uint32(id))
+}
+
+func (v pageView) slot(i int) (offset, length int) {
+	base := headerSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(v.pg.Data[base:])),
+		int(binary.LittleEndian.Uint16(v.pg.Data[base+2:]))
+}
+
+func (v pageView) setSlot(i, offset, length int) {
+	base := headerSize + i*slotSize
+	binary.LittleEndian.PutUint16(v.pg.Data[base:], uint16(offset))
+	binary.LittleEndian.PutUint16(v.pg.Data[base+2:], uint16(length))
+}
+
+// init prepares an empty slotted page.
+func (v pageView) init() {
+	v.setSlotCount(0)
+	v.setFreeEnd(pager.PageSize)
+	v.setNextPage(pager.InvalidPage)
+}
+
+// freeSpace returns the bytes available for one more record plus its
+// slot entry.
+func (v pageView) freeSpace() int {
+	dirEnd := headerSize + v.slotCount()*slotSize
+	return v.freeEnd() - dirEnd
+}
+
+// insert places rec in the page, returning its slot. The caller must
+// have checked freeSpace.
+func (v pageView) insert(rec []byte) int {
+	// Reuse a dead slot if one exists.
+	slot := -1
+	for i := 0; i < v.slotCount(); i++ {
+		if off, _ := v.slot(i); off == deadOffset {
+			slot = i
+			break
+		}
+	}
+	if slot == -1 {
+		slot = v.slotCount()
+		v.setSlotCount(slot + 1)
+	}
+	start := v.freeEnd() - len(rec)
+	copy(v.pg.Data[start:], rec)
+	v.setFreeEnd(start)
+	v.setSlot(slot, start, len(rec))
+	v.pg.MarkDirty()
+	return slot
+}
+
+// Heap is a chain of slotted pages storing variable-length records.
+type Heap struct {
+	p     *pager.Pager
+	first pager.PageID
+	last  pager.PageID
+	count int
+}
+
+// Create allocates a new empty heap in p and returns it along with the
+// PageID of its first page (store it to reopen the heap later).
+func Create(p *pager.Pager) (*Heap, pager.PageID, error) {
+	pg, err := p.Allocate()
+	if err != nil {
+		return nil, pager.InvalidPage, err
+	}
+	v := pageView{pg}
+	v.init()
+	pg.MarkDirty()
+	id := pg.ID
+	p.Unpin(pg)
+	return &Heap{p: p, first: id, last: id}, id, nil
+}
+
+// Open reattaches to a heap whose first page is first. The record
+// count is recomputed by walking the chain.
+func Open(p *pager.Pager, first pager.PageID) (*Heap, error) {
+	h := &Heap{p: p, first: first, last: first}
+	id := first
+	for id != pager.InvalidPage {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		v := pageView{pg}
+		for i := 0; i < v.slotCount(); i++ {
+			if off, _ := v.slot(i); off != deadOffset {
+				h.count++
+			}
+		}
+		h.last = id
+		id = v.nextPage()
+		p.Unpin(pg)
+	}
+	return h, nil
+}
+
+// FirstPage returns the PageID of the heap's first page.
+func (h *Heap) FirstPage() pager.PageID { return h.first }
+
+// Len returns the number of live records.
+func (h *Heap) Len() int { return h.count }
+
+// Insert appends a record and returns its TupleID.
+func (h *Heap) Insert(rec []byte) (TupleID, error) {
+	if len(rec) > MaxRecordSize {
+		return TupleID{}, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(rec), MaxRecordSize)
+	}
+	pg, err := h.p.Fetch(h.last)
+	if err != nil {
+		return TupleID{}, err
+	}
+	v := pageView{pg}
+	if v.freeSpace() < len(rec)+slotSize {
+		// Chain a fresh page.
+		npg, err := h.p.Allocate()
+		if err != nil {
+			h.p.Unpin(pg)
+			return TupleID{}, err
+		}
+		nv := pageView{npg}
+		nv.init()
+		v.setNextPage(npg.ID)
+		pg.MarkDirty()
+		npg.MarkDirty()
+		h.p.Unpin(pg)
+		h.last = npg.ID
+		pg, v = npg, nv
+	}
+	slot := v.insert(rec)
+	id := TupleID{Page: pg.ID, Slot: uint16(slot)}
+	h.p.Unpin(pg)
+	h.count++
+	return id, nil
+}
+
+// Get returns a copy of the record at id.
+func (h *Heap) Get(id TupleID) ([]byte, error) {
+	pg, err := h.p.Fetch(id.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.p.Unpin(pg)
+	v := pageView{pg}
+	if int(id.Slot) >= v.slotCount() {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	off, length := v.slot(int(id.Slot))
+	if off == deadOffset {
+		return nil, fmt.Errorf("%w: %v (deleted)", ErrNotFound, id)
+	}
+	out := make([]byte, length)
+	copy(out, pg.Data[off:off+length])
+	return out, nil
+}
+
+// Delete removes the record at id. Space within the page is not
+// compacted (records are never updated in place in this static-
+// database design), but the slot becomes reusable.
+func (h *Heap) Delete(id TupleID) error {
+	pg, err := h.p.Fetch(id.Page)
+	if err != nil {
+		return err
+	}
+	defer h.p.Unpin(pg)
+	v := pageView{pg}
+	if int(id.Slot) >= v.slotCount() {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	if off, _ := v.slot(int(id.Slot)); off == deadOffset {
+		return fmt.Errorf("%w: %v (already deleted)", ErrNotFound, id)
+	}
+	v.setSlot(int(id.Slot), deadOffset, 0)
+	pg.MarkDirty()
+	h.count--
+	return nil
+}
+
+// Free returns every page of the heap to the pager's free list; the
+// heap must not be used afterwards. Used when a heap is replaced
+// wholesale (e.g. superseded catalog snapshots).
+func (h *Heap) Free() error {
+	id := h.first
+	for id != pager.InvalidPage {
+		pg, err := h.p.Fetch(id)
+		if err != nil {
+			return err
+		}
+		next := pageView{pg}.nextPage()
+		h.p.Unpin(pg)
+		if err := h.p.Free(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	h.count = 0
+	return nil
+}
+
+// Scan calls fn for every live record in storage order; returning
+// false stops the scan. The record slice is only valid during the
+// call.
+func (h *Heap) Scan(fn func(id TupleID, rec []byte) bool) error {
+	id := h.first
+	for id != pager.InvalidPage {
+		pg, err := h.p.Fetch(id)
+		if err != nil {
+			return err
+		}
+		v := pageView{pg}
+		for i := 0; i < v.slotCount(); i++ {
+			off, length := v.slot(i)
+			if off == deadOffset {
+				continue
+			}
+			if !fn(TupleID{Page: id, Slot: uint16(i)}, pg.Data[off:off+length]) {
+				h.p.Unpin(pg)
+				return nil
+			}
+		}
+		next := v.nextPage()
+		h.p.Unpin(pg)
+		id = next
+	}
+	return nil
+}

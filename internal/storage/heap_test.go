@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+func newHeap(t *testing.T) *Heap {
+	t.Helper()
+	p := pager.OpenMem(16)
+	t.Cleanup(func() { p.Close() })
+	h, _, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestInsertGetRoundtrip(t *testing.T) {
+	h := newHeap(t)
+	recs := [][]byte{
+		[]byte("alpha"),
+		[]byte(""),
+		bytes.Repeat([]byte("x"), 1000),
+		[]byte("delta"),
+	}
+	var ids []TupleID
+	for _, r := range recs {
+		id, err := h.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if h.Len() != len(recs) {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for i, id := range ids {
+		got, err := h.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Fatalf("record %d: got %q", i, got)
+		}
+	}
+}
+
+func TestInsertSpillsAcrossPages(t *testing.T) {
+	h := newHeap(t)
+	rec := bytes.Repeat([]byte("p"), 1200)
+	var ids []TupleID
+	for i := 0; i < 20; i++ { // 20 * 1.2KB >> one 4KB page
+		id, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	pages := map[pager.PageID]bool{}
+	for _, id := range ids {
+		pages[id.Page] = true
+		if _, err := h.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(pages) < 2 {
+		t.Fatalf("expected records across multiple pages, got %d page(s)", len(pages))
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	h := newHeap(t)
+	if _, err := h.Insert(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	// Exactly max fits.
+	if _, err := h.Insert(make([]byte, MaxRecordSize)); err != nil {
+		t.Fatalf("max-size record rejected: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Insert([]byte("a"))
+	b, _ := h.Insert([]byte("b"))
+	if err := h.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if _, err := h.Get(a); err == nil {
+		t.Fatal("deleted record still readable")
+	}
+	if err := h.Delete(a); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if got, err := h.Get(b); err != nil || string(got) != "b" {
+		t.Fatalf("unrelated record damaged: %q, %v", got, err)
+	}
+}
+
+func TestDeadSlotReuse(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Insert([]byte("victim"))
+	h.Insert([]byte("keeper"))
+	if err := h.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	c, err := h.Insert([]byte("reuser"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Page != a.Page || c.Slot != a.Slot {
+		t.Fatalf("dead slot not reused: got %v, want %v", c, a)
+	}
+}
+
+func TestScan(t *testing.T) {
+	h := newHeap(t)
+	want := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		rec := fmt.Sprintf("record-%02d", i)
+		h.Insert([]byte(rec))
+		want[rec] = true
+	}
+	// Delete a few.
+	i := 0
+	h.Scan(func(id TupleID, rec []byte) bool {
+		if i%7 == 0 {
+			delete(want, string(rec))
+			defer h.Delete(id)
+		}
+		i++
+		return true
+	})
+	got := map[string]bool{}
+	if err := h.Scan(func(_ TupleID, rec []byte) bool {
+		got[string(rec)] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan saw %d records, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("scan missed %q", k)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	h := newHeap(t)
+	for i := 0; i < 10; i++ {
+		h.Insert([]byte{byte(i)})
+	}
+	n := 0
+	h.Scan(func(TupleID, []byte) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop saw %d", n)
+	}
+}
+
+func TestTupleIDInt64Roundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		id := TupleID{Page: pager.PageID(rng.Uint32()), Slot: uint16(rng.Uint32())}
+		if got := TupleIDFromInt64(id.Int64()); got != id {
+			t.Fatalf("roundtrip %v -> %v", id, got)
+		}
+	}
+	if TupleID.IsValid(TupleID{}) {
+		t.Fatal("zero TupleID should be invalid")
+	}
+}
+
+func TestHeapReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.db")
+	p, err := pager.Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, first, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []TupleID
+	for i := 0; i < 100; i++ {
+		id, err := h.Insert([]byte(fmt.Sprintf("tuple %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	h.Delete(ids[3])
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := pager.Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	h2, err := Open(p2, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != 99 {
+		t.Fatalf("reopened Len = %d, want 99", h2.Len())
+	}
+	got, err := h2.Get(ids[42])
+	if err != nil || string(got) != "tuple 42" {
+		t.Fatalf("reopened Get = %q, %v", got, err)
+	}
+	if _, err := h2.Get(ids[3]); err == nil {
+		t.Fatal("deleted tuple resurrected after reopen")
+	}
+	// The heap remains appendable after reopen.
+	if _, err := h2.Insert([]byte("new after reopen")); err != nil {
+		t.Fatal(err)
+	}
+}

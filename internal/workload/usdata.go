@@ -1,0 +1,199 @@
+package workload
+
+import "repro/internal/geom"
+
+// Built-in geographic datasets standing in for the paper's digitized
+// pictures. Coordinates are real latitude/longitude projected onto
+// the [0,1000]^2 frame with a plate carrée mapping of the continental
+// US: longitude -125..-67 -> x 0..1000, latitude 24..49 -> y 0..1000.
+// Populations are 1980-census values, matching the paper's era (its
+// example selects cities with population > 450,000).
+
+// City is one row of the cities relation.
+type City struct {
+	Name       string
+	State      string
+	Population int64
+	Pos        geom.Point
+}
+
+// Region is one row of a region relation (states, time zones, lakes).
+type Region struct {
+	Name string
+	// Attr carries the relation-specific attribute: population density
+	// for states, hour difference for time zones, area for lakes.
+	Attr float64
+	Poly geom.Polygon
+}
+
+// Highway is one row of the highways relation.
+type Highway struct {
+	Name    string
+	Section string
+	Seg     geom.Segment
+}
+
+// project maps (lat, lon) to frame coordinates.
+func project(lat, lon float64) geom.Point {
+	x := (lon + 125) / 58 * 1000
+	y := (lat - 24) / 25 * 1000
+	return geom.Pt(x, y)
+}
+
+// USCities returns the largest US cities (1980 census).
+func USCities() []City {
+	raw := []struct {
+		name, state string
+		pop         int64
+		lat, lon    float64
+	}{
+		{"New York", "NY", 7071639, 40.71, -74.01},
+		{"Chicago", "IL", 3005072, 41.88, -87.63},
+		{"Los Angeles", "CA", 2966850, 34.05, -118.24},
+		{"Philadelphia", "PA", 1688210, 39.95, -75.17},
+		{"Houston", "TX", 1595138, 29.76, -95.37},
+		{"Detroit", "MI", 1203339, 42.33, -83.05},
+		{"Dallas", "TX", 904078, 32.78, -96.80},
+		{"San Diego", "CA", 875538, 32.72, -117.16},
+		{"Phoenix", "AZ", 789704, 33.45, -112.07},
+		{"Baltimore", "MD", 786775, 39.29, -76.61},
+		{"San Antonio", "TX", 785880, 29.42, -98.49},
+		{"Indianapolis", "IN", 700807, 39.77, -86.16},
+		{"San Francisco", "CA", 678974, 37.77, -122.42},
+		{"Memphis", "TN", 646356, 35.15, -90.05},
+		{"Washington", "DC", 638333, 38.91, -77.04},
+		{"Milwaukee", "WI", 636212, 43.04, -87.91},
+		{"San Jose", "CA", 629442, 37.34, -121.89},
+		{"Cleveland", "OH", 573822, 41.50, -81.69},
+		{"Columbus", "OH", 564871, 39.96, -83.00},
+		{"Boston", "MA", 562994, 42.36, -71.06},
+		{"New Orleans", "LA", 557515, 29.95, -90.07},
+		{"Jacksonville", "FL", 540920, 30.33, -81.66},
+		{"Seattle", "WA", 493846, 47.61, -122.33},
+		{"Denver", "CO", 492365, 39.74, -104.99},
+		{"Nashville", "TN", 455651, 36.16, -86.78},
+		{"St. Louis", "MO", 453085, 38.63, -90.20},
+		{"Kansas City", "MO", 448159, 39.10, -94.58},
+		{"El Paso", "TX", 425259, 31.76, -106.49},
+		{"Atlanta", "GA", 425022, 33.75, -84.39},
+		{"Pittsburgh", "PA", 423938, 40.44, -80.00},
+		{"Oklahoma City", "OK", 403213, 35.47, -97.52},
+		{"Cincinnati", "OH", 385457, 39.10, -84.51},
+		{"Fort Worth", "TX", 385164, 32.76, -97.33},
+		{"Minneapolis", "MN", 370951, 44.98, -93.27},
+		{"Portland", "OR", 366383, 45.52, -122.68},
+		{"Honolulu-Stub", "NV", 365048, 36.17, -115.14}, // placed at Las Vegas's site to stay on the continental frame
+		{"Long Beach", "CA", 361334, 33.77, -118.19},
+		{"Tulsa", "OK", 360919, 36.15, -95.99},
+		{"Buffalo", "NY", 357870, 42.89, -78.88},
+		{"Toledo", "OH", 354635, 41.65, -83.54},
+		{"Miami", "FL", 346865, 25.76, -80.19},
+		{"Austin", "TX", 345890, 30.27, -97.74},
+		{"Oakland", "CA", 339337, 37.80, -122.27},
+		{"Albuquerque", "NM", 331767, 35.08, -106.65},
+		{"Tucson", "AZ", 330537, 32.22, -110.97},
+		{"Newark", "NJ", 329248, 40.74, -74.17},
+		{"Charlotte", "NC", 314447, 35.23, -80.84},
+		{"Omaha", "NE", 314255, 41.26, -95.93},
+	}
+	out := make([]City, len(raw))
+	for i, c := range raw {
+		out[i] = City{Name: c.name, State: c.state, Population: c.pop, Pos: project(c.lat, c.lon)}
+	}
+	return out
+}
+
+// rectRegion builds a rectangular region polygon from lat/lon bounds.
+func rectRegion(name string, attr, latLo, lonLo, latHi, lonHi float64) Region {
+	a := project(latLo, lonLo)
+	b := project(latHi, lonHi)
+	return Region{
+		Name: name,
+		Attr: attr,
+		Poly: geom.RectPoly(geom.R(a.X, a.Y, b.X, b.Y)),
+	}
+}
+
+// USStates returns simplified rectangular outlines of a selection of
+// states; Attr is 1980 population density (people per square mile).
+func USStates() []Region {
+	return []Region{
+		rectRegion("California", 151.4, 32.5, -124.4, 42.0, -114.1),
+		rectRegion("Texas", 54.3, 25.8, -106.6, 36.5, -93.5),
+		rectRegion("New York", 370.6, 40.5, -79.8, 45.0, -71.9),
+		rectRegion("Florida", 180.0, 24.5, -87.6, 31.0, -80.0),
+		rectRegion("Ohio", 263.3, 38.4, -84.8, 41.98, -80.5),
+		rectRegion("Illinois", 205.3, 37.0, -91.5, 42.5, -87.5),
+		rectRegion("Pennsylvania", 264.3, 39.7, -80.5, 42.3, -74.7),
+		rectRegion("Michigan", 162.6, 41.7, -90.4, 48.3, -82.4),
+		rectRegion("Georgia", 94.1, 30.4, -85.6, 35.0, -80.8),
+		rectRegion("Maryland", 428.7, 37.9, -79.5, 39.7, -75.0),
+		rectRegion("Virginia", 134.7, 36.5, -83.7, 39.5, -75.2),
+		rectRegion("Massachusetts", 733.3, 41.2, -73.5, 42.9, -69.9),
+		rectRegion("Washington", 62.1, 45.5, -124.8, 49.0, -116.9),
+		rectRegion("Colorado", 27.9, 37.0, -109.1, 41.0, -102.0),
+		rectRegion("Arizona", 23.9, 31.3, -114.8, 37.0, -109.0),
+		rectRegion("Tennessee", 111.6, 35.0, -90.3, 36.7, -81.6),
+		rectRegion("Missouri", 71.3, 36.0, -95.8, 40.6, -89.1),
+		rectRegion("Wisconsin", 86.5, 42.5, -92.9, 47.1, -86.8),
+		rectRegion("Minnesota", 51.2, 43.5, -97.2, 49.0, -89.5),
+		rectRegion("Louisiana", 94.5, 29.0, -94.0, 33.0, -89.0),
+	}
+}
+
+// USTimeZones returns the four continental time-zone bands; Attr is
+// the offset from UTC (standard time).
+func USTimeZones() []Region {
+	return []Region{
+		rectRegion("Eastern", -5, 24, -85, 49, -67),
+		rectRegion("Central", -6, 24, -102, 49, -85),
+		rectRegion("Mountain", -7, 24, -114, 49, -102),
+		rectRegion("Pacific", -8, 24, -125, 49, -114),
+	}
+}
+
+// USLakes returns simplified outlines of the Great Lakes plus the
+// Great Salt Lake; Attr is surface area in square miles.
+func USLakes() []Region {
+	tri := func(name string, attr float64, pts ...geom.Point) Region {
+		return Region{Name: name, Attr: attr, Poly: geom.Poly(pts...)}
+	}
+	return []Region{
+		tri("Superior", 31700,
+			project(46.5, -92.1), project(48.8, -89.3), project(47.5, -84.4), project(46.5, -87.0)),
+		tri("Michigan", 22300,
+			project(41.7, -87.5), project(45.9, -87.1), project(45.9, -84.8), project(41.7, -86.2)),
+		tri("Huron", 23000,
+			project(43.0, -83.9), project(46.3, -84.1), project(45.9, -81.2), project(43.1, -81.7)),
+		tri("Erie", 9910,
+			project(41.4, -83.5), project(42.9, -80.0), project(42.6, -78.9), project(41.4, -81.4)),
+		tri("Ontario", 7340,
+			project(43.2, -79.8), project(44.2, -76.5), project(43.6, -76.2), project(43.2, -78.7)),
+		tri("Great Salt", 1700,
+			project(40.7, -112.9), project(41.7, -112.9), project(41.7, -112.0), project(40.7, -112.2)),
+	}
+}
+
+// USHighways returns a few interstate highway sections as segments.
+func USHighways() []Highway {
+	seg := func(name, section string, lat1, lon1, lat2, lon2 float64) Highway {
+		return Highway{Name: name, Section: section, Seg: geom.Seg(project(lat1, lon1), project(lat2, lon2))}
+	}
+	return []Highway{
+		seg("I-95", "Miami-Jacksonville", 25.76, -80.19, 30.33, -81.66),
+		seg("I-95", "Jacksonville-DC", 30.33, -81.66, 38.91, -77.04),
+		seg("I-95", "DC-NewYork", 38.91, -77.04, 40.71, -74.01),
+		seg("I-95", "NewYork-Boston", 40.71, -74.01, 42.36, -71.06),
+		seg("I-10", "LA-Phoenix", 34.05, -118.24, 33.45, -112.07),
+		seg("I-10", "Phoenix-ElPaso", 33.45, -112.07, 31.76, -106.49),
+		seg("I-10", "ElPaso-SanAntonio", 31.76, -106.49, 29.42, -98.49),
+		seg("I-10", "SanAntonio-Houston", 29.42, -98.49, 29.76, -95.37),
+		seg("I-10", "Houston-NewOrleans", 29.76, -95.37, 29.95, -90.07),
+		seg("I-90", "Seattle-Chicago", 47.61, -122.33, 41.88, -87.63),
+		seg("I-90", "Chicago-Boston", 41.88, -87.63, 42.36, -71.06),
+		seg("I-5", "SanDiego-LA", 32.72, -117.16, 34.05, -118.24),
+		seg("I-5", "LA-SanFrancisco", 34.05, -118.24, 37.77, -122.42),
+		seg("I-5", "SanFrancisco-Portland", 37.77, -122.42, 45.52, -122.68),
+		seg("I-5", "Portland-Seattle", 45.52, -122.68, 47.61, -122.33),
+	}
+}

@@ -1,0 +1,123 @@
+// Package workload provides deterministic data and query generators
+// for the experiments, plus the built-in geographic datasets (US
+// cities, states, time zones, lakes, highways) used by the PSQL
+// examples — our stand-in for the paper's digitized us-map,
+// time-zone-map and lake-map pictures.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// Frame is the paper's coordinate frame: points are drawn with
+// 0 <= x <= 1000, 0 <= y <= 1000.
+var Frame = geom.R(0, 0, 1000, 1000)
+
+// UniformPoints returns n points uniform over Frame — the paper's
+// Table 1 workload. The same seed always yields the same points.
+func UniformPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	return out
+}
+
+// ClusteredPoints returns n points grouped into k Gaussian clusters
+// with the given standard deviation — the shape of real chartographic
+// data (cities cluster along coasts and rivers), where packing shines
+// hardest.
+func ClusteredPoints(n, k int, stddev float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	out := make([]geom.Point, n)
+	for i := range out {
+		c := centers[rng.Intn(k)]
+		x := clamp(c.X+rng.NormFloat64()*stddev, 0, 1000)
+		y := clamp(c.Y+rng.NormFloat64()*stddev, 0, 1000)
+		out[i] = geom.Pt(x, y)
+	}
+	return out
+}
+
+// SkewedPoints returns n points with density decaying along x
+// (population-like skew): x is drawn as 1000*u^3.
+func SkewedPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, n)
+	for i := range out {
+		u := rng.Float64()
+		out[i] = geom.Pt(1000*u*u*u, rng.Float64()*1000)
+	}
+	return out
+}
+
+// UniformRects returns n rectangles with corners uniform in Frame and
+// the given maximum side length — region-like data objects.
+func UniformRects(n int, maxSide float64, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Rect, n)
+	for i := range out {
+		x := rng.Float64() * (1000 - maxSide)
+		y := rng.Float64() * (1000 - maxSide)
+		w := rng.Float64() * maxSide
+		h := rng.Float64() * maxSide
+		out[i] = geom.R(x, y, x+w, y+h)
+	}
+	return out
+}
+
+// PointItems converts points to R-tree items with sequential data ids.
+func PointItems(pts []geom.Point) []rtree.Item {
+	out := make([]rtree.Item, len(pts))
+	for i, p := range pts {
+		out[i] = rtree.Item{Rect: p.Rect(), Data: int64(i)}
+	}
+	return out
+}
+
+// RectItems converts rectangles to R-tree items with sequential ids.
+func RectItems(rs []geom.Rect) []rtree.Item {
+	out := make([]rtree.Item, len(rs))
+	for i, r := range rs {
+		out[i] = rtree.Item{Rect: r, Data: int64(i)}
+	}
+	return out
+}
+
+// QueryPoints returns n random probe points for the Table 1 query
+// "Is point (x,y) contained in the database?".
+func QueryPoints(n int, seed int64) []geom.Point {
+	return UniformPoints(n, seed)
+}
+
+// QueryWindows returns n random query windows whose half-extents are
+// drawn up to maxHalf, for window-search experiments.
+func QueryWindows(n int, maxHalf float64, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Rect, n)
+	for i := range out {
+		out[i] = geom.WindowAt(
+			rng.Float64()*1000, rng.Float64()*maxHalf,
+			rng.Float64()*1000, rng.Float64()*maxHalf,
+		)
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestUniformPointsDeterministicAndInFrame(t *testing.T) {
+	a := UniformPoints(500, 42)
+	b := UniformPoints(500, 42)
+	c := UniformPoints(500, 43)
+	if len(a) != 500 {
+		t.Fatalf("len = %d", len(a))
+	}
+	diff := false
+	for i := range a {
+		if !a[i].Eq(b[i]) {
+			t.Fatal("same seed produced different points")
+		}
+		if !a[i].Eq(c[i]) {
+			diff = true
+		}
+		if !Frame.ContainsPoint(a[i]) {
+			t.Fatalf("point %v outside frame", a[i])
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical points")
+	}
+}
+
+func TestClusteredPointsInFrame(t *testing.T) {
+	pts := ClusteredPoints(1000, 8, 30, 7)
+	if len(pts) != 1000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !Frame.ContainsPoint(p) {
+			t.Fatalf("point %v outside frame", p)
+		}
+	}
+	// Clustered data must be measurably more concentrated than
+	// uniform: the average nearest-cluster spread is bounded by the
+	// construction, so just check the bounding box is the full frame
+	// scale but local density varies — count occupied 100x100 cells.
+	occupied := map[[2]int]int{}
+	for _, p := range pts {
+		occupied[[2]int{int(p.X / 100), int(p.Y / 100)}]++
+	}
+	if len(occupied) >= 95 {
+		t.Fatalf("clustered points occupy %d of 100 cells — looks uniform", len(occupied))
+	}
+}
+
+func TestSkewedPoints(t *testing.T) {
+	pts := SkewedPoints(2000, 11)
+	low, high := 0, 0
+	for _, p := range pts {
+		if !Frame.ContainsPoint(p) {
+			t.Fatalf("point %v outside frame", p)
+		}
+		if p.X < 250 {
+			low++
+		}
+		if p.X > 750 {
+			high++
+		}
+	}
+	if low <= high*2 {
+		t.Fatalf("skew missing: %d low vs %d high", low, high)
+	}
+}
+
+func TestUniformRects(t *testing.T) {
+	rs := UniformRects(300, 50, 13)
+	for _, r := range rs {
+		if r.Width() > 50 || r.Height() > 50 {
+			t.Fatalf("rect %v exceeds max side", r)
+		}
+		if !Frame.Contains(r) {
+			t.Fatalf("rect %v outside frame", r)
+		}
+	}
+}
+
+func TestItemsConversion(t *testing.T) {
+	pts := UniformPoints(10, 1)
+	items := PointItems(pts)
+	for i, it := range items {
+		if it.Data != int64(i) || !it.Rect.Min.Eq(pts[i]) {
+			t.Fatalf("item %d = %+v", i, it)
+		}
+	}
+	rects := UniformRects(10, 20, 2)
+	ritems := RectItems(rects)
+	for i, it := range ritems {
+		if it.Data != int64(i) || !it.Rect.Eq(rects[i]) {
+			t.Fatalf("rect item %d = %+v", i, it)
+		}
+	}
+}
+
+func TestQueryWindows(t *testing.T) {
+	ws := QueryWindows(100, 80, 3)
+	for _, w := range ws {
+		if w.IsEmpty() {
+			t.Fatal("empty window generated")
+		}
+		if w.Width() > 160 || w.Height() > 160 {
+			t.Fatalf("window %v exceeds max extent", w)
+		}
+	}
+}
+
+func TestUSDatasets(t *testing.T) {
+	cities := USCities()
+	if len(cities) < 40 {
+		t.Fatalf("only %d cities", len(cities))
+	}
+	seen := map[string]bool{}
+	for _, c := range cities {
+		if seen[c.Name] {
+			t.Fatalf("duplicate city %q", c.Name)
+		}
+		seen[c.Name] = true
+		if !Frame.ContainsPoint(c.Pos) {
+			t.Fatalf("%s at %v outside frame", c.Name, c.Pos)
+		}
+		if c.Population <= 0 {
+			t.Fatalf("%s has population %d", c.Name, c.Population)
+		}
+	}
+	// NYC must be east of LA, Seattle north of Miami.
+	pos := map[string]geom.Point{}
+	for _, c := range cities {
+		pos[c.Name] = c.Pos
+	}
+	if pos["New York"].X <= pos["Los Angeles"].X {
+		t.Error("geography wrong: NYC not east of LA")
+	}
+	if pos["Seattle"].Y <= pos["Miami"].Y {
+		t.Error("geography wrong: Seattle not north of Miami")
+	}
+
+	states := USStates()
+	if len(states) < 15 {
+		t.Fatalf("only %d states", len(states))
+	}
+	for _, s := range states {
+		if s.Poly.Area() <= 0 {
+			t.Fatalf("state %s has no area", s.Name)
+		}
+	}
+
+	zones := USTimeZones()
+	if len(zones) != 4 {
+		t.Fatalf("zones = %d", len(zones))
+	}
+	// Zones must tile the frame horizontally: every x has exactly one
+	// zone at mid-height.
+	for x := 5.0; x < 1000; x += 10 {
+		n := 0
+		for _, z := range zones {
+			if z.Poly.ContainsPoint(geom.Pt(x, 500)) {
+				n++
+			}
+		}
+		if n < 1 || n > 2 { // boundaries may touch
+			t.Fatalf("x=%g covered by %d zones", x, n)
+		}
+	}
+
+	lakes := USLakes()
+	if len(lakes) != 6 {
+		t.Fatalf("lakes = %d", len(lakes))
+	}
+	hws := USHighways()
+	if len(hws) < 10 {
+		t.Fatalf("highways = %d", len(hws))
+	}
+	for _, h := range hws {
+		if h.Seg.Length() <= 0 {
+			t.Fatalf("%s %s has zero length", h.Name, h.Section)
+		}
+	}
+}

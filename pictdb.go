@@ -1,0 +1,258 @@
+// Package pictdb is a pictorial database engine with direct spatial
+// search over packed R-trees, reproducing Roussopoulos & Leifker,
+// "Direct Spatial Search on Pictorial Databases Using Packed R-trees"
+// (SIGMOD 1985).
+//
+// A Database holds relations (tables over alphanumeric and pictorial
+// domains), pictures (named maps of point/segment/region objects), and
+// named locations. Relations associate with pictures through loc
+// columns; each association is indexed by a packed R-tree built with
+// the paper's PACK algorithm (or any of its descendants: lowx, STR,
+// Hilbert, rotation packing). Queries are written in PSQL, the paper's
+// pictorial query language:
+//
+//	db := pictdb.New()
+//	... define pictures and relations ...
+//	res, err := db.Query(`
+//	    select city, state, population, loc
+//	    from   cities
+//	    on     us-map
+//	    at     loc covered-by {750±250, 500±500}
+//	    where  population > 450000`)
+//
+// The packages under internal/ expose the individual systems: the
+// R-tree and PACK, the B-tree and slotted-page storage substrates, the
+// geometry kernel, and the experiment harness that regenerates the
+// paper's Table 1 and figures.
+package pictdb
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/pack"
+	"repro/internal/pager"
+	"repro/internal/picture"
+	"repro/internal/psql"
+	"repro/internal/relation"
+	"repro/internal/rtree"
+)
+
+// Re-exported geometry aliases so applications can use the public API
+// without importing internal packages.
+type (
+	// Point is a planar location.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle (MBR).
+	Rect = geom.Rect
+	// Segment is a line segment.
+	Segment = geom.Segment
+	// Polygon is a polygonal region.
+	Polygon = geom.Polygon
+	// Picture is a named map of spatial objects.
+	Picture = picture.Picture
+	// ObjectID identifies an object within a picture.
+	ObjectID = picture.ObjectID
+	// Relation is a table with alphanumeric and spatial indexes.
+	Relation = relation.Relation
+	// Schema describes relation columns.
+	Schema = relation.Schema
+	// Tuple is one relation row.
+	Tuple = relation.Tuple
+	// Value is one column value.
+	Value = relation.Value
+	// Column is one schema column.
+	Column = relation.Column
+	// ColumnType enumerates the column domains.
+	ColumnType = relation.Type
+	// Result is a PSQL query result.
+	Result = psql.Result
+	// PackOptions configures spatial index packing.
+	PackOptions = pack.Options
+	// RTreeParams configures R-tree branching.
+	RTreeParams = rtree.Params
+)
+
+// Value constructors, re-exported.
+var (
+	// Pt builds a Point.
+	Pt = geom.Pt
+	// R builds a Rect from two corners.
+	R = geom.R
+	// WindowAt builds a Rect from the PSQL {cx±dx, cy±dy} form.
+	WindowAt = geom.WindowAt
+	// Seg builds a Segment.
+	Seg = geom.Seg
+	// Poly builds a Polygon.
+	Poly = geom.Poly
+	// I, F, S, L build int, float, string and loc values.
+	I = relation.I
+	F = relation.F
+	S = relation.S
+	L = relation.L
+)
+
+// Packing method re-exports.
+const (
+	// PackNN is the paper's nearest-neighbor PACK.
+	PackNN = pack.MethodNN
+	// PackLowX is plain ascending-x packing.
+	PackLowX = pack.MethodLowX
+	// PackSTR is Sort-Tile-Recursive packing.
+	PackSTR = pack.MethodSTR
+	// PackHilbert is Hilbert-curve packing.
+	PackHilbert = pack.MethodHilbert
+	// PackRotate is the Theorem 3.2 rotation packing.
+	PackRotate = pack.MethodRotate
+	// PackNNArea is PACK with greedy least-enlargement grouping.
+	PackNNArea = pack.MethodNNArea
+)
+
+// MustSchema builds a schema from "name:type" specs, panicking on
+// malformed specs.
+var MustSchema = relation.MustSchema
+
+// NewSchema builds a schema from "name:type" specs.
+var NewSchema = relation.NewSchema
+
+// Database is an integrated pictorial/alphanumeric database: the
+// catalog PSQL queries run against.
+type Database struct {
+	pager     *pager.Pager
+	relations map[string]*relation.Relation
+	pictures  map[string]*picture.Picture
+	locations map[string]geom.Rect
+	exec      *psql.Executor
+}
+
+// New creates an in-memory database.
+func New() *Database {
+	db := &Database{
+		pager:     pager.OpenMem(1024),
+		relations: make(map[string]*relation.Relation),
+		pictures:  make(map[string]*picture.Picture),
+		locations: make(map[string]geom.Rect),
+	}
+	db.exec = psql.NewExecutor(db)
+	if err := db.ensureSuperblock(); err != nil {
+		// The in-memory pager cannot fail to allocate its first page.
+		panic(err)
+	}
+	return db
+}
+
+// Open creates a database whose tuple heaps persist in a page file at
+// path, with a buffer pool of poolPages pages.
+func Open(path string, poolPages int) (*Database, error) {
+	p, err := pager.Open(path, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		pager:     p,
+		relations: make(map[string]*relation.Relation),
+		pictures:  make(map[string]*picture.Picture),
+		locations: make(map[string]geom.Rect),
+	}
+	db.exec = psql.NewExecutor(db)
+	if err := db.ensureSuperblock(); err != nil {
+		p.Close()
+		return nil, err
+	}
+	if err := db.loadCatalog(); err != nil {
+		p.Close()
+		return nil, fmt.Errorf("pictdb: loading catalog: %w", err)
+	}
+	return db, nil
+}
+
+// openRelation reopens a persisted relation (catalog reload path).
+func openRelation(db *Database, name string, schema Schema, first pager.PageID) (*Relation, error) {
+	return relation.Open(db.pager, name, schema, first)
+}
+
+// Close flushes and closes the underlying storage.
+func (db *Database) Close() error { return db.pager.Close() }
+
+// NumPages reports the size of the underlying page file in pages.
+func (db *Database) NumPages() int { return db.pager.NumPages() }
+
+// CreateRelation defines a new relation.
+func (db *Database) CreateRelation(name string, schema Schema) (*Relation, error) {
+	if _, dup := db.relations[name]; dup {
+		return nil, fmt.Errorf("pictdb: relation %q already exists", name)
+	}
+	rel, err := relation.New(db.pager, name, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.relations[name] = rel
+	return rel, nil
+}
+
+// CreatePicture defines a new picture covering extent.
+func (db *Database) CreatePicture(name string, extent Rect) (*Picture, error) {
+	if _, dup := db.pictures[name]; dup {
+		return nil, fmt.Errorf("pictdb: picture %q already exists", name)
+	}
+	p := picture.New(name, extent)
+	db.pictures[name] = p
+	return p, nil
+}
+
+// DefineLocation names a constant area usable in at-clauses — the
+// paper's locations "predefined outside the retrieve mapping".
+func (db *Database) DefineLocation(name string, area Rect) {
+	db.locations[name] = area
+}
+
+// Relation implements psql.Catalog.
+func (db *Database) Relation(name string) (*relation.Relation, bool) {
+	r, ok := db.relations[name]
+	return r, ok
+}
+
+// Picture implements psql.Catalog.
+func (db *Database) Picture(name string) (*picture.Picture, bool) {
+	p, ok := db.pictures[name]
+	return p, ok
+}
+
+// Location implements psql.Catalog.
+func (db *Database) Location(name string) (geom.Rect, bool) {
+	r, ok := db.locations[name]
+	return r, ok
+}
+
+// Query parses and executes a PSQL mapping.
+func (db *Database) Query(src string) (*Result, error) {
+	return db.exec.Run(src)
+}
+
+// RegisterFunc installs an application-defined PSQL function.
+func (db *Database) RegisterFunc(name string, f psql.Func) {
+	db.exec.RegisterFunc(name, f)
+}
+
+// Render draws the objects referenced by the result's loc pointers on
+// their picture, clipped to window — the graphical half of the paper's
+// two output devices. All locs must reference the same picture; locs
+// referencing other pictures are skipped.
+func (db *Database) Render(res *Result, pictureName string, window Rect) (string, error) {
+	pic, ok := db.pictures[pictureName]
+	if !ok {
+		return "", fmt.Errorf("pictdb: unknown picture %q", pictureName)
+	}
+	var objs []picture.Object
+	seen := map[picture.ObjectID]bool{}
+	for _, loc := range res.Locs {
+		if loc.Picture != pictureName || seen[loc.Object] {
+			continue
+		}
+		seen[loc.Object] = true
+		if o, ok := pic.Get(loc.Object); ok {
+			objs = append(objs, o)
+		}
+	}
+	return picture.DefaultRenderer().Render(window, objs), nil
+}
