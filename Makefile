@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check build test race vet bench table1 parbench clean
+
+# The gate: everything must vet, build, and pass under the race
+# detector (the concurrent read path and parallel PACK are exercised
+# by dedicated -race stress tests).
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Paper reproduction targets.
+table1:
+	$(GO) run ./cmd/rtreebench
+
+parbench:
+	$(GO) run ./cmd/rtreebench -parbench
+
+clean:
+	$(GO) clean ./...

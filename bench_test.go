@@ -29,6 +29,7 @@ import (
 func BenchmarkTable1Insert(b *testing.B) {
 	for _, j := range experiments.PaperJs() {
 		b.Run(fmt.Sprintf("J=%d", j), func(b *testing.B) {
+			b.ReportAllocs()
 			items := workload.PointItems(workload.UniformPoints(j, int64(j)))
 			params := rtree.Params{Max: 4, Min: 2, Split: rtree.SplitLinear}
 			var t *rtree.Tree
@@ -49,6 +50,7 @@ func BenchmarkTable1Insert(b *testing.B) {
 func BenchmarkTable1Pack(b *testing.B) {
 	for _, j := range experiments.PaperJs() {
 		b.Run(fmt.Sprintf("J=%d", j), func(b *testing.B) {
+			b.ReportAllocs()
 			items := workload.PointItems(workload.UniformPoints(j, int64(j)))
 			params := rtree.Params{Max: 4, Min: 2}
 			var t *rtree.Tree
@@ -83,6 +85,7 @@ func BenchmarkTable1QueryPack(b *testing.B) {
 func benchTable1Query(b *testing.B, build func([]rtree.Item) *rtree.Tree) {
 	for _, j := range []int{100, 300, 900} {
 		b.Run(fmt.Sprintf("J=%d", j), func(b *testing.B) {
+			b.ReportAllocs()
 			t := build(workload.PointItems(workload.UniformPoints(j, int64(j))))
 			queries := workload.QueryPoints(1024, int64(j)+7919)
 			visited := 0
@@ -116,6 +119,7 @@ func BenchmarkFigure33Pruning(b *testing.B) {
 		b.Fatalf("figure 3.3 does not hold: %s", rep)
 	}
 	b.Run("report", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = experiments.Figure33()
 		}
@@ -124,6 +128,7 @@ func BenchmarkFigure33Pruning(b *testing.B) {
 
 // BenchmarkFigure34DeadSpace regenerates the 8-point dead-space demo.
 func BenchmarkFigure34DeadSpace(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep := experiments.Figure34()
 		if !rep.Holds {
@@ -134,6 +139,7 @@ func BenchmarkFigure34DeadSpace(b *testing.B) {
 
 // BenchmarkFigure37Coverage regenerates the coverage-vs-overlap demo.
 func BenchmarkFigure37Coverage(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep := experiments.Figure37()
 		if !rep.Holds {
@@ -145,6 +151,7 @@ func BenchmarkFigure37Coverage(b *testing.B) {
 // BenchmarkFigure38PackCities packs the US cities (Figure 3.8) per
 // iteration.
 func BenchmarkFigure38PackCities(b *testing.B) {
+	b.ReportAllocs()
 	cities := workload.USCities()
 	items := make([]rtree.Item, len(cities))
 	for i, c := range cities {
@@ -160,6 +167,7 @@ func BenchmarkFigure38PackCities(b *testing.B) {
 func BenchmarkTheorem32Rotation(b *testing.B) {
 	for _, n := range []int{64, 256} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			items := workload.PointItems(workload.UniformPoints(n, int64(n)))
 			for i := 0; i < b.N; i++ {
 				pack.Tree(rtree.Params{Max: 4, Min: 2}, items, pack.Options{Method: pack.MethodRotate})
@@ -171,6 +179,7 @@ func BenchmarkTheorem32Rotation(b *testing.B) {
 // BenchmarkUpdateDrift measures the §3.4 update regime: mixed
 // inserts/deletes on a packed tree.
 func BenchmarkUpdateDrift(b *testing.B) {
+	b.ReportAllocs()
 	items := workload.PointItems(workload.UniformPoints(900, 1))
 	t := pack.Tree(rtree.Params{Max: 4, Min: 2, Split: rtree.SplitLinear}, items, pack.Options{})
 	extra := workload.UniformPoints(100000, 2)
@@ -193,6 +202,7 @@ func BenchmarkPackMethods(b *testing.B) {
 	params := rtree.Params{Max: 16, Min: 8}
 	for _, m := range []pack.Method{pack.MethodNN, pack.MethodNNArea, pack.MethodLowX, pack.MethodSTR, pack.MethodHilbert} {
 		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var t *rtree.Tree
 			for i := 0; i < b.N; i++ {
 				t = pack.Tree(params, items, pack.Options{Method: m})
@@ -211,6 +221,7 @@ func BenchmarkSplitKinds(b *testing.B) {
 	items := workload.PointItems(workload.UniformPoints(2000, 43))
 	for _, s := range []rtree.SplitKind{rtree.SplitLinear, rtree.SplitQuadratic, rtree.SplitExhaustive} {
 		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var t *rtree.Tree
 			for i := 0; i < b.N; i++ {
 				t = rtree.New(rtree.Params{Max: 4, Min: 2, Split: s})
@@ -232,6 +243,7 @@ func BenchmarkBranchingFactor(b *testing.B) {
 	queries := workload.QueryWindows(512, 40, 45)
 	for _, max := range []int{4, 16, 64, 256} {
 		b.Run(fmt.Sprintf("M=%d", max), func(b *testing.B) {
+			b.ReportAllocs()
 			t := pack.Tree(rtree.Params{Max: max, Min: max / 2}, items, pack.Options{Method: pack.MethodSTR})
 			visited := 0
 			b.ResetTimer()
@@ -252,6 +264,7 @@ func BenchmarkJuxtaposition(b *testing.B) {
 	d := pack.Tree(params, workload.RectItems(workload.UniformRects(500, 25, 47)), pack.Options{Method: pack.MethodSTR})
 
 	b.Run("simultaneous", func(b *testing.B) {
+		b.ReportAllocs()
 		pairs := 0
 		for i := 0; i < b.N; i++ {
 			pairs = 0
@@ -261,6 +274,7 @@ func BenchmarkJuxtaposition(b *testing.B) {
 		b.ReportMetric(float64(pairs), "pairs")
 	})
 	b.Run("indexNestedLoop", func(b *testing.B) {
+		b.ReportAllocs()
 		pairs := 0
 		for i := 0; i < b.N; i++ {
 			pairs = 0
@@ -299,6 +313,7 @@ func BenchmarkClusteredWorkload(b *testing.B) {
 		b.ReportMetric(m.Overlap, "overlap")
 	}
 	b.Run("insert", func(b *testing.B) {
+		b.ReportAllocs()
 		t := rtree.New(params)
 		for _, it := range items {
 			t.InsertItem(it)
@@ -306,6 +321,7 @@ func BenchmarkClusteredWorkload(b *testing.B) {
 		run(b, t)
 	})
 	b.Run("pack", func(b *testing.B) {
+		b.ReportAllocs()
 		run(b, pack.Tree(params, items, pack.Options{Method: pack.MethodNN}))
 	})
 }
@@ -333,6 +349,7 @@ func BenchmarkPSQLQueries(b *testing.B) {
 	}
 	for name, q := range queries {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := db.Query(q); err != nil {
 					b.Fatal(err)
@@ -345,6 +362,7 @@ func BenchmarkPSQLQueries(b *testing.B) {
 // BenchmarkDiskSearch measures page-level search cost (pager I/O) for
 // a packed disk tree with a cold-ish pool.
 func BenchmarkDiskSearch(b *testing.B) {
+	b.ReportAllocs()
 	p := pager.OpenMem(64) // small pool: queries pay eviction traffic
 	defer p.Close()
 	items := workload.PointItems(workload.UniformPoints(20000, 50))
@@ -363,4 +381,69 @@ func BenchmarkDiskSearch(b *testing.B) {
 		visited += v
 	}
 	b.ReportMetric(float64(visited)/float64(b.N), "pages/query")
+}
+
+// --- Parallel execution (DESIGN.md "Parallel execution") -------------
+
+// BenchmarkParallelPackBuild measures PACK build time at worker counts
+// 1/2/4/8 — the speedup-vs-cores curve EXPERIMENTS.md describes. The
+// output tree is identical at every setting (the parallel sort is
+// stable and merges prefer the left run), so only wall-clock moves.
+func BenchmarkParallelPackBuild(b *testing.B) {
+	items := workload.PointItems(workload.UniformPoints(200000, 52))
+	params := rtree.Params{Max: 16, Min: 8}
+	for _, m := range []pack.Method{pack.MethodHilbert, pack.MethodSTR} {
+		for _, par := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/par=%d", m, par), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					pack.Tree(params, items, pack.Options{Method: m, Parallelism: par})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkQueryBatch measures batched window queries on one shared
+// in-memory tree at 1/2/4/8 worker goroutines, reporting aggregate
+// queries/sec (the concurrent read path's scaling curve).
+func BenchmarkQueryBatch(b *testing.B) {
+	items := workload.PointItems(workload.UniformPoints(100000, 53))
+	t := pack.Tree(rtree.Params{Max: 16, Min: 8}, items, pack.Options{Method: pack.MethodSTR})
+	windows := workload.QueryWindows(256, 25, 54)
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t.QueryBatch(windows, par)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(windows))*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}
+
+// BenchmarkDiskQueryBatch is the disk variant: workers contend on the
+// sharded buffer pool, so this is the pager-scaling benchmark.
+func BenchmarkDiskQueryBatch(b *testing.B) {
+	p := pager.OpenMem(512)
+	defer p.Close()
+	items := workload.PointItems(workload.UniformPoints(50000, 55))
+	dt, err := rtree.BulkLoadDisk(p, 0, 0, items, pack.Grouper(pack.MethodSTR))
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := workload.QueryWindows(128, 25, 56)
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dt.QueryBatch(windows, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(windows))*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
 }

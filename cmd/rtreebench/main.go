@@ -7,21 +7,29 @@
 //
 //	rtreebench [-queries n] [-seed s] [-split linear|quadratic|exhaustive]
 //	           [-method nn|lowx|str|hilbert|rotate] [-trim] [-js 10,25,...]
+//	           [-json] [-parbench] [-n items] [-windows n] [-workers 1,2,4,8]
 //
 // With -trim (the paper's "multiple of four" assumption) the PACK N
-// and D columns reproduce Table 1 exactly.
+// and D columns reproduce Table 1 exactly. -json switches either mode
+// to machine-readable output. -parbench replaces the Table 1 run with
+// the parallel-scaling benchmark: PACK build time and batched window
+// queries at each worker count (identical outputs, only wall-clock
+// moves).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/pack"
 	"repro/internal/rtree"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -32,6 +40,11 @@ func main() {
 	trim := flag.Bool("trim", true, "trim J to a multiple of the branching factor (paper's assumption)")
 	js := flag.String("js", "", "comma-separated J values (default: the paper's row set)")
 	wl := flag.String("workload", "uniform", "point distribution: uniform, clustered, skewed")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the formatted table")
+	parbench := flag.Bool("parbench", false, "run the parallel build / batched query scaling benchmark")
+	parN := flag.Int("n", 200000, "parbench: number of items")
+	parWindows := flag.Int("windows", 256, "parbench: windows per query batch")
+	workers := flag.String("workers", "1,2,4,8", "parbench: comma-separated worker counts")
 	flag.Parse()
 
 	cfg := experiments.Table1Config{
@@ -89,9 +102,28 @@ func main() {
 		}
 	}
 
+	if *parbench {
+		counts, err := parseInts(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtreebench: bad -workers: %v\n", err)
+			os.Exit(2)
+		}
+		runParBench(cfg.PackMethod, *parN, *parWindows, *seed, counts, *jsonOut)
+		return
+	}
+
+	rows := experiments.RunTable1(cfg)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintf(os.Stderr, "rtreebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("Table 1 reproduction: INSERT(%s) vs PACK(%s), %s points, %d queries/row, seed %d, trim=%v\n\n",
 		*split, *method, cfg.Workload, *queries, *seed, *trim)
-	rows := experiments.RunTable1(cfg)
 	fmt.Print(experiments.FormatTable1(rows))
 
 	if *trim && cfg.Js == nil && cfg.Workload == experiments.WorkloadUniform {
@@ -110,5 +142,85 @@ func main() {
 		if mismatches == 0 {
 			fmt.Println("\nPACK N and D columns match the paper's Table 1 exactly for all 17 rows.")
 		}
+	}
+}
+
+// parseInts parses a comma-separated list of positive ints.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parRow is one worker count's measurements in the scaling benchmark.
+type parRow struct {
+	Workers       int     `json:"workers"`
+	BuildSeconds  float64 `json:"build_seconds"`
+	BuildSpeedup  float64 `json:"build_speedup"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	QuerySpeedup  float64 `json:"query_speedup"`
+}
+
+// runParBench measures PACK build time and batched query throughput at
+// each worker count. Each measurement is the best of three runs, the
+// usual guard against scheduler noise.
+func runParBench(m pack.Method, n, nWindows int, seed int64, counts []int, jsonOut bool) {
+	items := workload.PointItems(workload.UniformPoints(n, seed))
+	params := rtree.Params{Max: 16, Min: 8}
+	windows := workload.QueryWindows(nWindows, 25, seed+1)
+
+	best := func(f func()) float64 {
+		lowest := 0.0
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start).Seconds(); r == 0 || d < lowest {
+				lowest = d
+			}
+		}
+		return lowest
+	}
+
+	tree := pack.Tree(params, items, pack.Options{Method: m})
+	rows := make([]parRow, 0, len(counts))
+	for _, w := range counts {
+		buildSec := best(func() {
+			pack.Tree(params, items, pack.Options{Method: m, Parallelism: w})
+		})
+		querySec := best(func() {
+			tree.QueryBatch(windows, w)
+		})
+		rows = append(rows, parRow{
+			Workers:       w,
+			BuildSeconds:  buildSec,
+			QueriesPerSec: float64(nWindows) / querySec,
+		})
+	}
+	for i := range rows {
+		rows[i].BuildSpeedup = rows[0].BuildSeconds / rows[i].BuildSeconds
+		rows[i].QuerySpeedup = rows[i].QueriesPerSec / rows[0].QueriesPerSec
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintf(os.Stderr, "rtreebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("Parallel scaling: PACK(%s) build of %d items; %d-window query batches\n\n", m, n, nWindows)
+	fmt.Println("  workers | build (s) | speedup | queries/sec | speedup")
+	fmt.Println("  --------+-----------+---------+-------------+--------")
+	for _, r := range rows {
+		fmt.Printf("  %7d | %9.4f | %7.2f | %11.0f | %7.2f\n",
+			r.Workers, r.BuildSeconds, r.BuildSpeedup, r.QueriesPerSec, r.QuerySpeedup)
 	}
 }

@@ -48,3 +48,13 @@ func PackIndex(params RTreeParams, items []IndexItem, opts PackOptions) *Index {
 // behind PSQL's juxtaposition. It returns the number of node pairs
 // visited.
 var JoinIndexes = rtree.JoinPairs
+
+// QueryIndexBatch answers every window against idx with up to
+// parallelism worker goroutines (0 means runtime.GOMAXPROCS(0)).
+// results[i] holds the items intersecting windows[i] in tree order —
+// identical to sequential Query calls — and the int is the total node
+// visits across the batch. Index reads are safe for any number of
+// concurrent callers; see the concurrency note on rtree.Tree.
+func QueryIndexBatch(idx *Index, windows []Rect, parallelism int) ([][]IndexItem, int) {
+	return idx.QueryBatch(windows, parallelism)
+}

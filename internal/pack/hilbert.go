@@ -1,8 +1,6 @@
 package pack
 
 import (
-	"sort"
-
 	"repro/internal/geom"
 )
 
@@ -11,7 +9,12 @@ import (
 // The Hilbert curve preserves locality better than raw x-ordering, so
 // consecutive runs tend to be spatially compact without the explicit
 // nearest-neighbor step of the paper's PACK.
-type hilbertGrouper struct{}
+//
+// Hilbert packing is the most parallel-friendly strategy: once the
+// bounds are known, every key is an independent pure function of one
+// center, so key computation fans out perfectly and only the (also
+// parallel) sort remains.
+type hilbertGrouper struct{ par int }
 
 func (hilbertGrouper) Name() string { return "hilbert" }
 
@@ -19,15 +22,15 @@ func (hilbertGrouper) Name() string { return "hilbert" }
 // quantized onto: the curve has 2^hilbertOrder cells per side.
 const hilbertOrder = 16
 
-func (hilbertGrouper) Group(rects []geom.Rect, max int) [][]int {
+func (g hilbertGrouper) Group(rects []geom.Rect, max int) [][]int {
 	n := len(rects)
 	if n == 0 {
 		return nil
 	}
-	bounds := geom.EmptyRect()
-	for _, r := range rects {
-		bounds = bounds.Union(r)
-	}
+	// Bounds: a chunked union. Rect union is min/max per coordinate,
+	// so combining per-chunk partial bounds is order-independent and
+	// bit-identical to the sequential scan.
+	bounds := parallelBounds(rects, g.par)
 	side := uint32(1) << hilbertOrder
 	scaleX, scaleY := 0.0, 0.0
 	if w := bounds.Width(); w > 0 {
@@ -37,18 +40,49 @@ func (hilbertGrouper) Group(rects []geom.Rect, max int) [][]int {
 		scaleY = float64(side-1) / h
 	}
 	keys := make([]uint64, n)
-	for i, r := range rects {
-		c := r.Center()
-		x := uint32((c.X - bounds.Min.X) * scaleX)
-		y := uint32((c.Y - bounds.Min.Y) * scaleY)
-		keys[i] = hilbertD(hilbertOrder, x, y)
-	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
+	parallelFor(n, g.par, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := rects[i].Center()
+			x := uint32((c.X - bounds.Min.X) * scaleX)
+			y := uint32((c.Y - bounds.Min.Y) * scaleY)
+			keys[i] = hilbertD(hilbertOrder, x, y)
+		}
+	})
+	order := identityOrder(n)
+	parallelSortStable(order, g.par, func(a, b int) bool { return keys[a] < keys[b] })
 	return slices2(order, max)
+}
+
+// parallelBounds unions all rects with up to par goroutines.
+func parallelBounds(rects []geom.Rect, par int) geom.Rect {
+	n := len(rects)
+	if par <= 1 || n < parallelThreshold {
+		bounds := geom.EmptyRect()
+		for _, r := range rects {
+			bounds = bounds.Union(r)
+		}
+		return bounds
+	}
+	if par > n {
+		par = n
+	}
+	partial := make([]geom.Rect, par)
+	for i := range partial {
+		partial[i] = geom.EmptyRect()
+	}
+	chunk := (n + par - 1) / par
+	parallelFor(n, par, func(lo, hi int) {
+		b := geom.EmptyRect()
+		for i := lo; i < hi; i++ {
+			b = b.Union(rects[i])
+		}
+		partial[lo/chunk] = b
+	})
+	bounds := geom.EmptyRect()
+	for _, b := range partial {
+		bounds = bounds.Union(b)
+	}
+	return bounds
 }
 
 // hilbertD maps grid cell (x, y) to its 1-D distance along the Hilbert

@@ -1,8 +1,6 @@
 package pack
 
 import (
-	"sort"
-
 	"repro/internal/geom"
 )
 
@@ -18,38 +16,38 @@ import (
 // NN(DLIST, I) returns — and removes — the item of DLIST spatially
 // closest to I. Distances are between rectangle centers (for the leaf
 // level over point data this is the point distance the paper uses).
-type nnGrouper struct{}
+//
+// The greedy pop-nearest consumption is inherently sequential — each
+// NN() depends on every prior removal — so parallelism applies only to
+// the phases that permit it: center computation and the spatial
+// ordering sort.
+type nnGrouper struct{ par int }
 
 func (nnGrouper) Name() string { return "nn" }
 
-func (nnGrouper) Group(rects []geom.Rect, max int) [][]int {
-	centers := make([]geom.Point, len(rects))
-	for i, r := range rects {
-		centers[i] = r.Center()
-	}
-	order := make([]int, len(rects))
-	for i := range order {
-		order[i] = i
-	}
+func (g nnGrouper) Group(rects []geom.Rect, max int) [][]int {
+	centers := centersOf(rects, g.par)
 	// The paper's example criterion: ascending x-coordinate.
-	sort.SliceStable(order, func(i, j int) bool {
-		a, b := centers[order[i]], centers[order[j]]
-		if a.X != b.X {
-			return a.X < b.X
+	order := identityOrder(len(rects))
+	parallelSortStable(order, g.par, func(a, b int) bool {
+		ca, cb := centers[a], centers[b]
+		if ca.X != cb.X {
+			return ca.X < cb.X
 		}
-		return a.Y < b.Y
+		return ca.Y < cb.Y
 	})
 
-	g := newNNGrid(centers, order)
-	var groups [][]int
+	grid := newNNGrid(centers, order)
+	groups := make([][]int, 0, (len(rects)+max-1)/max)
 	for {
-		seed, ok := g.popFirst()
+		seed, ok := grid.popFirst()
 		if !ok {
 			break
 		}
-		grp := []int{seed}
+		grp := make([]int, 1, max)
+		grp[0] = seed
 		for len(grp) < max {
-			nn, ok := g.popNearest(centers[seed])
+			nn, ok := grid.popNearest(centers[seed])
 			if !ok {
 				break
 			}

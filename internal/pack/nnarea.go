@@ -17,22 +17,23 @@ import (
 // of the item nearest to the seed. For point data the two coincide
 // often; for extended objects area-greedy grouping avoids the long
 // thin groups center-distance grouping can produce.
-type nnAreaGrouper struct{}
+// Like the paper's PACK, the greedy accumulation is sequential; the
+// ordering sort and center computation run on Options.Parallelism
+// goroutines.
+type nnAreaGrouper struct{ par int }
 
 func (nnAreaGrouper) Name() string { return "nn-area" }
 
-func (nnAreaGrouper) Group(rects []geom.Rect, max int) [][]int {
+func (g nnAreaGrouper) Group(rects []geom.Rect, max int) [][]int {
 	n := len(rects)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(i, j int) bool {
-		a, b := rects[order[i]].Center(), rects[order[j]].Center()
-		if a.X != b.X {
-			return a.X < b.X
+	centers := centersOf(rects, g.par)
+	order := identityOrder(n)
+	parallelSortStable(order, g.par, func(a, b int) bool {
+		ca, cb := centers[a], centers[b]
+		if ca.X != cb.X {
+			return ca.X < cb.X
 		}
-		return a.Y < b.Y
+		return ca.Y < cb.Y
 	})
 	taken := make([]bool, n)
 	remaining := n

@@ -15,7 +15,7 @@ package pack
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
 
 	"repro/internal/geom"
 	"repro/internal/rtree"
@@ -80,6 +80,20 @@ type Options struct {
 	// Table 1 exactly. Trimmed items are NOT indexed; leave this off
 	// for real use.
 	TrimToMultiple bool
+	// Parallelism is the number of goroutines a build may use for
+	// spatial-key computation, sorting, and node assembly. Zero means
+	// runtime.GOMAXPROCS(0); 1 forces the sequential path. Every
+	// level produces output identical to the sequential build, so
+	// Table 1 numbers are unchanged at any setting.
+	Parallelism int
+}
+
+// parallelism resolves the effective worker count.
+func (o Options) parallelism() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
 }
 
 // Tree builds a packed R-tree over items with the given parameters.
@@ -88,35 +102,45 @@ func Tree(params rtree.Params, items []rtree.Item, opts Options) *rtree.Tree {
 		n := len(items) - len(items)%params.Max
 		items = items[:n]
 	}
-	return rtree.Bulk(params, items, Grouper(opts.Method))
+	par := opts.parallelism()
+	return rtree.BulkP(params, items, GrouperWith(opts.Method, par), par)
 }
 
-// Grouper returns the rtree.Grouper implementing the given method.
-func Grouper(m Method) rtree.Grouper {
+// Grouper returns the rtree.Grouper implementing the given method,
+// running single-threaded (the paper's sequential PACK).
+func Grouper(m Method) rtree.Grouper { return GrouperWith(m, 1) }
+
+// GrouperWith returns the rtree.Grouper for the given method using up
+// to par goroutines per level. Grouping output is identical for every
+// par; 0 means runtime.GOMAXPROCS(0).
+func GrouperWith(m Method, par int) rtree.Grouper {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	switch m {
 	case MethodLowX:
-		return lowXGrouper{}
+		return lowXGrouper{par: par}
 	case MethodSTR:
-		return strGrouper{}
+		return strGrouper{par: par}
 	case MethodHilbert:
-		return hilbertGrouper{}
+		return hilbertGrouper{par: par}
 	case MethodRotate:
-		return rotateGrouper{}
+		return rotateGrouper{par: par}
 	case MethodNNArea:
-		return nnAreaGrouper{}
+		return nnAreaGrouper{par: par}
 	default:
-		return nnGrouper{}
+		return nnGrouper{par: par}
 	}
 }
 
 // lowXGrouper sorts by center x (breaking ties by y) and slices
 // consecutive groups of max.
-type lowXGrouper struct{}
+type lowXGrouper struct{ par int }
 
 func (lowXGrouper) Name() string { return "lowx" }
 
-func (lowXGrouper) Group(rects []geom.Rect, max int) [][]int {
-	order := sortedByCenter(rects, func(a, b geom.Point) bool {
+func (g lowXGrouper) Group(rects []geom.Rect, max int) [][]int {
+	order := sortedByCenter(rects, g.par, func(a, b geom.Point) bool {
 		if a.X != b.X {
 			return a.X < b.X
 		}
@@ -125,30 +149,56 @@ func (lowXGrouper) Group(rects []geom.Rect, max int) [][]int {
 	return slices2(order, max)
 }
 
-// sortedByCenter returns the indices of rects ordered by the given
-// comparison of their centers.
-func sortedByCenter(rects []geom.Rect, less func(a, b geom.Point) bool) []int {
-	order := make([]int, len(rects))
+// centersOf computes all rectangle centers, in parallel chunks when
+// par > 1, so comparison functions don't recompute them per probe.
+func centersOf(rects []geom.Rect, par int) []geom.Point {
+	centers := make([]geom.Point, len(rects))
+	parallelFor(len(rects), par, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			centers[i] = rects[i].Center()
+		}
+	})
+	return centers
+}
+
+// identityOrder returns [0, 1, ..., n).
+func identityOrder(n int) []int {
+	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		return less(rects[order[i]].Center(), rects[order[j]].Center())
+	return order
+}
+
+// sortedByCenter returns the indices of rects ordered by the given
+// comparison of their centers, using up to par goroutines.
+func sortedByCenter(rects []geom.Rect, par int, less func(a, b geom.Point) bool) []int {
+	centers := centersOf(rects, par)
+	order := identityOrder(len(rects))
+	parallelSortStable(order, par, func(a, b int) bool {
+		return less(centers[a], centers[b])
 	})
 	return order
 }
 
 // slices2 cuts an ordered index list into consecutive groups of max.
+// All groups share one backing array (capacity-clipped so a later
+// append cannot clobber a neighbor), keeping the allocation count
+// constant rather than linear in the group count.
 func slices2(order []int, max int) [][]int {
-	var groups [][]int
-	for start := 0; start < len(order); start += max {
+	n := len(order)
+	if n == 0 {
+		return nil
+	}
+	groups := make([][]int, 0, (n+max-1)/max)
+	backing := make([]int, n)
+	copy(backing, order)
+	for start := 0; start < n; start += max {
 		end := start + max
-		if end > len(order) {
-			end = len(order)
+		if end > n {
+			end = n
 		}
-		grp := make([]int, end-start)
-		copy(grp, order[start:end])
-		groups = append(groups, grp)
+		groups = append(groups, backing[start:end:end])
 	}
 	return groups
 }

@@ -1,8 +1,6 @@
 package pack
 
 import (
-	"sort"
-
 	"repro/internal/geom"
 )
 
@@ -19,31 +17,31 @@ import (
 // axis-aligned MBRs stored in the tree may still touch; the
 // TestRotatePackZeroOverlap property verifies disjointness in the
 // rotated frame, the faithful reading of the theorem.
-type rotateGrouper struct{}
+type rotateGrouper struct{ par int }
 
 func (rotateGrouper) Name() string { return "rotate" }
 
-func (rotateGrouper) Group(rects []geom.Rect, max int) [][]int {
+func (g rotateGrouper) Group(rects []geom.Rect, max int) [][]int {
 	n := len(rects)
 	if n == 0 {
 		return nil
 	}
-	centers := make([]geom.Point, n)
-	for i, r := range rects {
-		centers[i] = r.Center()
-	}
+	centers := centersOf(rects, g.par)
+	// SeparatingAngle inspects all center pairs and stays sequential;
+	// applying the rotation is per-point and fans out.
 	alpha := geom.SeparatingAngle(centers)
-	rotated := geom.RotateAll(centers, alpha)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(i, j int) bool {
-		a, b := rotated[order[i]], rotated[order[j]]
-		if a.X != b.X {
-			return a.X < b.X
+	rotated := make([]geom.Point, n)
+	parallelFor(n, g.par, func(lo, hi int) {
+		chunk := geom.RotateAll(centers[lo:hi], alpha)
+		copy(rotated[lo:hi], chunk)
+	})
+	order := identityOrder(n)
+	parallelSortStable(order, g.par, func(a, b int) bool {
+		pa, pb := rotated[a], rotated[b]
+		if pa.X != pb.X {
+			return pa.X < pb.X
 		}
-		return a.Y < b.Y
+		return pa.Y < pb.Y
 	})
 	return slices2(order, max)
 }

@@ -12,41 +12,59 @@ import (
 // paper's packing idea: sort by center x, cut into ceil(sqrt(n/max))
 // vertical slabs of ~max*slabCount entries each, sort each slab by
 // center y, and slice runs of max.
-type strGrouper struct{}
+//
+// Both sorting dimensions parallelize: the x-sort is a parallel merge
+// sort, and the per-slab y-sorts are independent of each other so each
+// slab runs on its own goroutine.
+type strGrouper struct{ par int }
 
 func (strGrouper) Name() string { return "str" }
 
-func (strGrouper) Group(rects []geom.Rect, max int) [][]int {
+func (g strGrouper) Group(rects []geom.Rect, max int) [][]int {
 	n := len(rects)
 	if n == 0 {
 		return nil
 	}
-	order := sortedByCenter(rects, func(a, b geom.Point) bool {
-		if a.X != b.X {
-			return a.X < b.X
+	centers := centersOf(rects, g.par)
+	order := identityOrder(n)
+	parallelSortStable(order, g.par, func(a, b int) bool {
+		ca, cb := centers[a], centers[b]
+		if ca.X != cb.X {
+			return ca.X < cb.X
 		}
-		return a.Y < b.Y
+		return ca.Y < cb.Y
 	})
 	nodeCount := (n + max - 1) / max
 	slabs := int(math.Ceil(math.Sqrt(float64(nodeCount))))
 	perSlab := slabs * max
 
-	var groups [][]int
+	// Slabs are disjoint index ranges of the x-order; sort each by y
+	// concurrently, then slice every slab into runs of max.
+	slabCount := (n + perSlab - 1) / perSlab
+	parallelChunks(slabCount, g.par, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			start := s * perSlab
+			end := start + perSlab
+			if end > n {
+				end = n
+			}
+			slab := order[start:end]
+			sort.SliceStable(slab, func(i, j int) bool {
+				a, b := centers[slab[i]], centers[slab[j]]
+				if a.Y != b.Y {
+					return a.Y < b.Y
+				}
+				return a.X < b.X
+			})
+		}
+	})
+	groups := make([][]int, 0, nodeCount)
 	for start := 0; start < n; start += perSlab {
 		end := start + perSlab
 		if end > n {
 			end = n
 		}
-		slab := make([]int, end-start)
-		copy(slab, order[start:end])
-		sort.SliceStable(slab, func(i, j int) bool {
-			a, b := rects[slab[i]].Center(), rects[slab[j]].Center()
-			if a.Y != b.Y {
-				return a.Y < b.Y
-			}
-			return a.X < b.X
-		})
-		groups = append(groups, slices2(slab, max)...)
+		groups = append(groups, slices2(order[start:end], max)...)
 	}
 	return groups
 }

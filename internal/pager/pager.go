@@ -1,10 +1,18 @@
 // Package pager provides the disk substrate for the pictorial database:
-// a file of fixed-size pages plus an LRU buffer pool. Both the
+// a file of fixed-size pages plus a sharded LRU buffer pool. Both the
 // alphanumeric B-tree indexes and the disk-resident R-tree variant
 // store their nodes in pager pages, which is what gives R-trees the
 // property the paper emphasizes: "because the storage organization of
 // R-trees is based on B-trees, they are better in dealing with paging
 // and disk I/O buffering".
+//
+// Concurrency: the pool is striped into power-of-two mutex-guarded
+// shards keyed by PageID, each with its own LRU list, so concurrent
+// R-tree searches fetch pages without serializing on a single lock.
+// Fetch/Unpin touch only one shard; Allocate and Free additionally
+// serialize on the file-header lock. Eviction is LRU *per shard*
+// rather than globally — the classic trade of exactness for
+// scalability.
 package pager
 
 import (
@@ -13,7 +21,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of every page in bytes. 4096 matches a common
@@ -39,12 +49,13 @@ type Page struct {
 	Data  [PageSize]byte
 	dirty bool
 	pins  int
-	// prev/next link the page into the LRU list when unpinned.
+	// prev/next link the page into its shard's LRU list when unpinned.
 	prev, next *Page
 }
 
 // MarkDirty records that the page image differs from disk and must be
-// written back before eviction.
+// written back before eviction. Call it while holding a pin; a page
+// must have at most one concurrent writer.
 func (p *Page) MarkDirty() { p.dirty = true }
 
 // Header layout of page 0:
@@ -55,7 +66,9 @@ func (p *Page) MarkDirty() { p.dirty = true }
 var magic = [8]byte{'P', 'I', 'C', 'T', 'D', 'B', '0', '1'}
 
 // backend abstracts the byte store so the pager can run on a real file
-// or fully in memory (for tests and ephemeral indexes).
+// or fully in memory (for tests and ephemeral indexes). Implementations
+// must support concurrent ReadAt/WriteAt (os.File does; memBackend
+// locks internally).
 type backend interface {
 	io.ReaderAt
 	io.WriterAt
@@ -64,12 +77,16 @@ type backend interface {
 	Close() error
 }
 
-// memBackend is an in-memory backend.
+// memBackend is an in-memory backend. A mutex makes concurrent
+// ReadAt/WriteAt safe despite buffer growth.
 type memBackend struct {
+	mu  sync.RWMutex
 	buf []byte
 }
 
 func (m *memBackend) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if off >= int64(len(m.buf)) {
 		return 0, io.EOF
 	}
@@ -81,6 +98,8 @@ func (m *memBackend) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (m *memBackend) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	end := off + int64(len(p))
 	if end > int64(len(m.buf)) {
 		grown := make([]byte, end)
@@ -91,6 +110,8 @@ func (m *memBackend) WriteAt(p []byte, off int64) (int, error) {
 }
 
 func (m *memBackend) Truncate(size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if size <= int64(len(m.buf)) {
 		m.buf = m.buf[:size]
 		return nil
@@ -115,19 +136,35 @@ type Stats struct {
 	Frees     uint64 // pages freed
 }
 
-// Pager manages a page file through a fixed-capacity LRU buffer pool.
-// It is safe for concurrent use.
-type Pager struct {
+// shard is one stripe of the buffer pool: a page map plus an LRU list
+// of its unpinned pages, most recent first, under its own mutex.
+type shard struct {
 	mu       sync.Mutex
-	backend  backend
 	capacity int
 	pages    map[PageID]*Page
-	// lruHead/lruTail delimit the unpinned pages, most recent first.
-	lruHead, lruTail *Page
-	numPages         uint32 // pages in file including header
-	freeHead         PageID
-	closed           bool
-	stats            Stats
+	lruHead  *Page
+	lruTail  *Page
+	stats    Stats // Hits/Misses/Evictions/Writes only
+}
+
+// Pager manages a page file through a sharded fixed-capacity LRU
+// buffer pool. It is safe for concurrent use; reads of distinct pages
+// proceed on distinct shards without contention.
+type Pager struct {
+	backend backend
+	shards  []shard
+	mask    uint32 // len(shards)-1; shard count is a power of two
+	closed  atomic.Bool
+
+	// hmu guards the file header state (page count, free list) and
+	// serializes Allocate/Free. Lock order: hmu before any shard.mu.
+	// numPages is atomic so Fetch can range-check without touching
+	// hmu; it is only written under hmu.
+	hmu      sync.Mutex
+	numPages atomic.Uint32 // pages in file including header
+	freeHead PageID
+	allocs   uint64
+	frees    uint64
 }
 
 // Open opens (or creates) a page file at path with a buffer pool of
@@ -156,21 +193,45 @@ func OpenMem(poolPages int) *Pager {
 	return p
 }
 
+// shardCount picks a power-of-two stripe count: enough to spread the
+// cores' fetch traffic, never so many that a shard would hold less
+// than one page.
+func shardCount(capacity int) int {
+	target := runtime.GOMAXPROCS(0) * 2
+	if target > 16 {
+		target = 16
+	}
+	n := 1
+	for n < target && capacity/(n*2) >= 1 {
+		n *= 2
+	}
+	return n
+}
+
 func newPager(b backend, poolPages int) (*Pager, error) {
 	if poolPages < 1 {
 		return nil, fmt.Errorf("pager: pool must hold at least 1 page, got %d", poolPages)
 	}
+	ns := shardCount(poolPages)
 	p := &Pager{
-		backend:  b,
-		capacity: poolPages,
-		pages:    make(map[PageID]*Page, poolPages),
+		backend: b,
+		shards:  make([]shard, ns),
+		mask:    uint32(ns - 1),
+	}
+	for i := range p.shards {
+		cap := poolPages / ns
+		if i < poolPages%ns {
+			cap++
+		}
+		p.shards[i].capacity = cap
+		p.shards[i].pages = make(map[PageID]*Page, cap)
 	}
 	var hdr [PageSize]byte
 	n, err := b.ReadAt(hdr[:], 0)
 	switch {
 	case err == io.EOF && n == 0:
 		// Fresh file: write a header.
-		p.numPages = 1
+		p.numPages.Store(1)
 		p.freeHead = InvalidPage
 		if err := p.writeHeader(); err != nil {
 			return nil, err
@@ -181,16 +242,20 @@ func newPager(b backend, poolPages int) (*Pager, error) {
 		if [8]byte(hdr[0:8]) != magic {
 			return nil, errors.New("pager: bad magic: not a pictdb page file")
 		}
-		p.numPages = binary.LittleEndian.Uint32(hdr[8:12])
+		p.numPages.Store(binary.LittleEndian.Uint32(hdr[8:12]))
 		p.freeHead = PageID(binary.LittleEndian.Uint32(hdr[12:16]))
 	}
 	return p, nil
 }
 
+func (p *Pager) shardFor(id PageID) *shard {
+	return &p.shards[uint32(id)&p.mask]
+}
+
 func (p *Pager) writeHeader() error {
 	var hdr [PageSize]byte
 	copy(hdr[0:8], magic[:])
-	binary.LittleEndian.PutUint32(hdr[8:12], p.numPages)
+	binary.LittleEndian.PutUint32(hdr[8:12], p.numPages.Load())
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(p.freeHead))
 	if _, err := p.backend.WriteAt(hdr[:], 0); err != nil {
 		return fmt.Errorf("pager: write header: %w", err)
@@ -199,133 +264,168 @@ func (p *Pager) writeHeader() error {
 }
 
 // NumPages returns the number of pages in the file, header included.
-func (p *Pager) NumPages() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return int(p.numPages)
-}
+func (p *Pager) NumPages() int { return int(p.numPages.Load()) }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters, summed over shards.
 func (p *Pager) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var s Stats
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		s.Hits += sh.stats.Hits
+		s.Misses += sh.stats.Misses
+		s.Evictions += sh.stats.Evictions
+		s.Writes += sh.stats.Writes
+		sh.mu.Unlock()
+	}
+	p.hmu.Lock()
+	s.Allocs = p.allocs
+	s.Frees = p.frees
+	p.hmu.Unlock()
+	return s
 }
 
 // ResetStats zeroes the pool counters (between experiment phases).
 func (p *Pager) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.stats = Stats{}
+		sh.mu.Unlock()
+	}
+	p.hmu.Lock()
+	p.allocs, p.frees = 0, 0
+	p.hmu.Unlock()
 }
 
 // Allocate returns a pinned, zeroed page, reusing a freed page when one
 // is available and extending the file otherwise. Callers must Unpin it.
 func (p *Pager) Allocate() (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	var id PageID
+	p.hmu.Lock()
+	defer p.hmu.Unlock()
 	if p.freeHead != InvalidPage {
 		// Pop the free list; its next pointer lives in the page bytes.
-		pg, err := p.fetchLocked(p.freeHead)
+		pg, err := p.fetchShard(p.freeHead)
 		if err != nil {
 			return nil, err
 		}
-		id = pg.ID
 		p.freeHead = PageID(binary.LittleEndian.Uint32(pg.Data[0:4]))
 		pg.Data = [PageSize]byte{}
 		pg.MarkDirty()
-		p.stats.Allocs++
+		p.allocs++
 		if err := p.writeHeader(); err != nil {
-			p.unpinLocked(pg)
+			p.freeHead = pg.ID
+			p.Unpin(pg)
 			return nil, err
 		}
 		return pg, nil
 	}
-	id = PageID(p.numPages)
-	p.numPages++
+	id := PageID(p.numPages.Load())
+	p.numPages.Add(1)
 	if err := p.writeHeader(); err != nil {
-		p.numPages--
+		p.numPages.Add(^uint32(0))
 		return nil, err
 	}
-	pg, err := p.installLocked(id, false)
+	pg, err := p.install(id, false)
 	if err != nil {
+		// Roll the reservation back so a failed allocation (pool
+		// exhausted) doesn't leak a file page.
+		p.numPages.Add(^uint32(0))
+		if werr := p.writeHeader(); werr != nil {
+			return nil, werr
+		}
 		return nil, err
 	}
-	p.stats.Allocs++
+	p.allocs++
 	pg.MarkDirty()
 	return pg, nil
 }
 
 // Free returns a page to the free list. The page must not be pinned.
 func (p *Pager) Free(id PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return ErrClosed
 	}
-	if id == InvalidPage || uint32(id) >= p.numPages {
+	p.hmu.Lock()
+	defer p.hmu.Unlock()
+	if id == InvalidPage || uint32(id) >= p.numPages.Load() {
 		return fmt.Errorf("%w: %d", ErrPageRange, id)
 	}
-	pg, err := p.fetchLocked(id)
+	pg, err := p.fetchShard(id)
 	if err != nil {
 		return err
 	}
-	if pg.pins > 1 {
-		p.unpinLocked(pg)
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	pinned := pg.pins > 1
+	sh.mu.Unlock()
+	if pinned {
+		p.Unpin(pg)
 		return fmt.Errorf("pager: freeing pinned page %d", id)
 	}
 	binary.LittleEndian.PutUint32(pg.Data[0:4], uint32(p.freeHead))
 	pg.MarkDirty()
 	p.freeHead = id
-	p.stats.Frees++
-	p.unpinLocked(pg)
+	p.frees++
+	p.Unpin(pg)
 	return p.writeHeader()
 }
 
 // Fetch returns the page with the given id, pinned. Callers must Unpin.
 func (p *Pager) Fetch(id PageID) (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	if id == InvalidPage || uint32(id) >= p.numPages {
+	if id == InvalidPage || uint32(id) >= p.numPages.Load() {
 		return nil, fmt.Errorf("%w: %d", ErrPageRange, id)
 	}
-	return p.fetchLocked(id)
+	return p.fetchShard(id)
 }
 
-func (p *Pager) fetchLocked(id PageID) (*Page, error) {
-	if pg, ok := p.pages[id]; ok {
-		p.stats.Hits++
+// fetchShard returns page id pinned, touching only its shard.
+func (p *Pager) fetchShard(id PageID) (*Page, error) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	if pg, ok := sh.pages[id]; ok {
+		sh.stats.Hits++
 		if pg.pins == 0 {
-			p.lruRemove(pg)
+			sh.lruRemove(pg)
 		}
 		pg.pins++
+		sh.mu.Unlock()
 		return pg, nil
 	}
-	p.stats.Misses++
-	return p.installLocked(id, true)
+	sh.stats.Misses++
+	pg, err := p.installShard(sh, id, true)
+	sh.mu.Unlock()
+	return pg, err
 }
 
-// installLocked makes room in the pool and installs page id, reading
-// its contents from the backend when read is true.
-func (p *Pager) installLocked(id PageID, read bool) (*Page, error) {
-	for len(p.pages) >= p.capacity {
-		victim := p.lruTail
+// install makes room for page id in its shard and installs it.
+func (p *Pager) install(id PageID, read bool) (*Page, error) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return p.installShard(sh, id, read)
+}
+
+// installShard evicts as needed and installs page id, reading its
+// contents from the backend when read is true. Caller holds sh.mu.
+func (p *Pager) installShard(sh *shard, id PageID, read bool) (*Page, error) {
+	for len(sh.pages) >= sh.capacity {
+		victim := sh.lruTail
 		if victim == nil {
-			return nil, fmt.Errorf("pager: pool exhausted (%d pages, all pinned)", p.capacity)
+			return nil, fmt.Errorf("pager: pool shard exhausted (%d pages, all pinned)", sh.capacity)
 		}
-		if err := p.flushPageLocked(victim); err != nil {
+		if err := p.flushPage(sh, victim); err != nil {
 			return nil, err
 		}
-		p.lruRemove(victim)
-		delete(p.pages, victim.ID)
-		p.stats.Evictions++
+		sh.lruRemove(victim)
+		delete(sh.pages, victim.ID)
+		sh.stats.Evictions++
 	}
 	pg := &Page{ID: id, pins: 1}
 	if read {
@@ -333,56 +433,54 @@ func (p *Pager) installLocked(id PageID, read bool) (*Page, error) {
 			return nil, fmt.Errorf("pager: read page %d: %w", id, err)
 		}
 	}
-	p.pages[id] = pg
+	sh.pages[id] = pg
 	return pg, nil
 }
 
 // Unpin releases a pin taken by Fetch or Allocate. Unpinned pages
 // become eligible for eviction.
 func (p *Pager) Unpin(pg *Page) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.unpinLocked(pg)
-}
-
-func (p *Pager) unpinLocked(pg *Page) {
+	sh := p.shardFor(pg.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if pg.pins <= 0 {
 		panic(fmt.Sprintf("pager: unpin of unpinned page %d", pg.ID))
 	}
 	pg.pins--
 	if pg.pins == 0 {
-		p.lruPush(pg)
+		sh.lruPush(pg)
 	}
 }
 
 // lruPush inserts pg at the head (most recently used).
-func (p *Pager) lruPush(pg *Page) {
+func (sh *shard) lruPush(pg *Page) {
 	pg.prev = nil
-	pg.next = p.lruHead
-	if p.lruHead != nil {
-		p.lruHead.prev = pg
+	pg.next = sh.lruHead
+	if sh.lruHead != nil {
+		sh.lruHead.prev = pg
 	}
-	p.lruHead = pg
-	if p.lruTail == nil {
-		p.lruTail = pg
+	sh.lruHead = pg
+	if sh.lruTail == nil {
+		sh.lruTail = pg
 	}
 }
 
-func (p *Pager) lruRemove(pg *Page) {
+func (sh *shard) lruRemove(pg *Page) {
 	if pg.prev != nil {
 		pg.prev.next = pg.next
-	} else if p.lruHead == pg {
-		p.lruHead = pg.next
+	} else if sh.lruHead == pg {
+		sh.lruHead = pg.next
 	}
 	if pg.next != nil {
 		pg.next.prev = pg.prev
-	} else if p.lruTail == pg {
-		p.lruTail = pg.prev
+	} else if sh.lruTail == pg {
+		sh.lruTail = pg.prev
 	}
 	pg.prev, pg.next = nil, nil
 }
 
-func (p *Pager) flushPageLocked(pg *Page) error {
+// flushPage writes pg back if dirty. Caller holds sh.mu.
+func (p *Pager) flushPage(sh *shard, pg *Page) error {
 	if !pg.dirty {
 		return nil
 	}
@@ -390,21 +488,33 @@ func (p *Pager) flushPageLocked(pg *Page) error {
 		return fmt.Errorf("pager: write page %d: %w", pg.ID, err)
 	}
 	pg.dirty = false
-	p.stats.Writes++
+	sh.stats.Writes++
+	return nil
+}
+
+// flushShards writes every dirty pooled page back to the backend.
+func (p *Pager) flushShards() error {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, pg := range sh.pages {
+			if err := p.flushPage(sh, pg); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		sh.mu.Unlock()
+	}
 	return nil
 }
 
 // Flush writes every dirty page and syncs the backend.
 func (p *Pager) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return ErrClosed
 	}
-	for _, pg := range p.pages {
-		if err := p.flushPageLocked(pg); err != nil {
-			return err
-		}
+	if err := p.flushShards(); err != nil {
+		return err
 	}
 	return p.backend.Sync()
 }
@@ -412,17 +522,12 @@ func (p *Pager) Flush() error {
 // Close flushes and closes the pager. Further operations fail with
 // ErrClosed.
 func (p *Pager) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Swap(true) {
 		return nil
 	}
-	for _, pg := range p.pages {
-		if err := p.flushPageLocked(pg); err != nil {
-			return err
-		}
+	if err := p.flushShards(); err != nil {
+		return err
 	}
-	p.closed = true
 	if err := p.backend.Sync(); err != nil {
 		return err
 	}

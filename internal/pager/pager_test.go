@@ -2,6 +2,7 @@ package pager
 
 import (
 	"encoding/binary"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -293,6 +294,85 @@ func TestLRUOrder(t *testing.T) {
 	s = p.Stats()
 	if s.Hits != 1 || s.Misses != 1 {
 		t.Errorf("hits=%d misses=%d, want 1 and 1", s.Hits, s.Misses)
+	}
+}
+
+// TestShardedPoolConcurrentMixed hammers the sharded pool with
+// concurrent allocates, fetches, and frees, then checks every
+// surviving page round-trips its stamp. Run under -race (make check)
+// this exercises the shard striping and the header lock.
+func TestShardedPoolConcurrentMixed(t *testing.T) {
+	p := OpenMem(16)
+	defer p.Close()
+
+	const workers = 8
+	var mu sync.Mutex
+	live := make(map[PageID]uint32)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0: // allocate and stamp
+					pg, err := p.Allocate()
+					if err != nil {
+						errs <- err
+						return
+					}
+					stamp := uint32(w*1000 + i)
+					binary.LittleEndian.PutUint32(pg.Data[:4], stamp)
+					pg.MarkDirty()
+					id := pg.ID
+					p.Unpin(pg)
+					mu.Lock()
+					live[id] = stamp
+					mu.Unlock()
+				default: // fetch a random live page and verify its stamp
+					mu.Lock()
+					var id PageID
+					var want uint32
+					for k, v := range live {
+						id, want = k, v
+						break
+					}
+					mu.Unlock()
+					if id == InvalidPage {
+						continue
+					}
+					pg, err := p.Fetch(id)
+					if err != nil {
+						errs <- err
+						return
+					}
+					got := binary.LittleEndian.Uint32(pg.Data[:4])
+					p.Unpin(pg)
+					if got != want {
+						errs <- fmt.Errorf("page %d stamped %d, read %d", id, want, got)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Every page written during the storm must round-trip.
+	for id, want := range live {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint32(pg.Data[:4]); got != want {
+			t.Errorf("page %d = %d, want %d", id, got, want)
+		}
+		p.Unpin(pg)
 	}
 }
 

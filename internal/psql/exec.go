@@ -2,8 +2,10 @@ package psql
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/picture"
@@ -28,6 +30,20 @@ type Executor struct {
 	// MaxProductRows caps unindexed cartesian products as a safety
 	// net; zero means the default of one million.
 	MaxProductRows int
+	// Parallelism caps the worker goroutines used for multi-window
+	// direct search and join materialization; zero or negative means
+	// runtime.GOMAXPROCS(0). Query results are identical at any
+	// setting — parallel plans merge in deterministic window/pair
+	// order.
+	Parallelism int
+}
+
+// parallelism resolves the executor's worker budget.
+func (e *Executor) parallelism() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // NewExecutor returns an executor with the builtin function registry.
@@ -490,10 +506,10 @@ func (st *execState) directSearch(bi int, op SpatialOp, windows []geom.Rect) ([]
 	pred := spatialPred(op)
 	seen := map[storage.TupleID]bool{}
 	var out []storage.TupleID
-	for _, w := range windows {
-		if op == OpDisjoined {
-			// Disjointness cannot be pruned by intersection: scan all
-			// leaf entries.
+	if op == OpDisjoined {
+		// Disjointness cannot be pruned by intersection: scan all
+		// leaf entries per window.
+		for _, w := range windows {
 			st.visited += si.Tree.Search(si.Tree.Bounds(), func(it rtree.Item) bool {
 				if pred(it.Rect, w) {
 					id := storage.TupleIDFromInt64(it.Data)
@@ -504,13 +520,18 @@ func (st *execState) directSearch(bi int, op SpatialOp, windows []geom.Rect) ([]
 				}
 				return true
 			})
-			continue
 		}
-		ids, visited, err := b.rel.SearchArea(b.picture, w, pred)
-		if err != nil {
-			return nil, err
-		}
-		st.visited += visited
+		return out, nil
+	}
+	// Batched direct search: all windows answered through the R-tree's
+	// concurrent read path, then merged in window order so the result
+	// (and its dedup order) matches the sequential loop exactly.
+	batches, visited, err := b.rel.SearchAreaBatch(b.picture, windows, pred, st.e.parallelism())
+	if err != nil {
+		return nil, err
+	}
+	st.visited += visited
+	for _, ids := range batches {
 		for _, id := range ids {
 			if !seen[id] {
 				seen[id] = true
@@ -558,22 +579,70 @@ func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
 				return true
 			})
 	}
-	rows := make([]row, 0, len(pairs))
-	for _, p := range pairs {
-		r := row{ids: make([]storage.TupleID, 2), tuples: make([]relation.Tuple, 2)}
-		ta, err := a.rel.Get(p.x)
+	// Materialize the joined tuples. Heap reads are pure pager fetches
+	// (thread-safe through the sharded pool), so fan the Gets out over
+	// index ranges; each worker fills only its own row slots, keeping
+	// the output in pair order regardless of scheduling.
+	rows := make([]row, len(pairs))
+	workers := st.e.parallelism()
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		for i, p := range pairs {
+			if err := st.materializePair(&rows[i], a, b, bi, bj, p.x, p.y); err != nil {
+				return nil, err
+			}
+		}
+		return rows, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if err := st.materializePair(&rows[i], a, b, bi, bj, pairs[i].x, pairs[i].y); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		tb, err := b.rel.Get(p.y)
-		if err != nil {
-			return nil, err
-		}
-		r.ids[bi], r.tuples[bi] = p.x, ta
-		r.ids[bj], r.tuples[bj] = p.y, tb
-		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+// materializePair fetches the two tuples of one join pair into r.
+func (st *execState) materializePair(r *row, a, b binding, bi, bj int, x, y storage.TupleID) error {
+	ta, err := a.rel.Get(x)
+	if err != nil {
+		return err
+	}
+	tb, err := b.rel.Get(y)
+	if err != nil {
+		return err
+	}
+	r.ids = make([]storage.TupleID, 2)
+	r.tuples = make([]relation.Tuple, 2)
+	r.ids[bi], r.tuples[bi] = x, ta
+	r.ids[bj], r.tuples[bj] = y, tb
+	return nil
 }
 
 // cartesian builds the product of candidate id lists; fixed overrides

@@ -360,6 +360,31 @@ func (r *Relation) SearchArea(pictureName string, window geom.Rect, pred func(ob
 	return out, visited, nil
 }
 
+// SearchAreaBatch answers many windows against one spatial index with
+// up to parallelism goroutines (0 means GOMAXPROCS), using the
+// R-tree's batched read path. results[i] holds the qualifying storage
+// ids for windows[i] in tree order — identical to calling SearchArea
+// per window — and the visit count is summed across the batch. pred is
+// called concurrently and must be a pure function of its arguments.
+func (r *Relation) SearchAreaBatch(pictureName string, windows []geom.Rect, pred func(obj, win geom.Rect) bool, parallelism int) ([][]storage.TupleID, int, error) {
+	si := r.spatial[pictureName]
+	if si == nil {
+		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)
+	}
+	batches, visited := si.Tree.QueryBatch(windows, parallelism)
+	out := make([][]storage.TupleID, len(batches))
+	for i, items := range batches {
+		var ids []storage.TupleID // nil when empty, like SearchArea
+		for _, it := range items {
+			if pred(it.Rect, windows[i]) {
+				ids = append(ids, storage.TupleIDFromInt64(it.Data))
+			}
+		}
+		out[i] = ids
+	}
+	return out, visited, nil
+}
+
 // RepackPicture rebuilds the spatial index for the named picture from
 // the current tuples — the paper's §3.4 periodic reorganization of a
 // drifted index.

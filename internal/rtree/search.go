@@ -11,6 +11,12 @@ import (
 // variants. Every search returns the number of R-tree nodes visited —
 // the paper's measure A — so experiments can report search cost
 // structurally, independent of hardware.
+//
+// Visit counts are returned to the caller (never accumulated into
+// shared per-query state) and additionally folded into the tree's
+// atomic cumulative counter, so any number of goroutines may search
+// one tree concurrently without racing on instrumentation; see the
+// concurrency note on Tree.
 
 // Search visits every item whose rectangle intersects window and calls
 // fn on it; returning false from fn stops the search early. It returns
@@ -37,6 +43,7 @@ func (t *Tree) Search(window geom.Rect, fn func(Item) bool) int {
 		return true
 	}
 	walk(t.root)
+	t.visits.Add(int64(visited))
 	return visited
 }
 
@@ -62,6 +69,7 @@ func (t *Tree) SearchWithin(window geom.Rect, fn func(Item) bool) int {
 		return true
 	}
 	walk(t.root)
+	t.visits.Add(int64(visited))
 	return visited
 }
 
@@ -158,6 +166,7 @@ func (t *Tree) NearestNeighbor(p geom.Point) (Item, bool, int) {
 		}
 	}
 	walk(t.root)
+	t.visits.Add(int64(visited))
 	return best, true, visited
 }
 
@@ -224,6 +233,7 @@ func (t *Tree) NearestNeighbors(p geom.Point, k int) ([]Item, int) {
 		}
 	}
 	walk(t.root)
+	t.visits.Add(int64(visited))
 	out := make([]Item, len(best))
 	for i, s := range best {
 		out[i] = s.it

@@ -229,6 +229,14 @@ func (db *Database) Query(src string) (*Result, error) {
 	return db.exec.Run(src)
 }
 
+// SetParallelism caps the worker goroutines the executor uses for
+// multi-window direct search and join materialization. Zero or
+// negative restores the default, runtime.GOMAXPROCS(0). Results are
+// identical at any setting.
+func (db *Database) SetParallelism(n int) {
+	db.exec.Parallelism = n
+}
+
 // RegisterFunc installs an application-defined PSQL function.
 func (db *Database) RegisterFunc(name string, f psql.Func) {
 	db.exec.RegisterFunc(name, f)
