@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build test race vet bench table1 parbench clean
+.PHONY: check build test race vet bench faults fuzz table1 parbench clean
 
-# The gate: everything must vet, build, and pass under the race
-# detector (the concurrent read path and parallel PACK are exercised
-# by dedicated -race stress tests).
-check: vet build race
+# The gate: everything must vet, build, pass under the race detector
+# (the concurrent read path and parallel PACK are exercised by
+# dedicated -race stress tests), and survive the fault-injection and
+# crash-point suites.
+check: vet build race faults
 
 build:
 	$(GO) build ./...
@@ -21,6 +22,16 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Durability suite: injected I/O faults, torn writes, crash-point
+# snapshots, checksum and corruption detection, across the pager and
+# the full database stack.
+faults:
+	$(GO) test -race -run 'Fault|Crash|Torn|Checksum|Corrupt|Truncated|Degrad|V1Compat|Check' ./internal/pager/ ./cmd/pictdbcheck/ .
+
+# Short deterministic fuzz pass over the tuple decoder.
+fuzz:
+	$(GO) test -fuzz FuzzDecodeTuple -fuzztime 30s ./internal/relation/
 
 # Paper reproduction targets.
 table1:

@@ -131,6 +131,9 @@ func readRect(rec []byte, pos int) (geom.Rect, int, error) {
 // through the pager); the checkpoint records everything needed to
 // rebuild the in-memory structures on Open.
 func (db *Database) Checkpoint() error {
+	if db.readOnly {
+		return fmt.Errorf("pictdb: checkpoint: %w", pager.ErrReadOnly)
+	}
 	old, err := db.readSnapshotPage()
 	if err != nil {
 		return err

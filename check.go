@@ -1,0 +1,183 @@
+package pictdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pager"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// Database verification: Check walks every layer of a persisted
+// database — raw pages (checksum trailers), the free list, the
+// catalog superblock and snapshot heap, every relation heap, B-tree
+// and spatial index — and reports per-page diagnostics. It is the
+// engine behind the `pictdbcheck` operator tool and the oracle the
+// fault-injection suite holds crash states against: a reopened
+// database must either Check clean or fail with a typed corruption
+// error, never serve silently wrong results.
+
+// ErrCorrupt is the typed root of database-level corruption findings.
+var ErrCorrupt = errors.New("pictdb: corrupt database")
+
+// CheckProblem is one verification finding, anchored to the page it
+// was detected on (0 when no single page is implicated).
+type CheckProblem struct {
+	Page      pager.PageID
+	Component string // "page", "free-list", "superblock", "catalog", "relation:<name>", "ownership"
+	Err       error
+}
+
+func (p CheckProblem) String() string {
+	if p.Page != pager.InvalidPage {
+		return fmt.Sprintf("page %d [%s]: %v", p.Page, p.Component, p.Err)
+	}
+	return fmt.Sprintf("[%s]: %v", p.Component, p.Err)
+}
+
+// CheckReport summarizes a verification pass.
+type CheckReport struct {
+	Pages     int // pages in the file, header included
+	FreePages int // pages on the free list
+	Relations int // relations verified
+	Leaked    int // allocated pages owned by no structure (benign: crash between commits)
+	Problems  []CheckProblem
+}
+
+// OK reports whether verification found no problems.
+func (r *CheckReport) OK() bool { return len(r.Problems) == 0 }
+
+// Err returns nil for a clean report, and otherwise an error wrapping
+// ErrCorrupt that lists every finding.
+func (r *CheckReport) Err() error {
+	if r.OK() {
+		return nil
+	}
+	msgs := make([]string, len(r.Problems))
+	for i, p := range r.Problems {
+		msgs[i] = p.String()
+	}
+	return fmt.Errorf("%w: %d problem(s): %s", ErrCorrupt, len(r.Problems), strings.Join(msgs, "; "))
+}
+
+// IsCorruption reports whether err is a typed corruption finding from
+// any storage layer: a page checksum or magic failure, a truncated
+// file, a corrupt slotted page or tree node, or a Check verdict. The
+// fault-injection suite uses it to assert that no failure mode
+// surfaces as anything other than a typed error.
+func IsCorruption(err error) bool {
+	return errors.Is(err, pager.ErrChecksum) ||
+		errors.Is(err, pager.ErrTruncated) ||
+		errors.Is(err, pager.ErrBadMagic) ||
+		errors.Is(err, pager.ErrPageRange) ||
+		errors.Is(err, storage.ErrCorrupt) ||
+		errors.Is(err, rtree.ErrCorrupt) ||
+		errors.Is(err, ErrCorrupt)
+}
+
+// Check verifies the whole database and returns a report with
+// per-page diagnostics. It never mutates the file.
+func (db *Database) Check() *CheckReport {
+	r := &CheckReport{Pages: db.pager.NumPages()}
+	add := func(page pager.PageID, component string, err error) {
+		r.Problems = append(r.Problems, CheckProblem{Page: page, Component: component, Err: err})
+	}
+
+	// 1. Raw page scan: every page must read back with a valid trailer
+	// (or be a tolerated pre-upgrade page in a partially checksummed
+	// file). Fetch performs the verification.
+	for id := pager.PageID(1); int(id) < db.pager.NumPages(); id++ {
+		pg, err := db.pager.Fetch(id)
+		if err != nil {
+			add(id, "page", err)
+			continue
+		}
+		db.pager.Unpin(pg)
+	}
+
+	// 2. Free list: in-range, acyclic, checksummed links.
+	owners := make(map[pager.PageID]string)
+	claim := func(id pager.PageID, owner string) {
+		if prev, dup := owners[id]; dup {
+			add(id, "ownership", fmt.Errorf("%w: page claimed by both %s and %s", ErrCorrupt, prev, owner))
+			return
+		}
+		owners[id] = owner
+	}
+	free, err := db.pager.FreePages()
+	if err != nil {
+		add(pager.InvalidPage, "free-list", err)
+	}
+	r.FreePages = len(free)
+	for _, id := range free {
+		claim(id, "free-list")
+	}
+
+	// 3. Catalog superblock and snapshot heap.
+	claim(superblockID, "superblock")
+	sb, err := db.pager.Fetch(superblockID)
+	if err != nil {
+		add(superblockID, "superblock", err)
+	} else {
+		if [8]byte(sb.Data[:8]) != catMagic {
+			add(superblockID, "superblock", fmt.Errorf("%w: bad catalog magic %q", ErrCorrupt, sb.Data[:8]))
+		}
+		snapID := pager.PageID(binary.LittleEndian.Uint32(sb.Data[8:12]))
+		db.pager.Unpin(sb)
+		if snapID != pager.InvalidPage {
+			if int(snapID) >= db.pager.NumPages() {
+				add(superblockID, "catalog", fmt.Errorf("%w: snapshot page %d out of range", ErrCorrupt, snapID))
+			} else if snap, err := storage.Open(db.pager, snapID); err != nil {
+				add(snapID, "catalog", err)
+			} else {
+				if err := snap.Check(); err != nil {
+					add(snapID, "catalog", err)
+				}
+				if pages, err := snap.Pages(); err != nil {
+					add(snapID, "catalog", err)
+				} else {
+					for _, id := range pages {
+						claim(id, "catalog")
+					}
+				}
+			}
+		}
+	}
+
+	// 4. Relations: heap structure, tuple decodability, index
+	// invariants, index→tuple resolution.
+	names := make([]string, 0, len(db.relations))
+	for name := range db.relations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	r.Relations = len(names)
+	for _, name := range names {
+		rel := db.relations[name]
+		component := "relation:" + name
+		if err := rel.Check(); err != nil {
+			add(pager.InvalidPage, component, err)
+		}
+		if pages, err := rel.HeapPages(); err != nil {
+			add(pager.InvalidPage, component, err)
+		} else {
+			for _, id := range pages {
+				claim(id, component)
+			}
+		}
+	}
+
+	// 5. Accounting: every page should be owned by exactly one
+	// structure. Unowned pages are leaked, not corrupt — a crash
+	// between a data sync and its header commit can strand them.
+	for id := 1; id < db.pager.NumPages(); id++ {
+		if _, ok := owners[pager.PageID(id)]; !ok {
+			r.Leaked++
+		}
+	}
+	return r
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	pictdb "repro"
+	"repro/internal/pager"
+)
+
+// buildDB creates a small persisted database and returns its path.
+func buildDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "check.db")
+	db, err := pictdb.Open(path, 64)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rel, err := db.CreateRelation("cities", pictdb.MustSchema("city:string", "pop:int"))
+	if err != nil {
+		t.Fatalf("CreateRelation: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := rel.Insert(pictdb.Tuple{pictdb.S("c"), pictdb.I(int64(i))}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	// Checkpoint twice: the second frees the first snapshot page, so
+	// the file has at least one free-list page.
+	for i := 0; i < 2; i++ {
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path
+}
+
+// corruptPage XORs one payload byte of page id so its CRC-32C trailer
+// no longer matches.
+func corruptPage(t *testing.T, path string, id pager.PageID) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+	off := int64(id)*pager.PageSize + 100
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	buf[0] ^= 0xFF
+	if _, err := f.WriteAt(buf, off); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+}
+
+func TestCheckHealthy(t *testing.T) {
+	path := buildDB(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on healthy file; stdout=%q stderr=%q", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("expected OK summary, got %q", out.String())
+	}
+}
+
+// TestCheckCorruptHeapPage corrupts a live heap page. The catalog load
+// walks every heap page, so Open itself fails with a typed checksum
+// error — the checker exits non-zero and says why.
+func TestCheckCorruptHeapPage(t *testing.T) {
+	path := buildDB(t)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	corruptPage(t, path, pager.PageID(st.Size()/pager.PageSize-1))
+
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on corrupt file (want 1); stdout=%q stderr=%q", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "checksum") {
+		t.Fatalf("expected checksum error on stderr, got %q", errb.String())
+	}
+}
+
+// TestCheckCorruptFreePage corrupts a free-list page — one the catalog
+// load never fetches, so the database opens and the verification pass
+// produces the per-page problem listing and degrades to read-only.
+func TestCheckCorruptFreePage(t *testing.T) {
+	path := buildDB(t)
+	p, err := pager.Open(path, 16)
+	if err != nil {
+		t.Fatalf("pager.Open: %v", err)
+	}
+	free, err := p.FreePages()
+	if err != nil {
+		t.Fatalf("FreePages: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("pager.Close: %v", err)
+	}
+	if len(free) == 0 {
+		t.Fatal("expected at least one free page after double checkpoint")
+	}
+	corruptPage(t, path, free[0])
+
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on corrupt file (want 1); stdout=%q stderr=%q", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "problem") {
+		t.Fatalf("expected problem listing, got %q", out.String())
+	}
+	if !strings.Contains(out.String(), fmt.Sprintf("page %d", free[0])) {
+		t.Fatalf("expected problem anchored to page %d, got %q", free[0], out.String())
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{filepath.Join(t.TempDir(), "absent.db")}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on missing file (want 1)", code)
+	}
+}
+
+func TestCheckUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit %d with no args (want 2)", code)
+	}
+}

@@ -1,0 +1,70 @@
+package pager
+
+import "testing"
+
+// Checksum overhead: BenchmarkFetchChecksum measures Fetch on pool
+// misses with CRC-32C verification active (the v2 path), against the
+// same workload with verification off (the v1 compatibility path).
+// Every iteration misses the pool, so each Fetch pays one 4 KiB
+// backend read plus (in the checksum case) one CRC over the page.
+
+const benchPages = 256
+
+func benchPager(b *testing.B) *Pager {
+	b.Helper()
+	mem := NewMemBackend(nil)
+	p, err := OpenBackend(mem, benchPages+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchPages; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fillPage(pg)
+		p.Unpin(pg)
+	}
+	if err := p.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	// Reopen over the same bytes with a pool of one page, so every
+	// Fetch in the loop below is a miss that reads from the backend.
+	img := mem.Bytes()
+	p.Close()
+	p2, err := OpenBackend(NewMemBackend(img), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p2
+}
+
+func BenchmarkFetchChecksum(b *testing.B) {
+	p := benchPager(b)
+	defer p.Close()
+	b.SetBytes(PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg, err := p.Fetch(PageID(1 + i%benchPages))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Unpin(pg)
+	}
+}
+
+func BenchmarkFetchNoChecksum(b *testing.B) {
+	p := benchPager(b)
+	defer p.Close()
+	// Drop to the v1 compatibility path: same reads, no verification.
+	p.version.Store(1)
+	b.SetBytes(PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg, err := p.Fetch(PageID(1 + i%benchPages))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Unpin(pg)
+	}
+}

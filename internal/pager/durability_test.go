@@ -1,0 +1,481 @@
+package pager
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fillPage writes a recognizable per-page pattern into the payload.
+func fillPage(pg *Page) {
+	for i := 8; i < 256; i++ {
+		pg.Data[i] = byte(uint32(pg.ID) * uint32(i))
+	}
+	pg.MarkDirty()
+}
+
+// checkPattern verifies the pattern written by fillPage.
+func checkPattern(t *testing.T, pg *Page) {
+	t.Helper()
+	for i := 8; i < 256; i++ {
+		if pg.Data[i] != byte(uint32(pg.ID)*uint32(i)) {
+			t.Fatalf("page %d byte %d = %#x, want %#x", pg.ID, i, pg.Data[i], byte(uint32(pg.ID)*uint32(i)))
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sum.db")
+	p, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID
+	fillPage(pg)
+	p.Unpin(pg)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte on disk.
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(id)*PageSize + 64
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x01
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p, err = Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Fetch(id); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Fetch of corrupted page: %v, want ErrChecksum", err)
+	}
+}
+
+func TestMissingTrailerOnFullSumsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "miss.db")
+	p, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID
+	fillPage(pg)
+	p.Unpin(pg)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero the trailer: on a fully-checksummed file an unstamped page
+	// is corruption, not a legacy page.
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, TrailerSize), int64(id)*PageSize+PayloadSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p, err = Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Fetch(id); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Fetch of unstamped page: %v, want ErrChecksum", err)
+	}
+}
+
+func TestTruncatedFileTypedError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.db")
+	p, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last PageID
+	for i := 0; i < 3; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillPage(pg)
+		last = pg.ID
+		p.Unpin(pg)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop the last page off the file; the header still claims it.
+	if err := os.Truncate(path, int64(last)*PageSize); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err = Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	_, err = p.Fetch(last)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Fetch past EOF: %v, want ErrTruncated", err)
+	}
+	if !errors.Is(err, ErrPageRange) {
+		t.Fatalf("ErrTruncated must wrap ErrPageRange, got %v", err)
+	}
+	// A merely out-of-range id is ErrPageRange but NOT a truncation.
+	_, err = p.Fetch(last + 10)
+	if !errors.Is(err, ErrPageRange) || errors.Is(err, ErrTruncated) {
+		t.Fatalf("Fetch out of range: %v, want ErrPageRange without ErrTruncated", err)
+	}
+}
+
+// writeV1File hand-crafts a legacy "PICTDB01" page file with numPages
+// pages whose payloads use all PageSize bytes (no trailer zone).
+func writeV1File(t *testing.T, path string, numPages int) {
+	t.Helper()
+	img := make([]byte, numPages*PageSize)
+	copy(img[0:8], "PICTDB01")
+	binary.LittleEndian.PutUint32(img[8:12], uint32(numPages))
+	binary.LittleEndian.PutUint32(img[12:16], 0) // empty free list
+	for id := 1; id < numPages; id++ {
+		for i := 0; i < PageSize; i++ {
+			img[id*PageSize+i] = byte(id * i)
+		}
+	}
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV1CompatAndUpgrade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.db")
+	writeV1File(t, path, 3)
+
+	// Opens in compatibility mode: no verification, full payload
+	// (including the trailer zone) intact.
+	p, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version() != 1 {
+		t.Fatalf("Version = %d, want 1", p.Version())
+	}
+	for id := PageID(1); id <= 2; id++ {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < PageSize; i++ {
+			if pg.Data[i] != byte(int(id)*i) {
+				t.Fatalf("v1 page %d byte %d corrupted on read", id, i)
+			}
+		}
+		p.Unpin(pg)
+	}
+
+	// First Commit upgrades the header to v2 (partial coverage).
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Version() != 2 {
+		t.Fatalf("Version after Commit = %d, want 2", p.Version())
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err = Open(path, 8)
+	if err != nil {
+		t.Fatalf("reopen after upgrade: %v", err)
+	}
+	if p.Version() != 2 {
+		t.Fatalf("reopened Version = %d, want 2", p.Version())
+	}
+	if p.FullChecksums() {
+		t.Fatal("upgraded file must not claim full checksum coverage")
+	}
+	// Legacy pages still serve their full untouched payload...
+	pg, err := p.Fetch(1)
+	if err != nil {
+		t.Fatalf("legacy page after upgrade: %v", err)
+	}
+	for i := 0; i < PageSize; i++ {
+		if pg.Data[i] != byte(i) {
+			t.Fatalf("legacy payload byte %d clobbered by upgrade", i)
+		}
+	}
+	p.Unpin(pg)
+	// ...while pages allocated post-upgrade get stamped and verified.
+	npg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nid := npg.ID
+	fillPage(npg)
+	p.Unpin(npg)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The new page's trailer must verify on reopen; corrupting it must
+	// be detected even though the file is only partially covered.
+	p, err = Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err = p.Fetch(nid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPattern(t, pg)
+	p.Unpin(pg)
+	p.Close()
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	off := int64(nid)*PageSize + 64
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x80
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	p, err = Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Fetch(nid); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted stamped page on partial file: %v, want ErrChecksum", err)
+	}
+}
+
+func TestFreeListAcrossCommitAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "free.db")
+	p, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillPage(pg)
+		ids = append(ids, pg.ID)
+		p.Unpin(pg)
+	}
+	if err := p.Free(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	numPages := p.NumPages()
+	free, err := p.FreePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(free) != 1 || free[0] != ids[1] {
+		t.Fatalf("FreePages = %v, want [%d]", free, ids[1])
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err = Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if got := p.NumPages(); got != numPages {
+		t.Fatalf("NumPages after reopen = %d, want %d", got, numPages)
+	}
+	// The freed page must be reused rather than the file growing.
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.ID != ids[1] {
+		t.Fatalf("Allocate reused page %d, want freed page %d", pg.ID, ids[1])
+	}
+	p.Unpin(pg)
+	if got := p.NumPages(); got != numPages {
+		t.Fatalf("NumPages after reuse = %d, want %d (file must not grow)", got, numPages)
+	}
+	if free, err := p.FreePages(); err != nil || len(free) != 0 {
+		t.Fatalf("FreePages after reuse = %v, %v, want empty", free, err)
+	}
+}
+
+// opRecorder logs the order of backend operations so the test can
+// assert the commit protocol: data writes, sync, header write, sync.
+type opRecorder struct {
+	*MemBackend
+	ops []string
+}
+
+func (r *opRecorder) WriteAt(p []byte, off int64) (int, error) {
+	kind := "data"
+	if len(p) == headerSlotSize {
+		kind = "header"
+	}
+	r.ops = append(r.ops, kind)
+	return r.MemBackend.WriteAt(p, off)
+}
+
+func (r *opRecorder) Sync() error {
+	r.ops = append(r.ops, "sync")
+	return r.MemBackend.Sync()
+}
+
+func TestCommitOrdersDataBeforeHeader(t *testing.T) {
+	rec := &opRecorder{MemBackend: NewMemBackend(nil)}
+	p, err := OpenBackend(rec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillPage(pg)
+		p.Unpin(pg)
+	}
+	rec.ops = nil // ignore the fresh-file header write
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expect: data+ sync header sync.
+	var compact []string
+	for _, op := range rec.ops {
+		if len(compact) > 0 && compact[len(compact)-1] == op {
+			continue
+		}
+		compact = append(compact, op)
+	}
+	want := []string{"data", "sync", "header", "sync"}
+	if len(compact) != len(want) {
+		t.Fatalf("commit op sequence %v, want %v", rec.ops, want)
+	}
+	for i := range want {
+		if compact[i] != want[i] {
+			t.Fatalf("commit op sequence %v, want %v", rec.ops, want)
+		}
+	}
+	p.Close()
+}
+
+func TestHeaderSlotAlternation(t *testing.T) {
+	rec := NewMemBackend(nil)
+	p, err := OpenBackend(rec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillPage(pg)
+	p.Unpin(pg)
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	img1 := rec.Bytes()
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	img2 := rec.Bytes()
+	p.Close()
+
+	// Consecutive commits must write different slots: one slot of img2
+	// equals the corresponding slot of img1 (untouched), the other
+	// differs (new generation).
+	s0Same := bytes.Equal(img1[0:headerSlotSize], img2[0:headerSlotSize])
+	s1Same := bytes.Equal(img1[headerSlotSize:2*headerSlotSize], img2[headerSlotSize:2*headerSlotSize])
+	if s0Same == s1Same {
+		t.Fatalf("commits must alternate header slots (slot0 same=%v, slot1 same=%v)", s0Same, s1Same)
+	}
+}
+
+func TestTornHeaderSlotFallsBack(t *testing.T) {
+	rec := NewMemBackend(nil)
+	p, err := OpenBackend(rec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillPage(pg)
+	p.Unpin(pg)
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	// Tear the most recent header slot; open must fall back to the
+	// older one rather than fail.
+	img := rec.Bytes()
+	// Find which slot has the higher generation and scribble on it.
+	gen0 := binary.LittleEndian.Uint64(img[20:28])
+	gen1 := binary.LittleEndian.Uint64(img[headerSlotSize+20 : headerSlotSize+28])
+	newer := 0
+	if gen1 > gen0 {
+		newer = 1
+	}
+	img[newer*headerSlotSize+10] ^= 0xFF
+
+	p2, err := OpenBackend(NewMemBackend(img), 8)
+	if err != nil {
+		t.Fatalf("open with one torn slot: %v", err)
+	}
+	defer p2.Close()
+	pg2, err := p2.Fetch(pg.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPattern(t, pg2)
+	p2.Unpin(pg2)
+
+	// Tearing both slots must yield a typed checksum error.
+	img[(1-newer)*headerSlotSize+10] ^= 0xFF
+	if _, err := OpenBackend(NewMemBackend(img), 8); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("open with both slots torn: %v, want ErrChecksum", err)
+	}
+}

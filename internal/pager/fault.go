@@ -1,0 +1,189 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Fault injection for the durability test suite. A FaultBackend wraps
+// any Backend and deterministically injects the failure modes real
+// disks exhibit: outright I/O errors, short writes, torn pages (only a
+// prefix of the buffer reaches the medium while the write "succeeds" —
+// the classic power-loss failure), and failing syncs. Trigger points
+// are either explicit 1-based operation ordinals or drawn from a
+// seeded RNG, so every failing schedule is reproducible from its
+// FaultConfig.
+//
+// A SnapshotBackend captures the byte image at every Sync — the
+// crash-point harness reopens the database from each snapshot and
+// requires it to either verify clean or fail with a typed corruption
+// error.
+
+// ErrInjected is the error returned by injected I/O faults.
+var ErrInjected = errors.New("pager: injected I/O fault")
+
+// FaultConfig selects which operations fail. Ordinals are 1-based
+// counts of calls to the wrapped backend: FailRead=3 fails the third
+// ReadAt. Zero disables a trigger.
+type FaultConfig struct {
+	// Seed drives the probabilistic triggers; the same seed and call
+	// sequence produce the same faults.
+	Seed int64
+	// FailRead fails the Nth ReadAt with ErrInjected (no bytes read).
+	FailRead int
+	// FailWrite fails the Nth WriteAt with ErrInjected before any byte
+	// is written.
+	FailWrite int
+	// ShortWrite makes the Nth WriteAt persist only the first half of
+	// the buffer and report ErrInjected with the short count.
+	ShortWrite int
+	// TornWrite makes the Nth WriteAt persist only the first half of
+	// the buffer while reporting success — the failure surfaces later,
+	// as a checksum mismatch on read.
+	TornWrite int
+	// FailSync fails the Nth Sync with ErrInjected.
+	FailSync int
+	// TornWriteProb tears each write with this probability (seeded by
+	// Seed), independent of the ordinal triggers.
+	TornWriteProb float64
+}
+
+// FaultBackend wraps a Backend with deterministic fault injection.
+type FaultBackend struct {
+	inner Backend
+	cfg   FaultConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	reads  int
+	writes int
+	syncs  int
+	// Faults lists the injected faults in order, for test diagnostics.
+	faults []string
+}
+
+// NewFaultBackend wraps inner with the given fault schedule.
+func NewFaultBackend(inner Backend, cfg FaultConfig) *FaultBackend {
+	return &FaultBackend{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Faults returns a description of every fault injected so far.
+func (f *FaultBackend) Faults() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.faults...)
+}
+
+// Ops returns the operation counts seen so far (reads, writes, syncs),
+// so tests can size ordinal triggers to a recorded workload.
+func (f *FaultBackend) Ops() (reads, writes, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads, f.writes, f.syncs
+}
+
+func (f *FaultBackend) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	f.reads++
+	fail := f.reads == f.cfg.FailRead
+	if fail {
+		f.faults = append(f.faults, fmt.Sprintf("read %d@%d: EIO", f.reads, off))
+	}
+	f.mu.Unlock()
+	if fail {
+		return 0, fmt.Errorf("read at %d: %w", off, ErrInjected)
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *FaultBackend) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	f.writes++
+	n := f.writes
+	torn := n == f.cfg.TornWrite || (f.cfg.TornWriteProb > 0 && f.rng.Float64() < f.cfg.TornWriteProb)
+	short := n == f.cfg.ShortWrite
+	fail := n == f.cfg.FailWrite
+	switch {
+	case fail:
+		f.faults = append(f.faults, fmt.Sprintf("write %d@%d: EIO", n, off))
+	case short:
+		f.faults = append(f.faults, fmt.Sprintf("write %d@%d: short", n, off))
+	case torn:
+		f.faults = append(f.faults, fmt.Sprintf("write %d@%d: torn", n, off))
+	}
+	f.mu.Unlock()
+	switch {
+	case fail:
+		return 0, fmt.Errorf("write at %d: %w", off, ErrInjected)
+	case short:
+		half := len(p) / 2
+		wrote, err := f.inner.WriteAt(p[:half], off)
+		if err != nil {
+			return wrote, err
+		}
+		return wrote, fmt.Errorf("write at %d: wrote %d of %d: %w", off, wrote, len(p), ErrInjected)
+	case torn:
+		// Persist the first half only, but report full success: the
+		// medium lied, and only checksums can tell.
+		half := len(p) / 2
+		if _, err := f.inner.WriteAt(p[:half], off); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *FaultBackend) Truncate(size int64) error { return f.inner.Truncate(size) }
+
+func (f *FaultBackend) Sync() error {
+	f.mu.Lock()
+	f.syncs++
+	fail := f.syncs == f.cfg.FailSync
+	if fail {
+		f.faults = append(f.faults, fmt.Sprintf("sync %d: EIO", f.syncs))
+	}
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("sync: %w", ErrInjected)
+	}
+	return f.inner.Sync()
+}
+
+func (f *FaultBackend) Close() error { return f.inner.Close() }
+
+// SnapshotBackend wraps a MemBackend and records a copy of the full
+// byte image at every Sync — the states a crashed process could leave
+// behind under an ordered-write discipline. The crash-point harness
+// reopens the store from each snapshot.
+type SnapshotBackend struct {
+	*MemBackend
+	mu    sync.Mutex
+	snaps [][]byte
+}
+
+// NewSnapshotBackend creates an empty snapshotting memory backend.
+func NewSnapshotBackend() *SnapshotBackend {
+	return &SnapshotBackend{MemBackend: NewMemBackend(nil)}
+}
+
+func (s *SnapshotBackend) Sync() error {
+	img := s.MemBackend.Bytes()
+	s.mu.Lock()
+	s.snaps = append(s.snaps, img)
+	s.mu.Unlock()
+	return s.MemBackend.Sync()
+}
+
+// Snapshots returns the byte images captured at each Sync, in order.
+func (s *SnapshotBackend) Snapshots() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, len(s.snaps))
+	for i, b := range s.snaps {
+		out[i] = append([]byte(nil), b...)
+	}
+	return out
+}

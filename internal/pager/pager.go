@@ -6,6 +6,20 @@
 // R-trees is based on B-trees, they are better in dealing with paging
 // and disk I/O buffering".
 //
+// Durability (v2 page format, magic "PICTDB02"): every page reserves
+// an 8-byte trailer — a 4-byte marker plus a CRC-32C over the payload
+// and marker — stamped on write-back and verified on Fetch, so torn or
+// bit-rotted pages surface as typed ErrChecksum failures instead of
+// silently wrong query results. The file header lives in two
+// alternating generation-stamped slots on page 0; Commit syncs all
+// data pages *before* writing and syncing the next header slot, so a
+// crash at any point leaves either the old or the new header valid,
+// never a header describing unsynced pages. v1 files ("PICTDB01")
+// remain readable with verification disabled and are upgraded in place
+// on their first full flush; pages written before the upgrade stay
+// unverified (their trailer bytes may be payload), pages written after
+// it carry trailers.
+//
 // Concurrency: the pool is striped into power-of-two mutex-guarded
 // shards keyed by PageID, each with its own LRU list, so concurrent
 // R-tree searches fetch pages without serializing on a single lock.
@@ -19,6 +33,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"runtime"
@@ -30,6 +45,21 @@ import (
 // logical disk block, the unit the paper sizes R-tree nodes to fill.
 const PageSize = 4096
 
+// TrailerSize is the number of bytes at the end of every page reserved
+// for the integrity trailer: a 4-byte marker followed by a 4-byte
+// CRC-32C over Data[0:PageSize-4].
+const TrailerSize = 8
+
+// PayloadSize is the portion of a page available to callers. Page
+// users (heaps, tree nodes, free-list links) must confine their data
+// to Data[0:PayloadSize] so the trailer can be stamped.
+const PayloadSize = PageSize - TrailerSize
+
+// pageMarker identifies a stamped trailer. A page whose trailer lacks
+// the marker predates checksumming (legacy v1 page) and is skipped by
+// verification unless the file guarantees full coverage.
+const pageMarker uint32 = 0xD0C5A9E1
+
 // PageID identifies a page within a file. Page 0 is the file header
 // and is never handed out by Allocate.
 type PageID uint32
@@ -40,8 +70,24 @@ const InvalidPage PageID = 0
 // ErrClosed is returned by operations on a closed pager.
 var ErrClosed = errors.New("pager: closed")
 
+// ErrReadOnly is returned by mutating operations on a read-only pager.
+var ErrReadOnly = errors.New("pager: read-only")
+
 // ErrPageRange is returned when a PageID is outside the file.
 var ErrPageRange = errors.New("pager: page id out of range")
+
+// ErrTruncated is returned when a page inside the header's page count
+// cannot be read in full — the file is shorter than the header claims.
+// It wraps ErrPageRange so existing range checks keep matching.
+var ErrTruncated = fmt.Errorf("%w: file truncated", ErrPageRange)
+
+// ErrChecksum is returned when a page's trailer CRC does not match its
+// contents, or a fully-checksummed file contains an unstamped page.
+var ErrChecksum = errors.New("pager: checksum mismatch")
+
+// ErrBadMagic is returned when the file header carries neither the v2
+// nor the v1 magic.
+var ErrBadMagic = errors.New("pager: bad magic")
 
 // Page is an in-memory image of one disk page.
 type Page struct {
@@ -49,6 +95,10 @@ type Page struct {
 	Data  [PageSize]byte
 	dirty bool
 	pins  int
+	// fresh marks a page allocated (and zeroed) during this process's
+	// lifetime: it is safe to stamp a trailer even in a partially
+	// checksummed file, because no legacy payload can occupy the zone.
+	fresh bool
 	// prev/next link the page into its shard's LRU list when unpinned.
 	prev, next *Page
 }
@@ -58,18 +108,62 @@ type Page struct {
 // must have at most one concurrent writer.
 func (p *Page) MarkDirty() { p.dirty = true }
 
-// Header layout of page 0:
+// File versions.
+var (
+	magicV1 = [8]byte{'P', 'I', 'C', 'T', 'D', 'B', '0', '1'}
+	magicV2 = [8]byte{'P', 'I', 'C', 'T', 'D', 'B', '0', '2'}
+)
+
+// Header flags.
+const flagFullSums = 1 << 0
+
+// Header slot layout. Page 0 holds two 32-byte slots (A at offset 0,
+// B at offset 32); Commit alternates between them so a torn header
+// write destroys at most the slot being written:
 //
-//	bytes 0..7   magic "PICTDB01"
+//	bytes 0..7   magic "PICTDB02"
 //	bytes 8..11  number of pages in the file (including header)
 //	bytes 12..15 head of the free-page list (0 = none)
-var magic = [8]byte{'P', 'I', 'C', 'T', 'D', 'B', '0', '1'}
+//	byte  16     flags (bit 0: every page carries a trailer)
+//	bytes 17..19 reserved (zero)
+//	bytes 20..27 generation counter
+//	bytes 28..31 CRC-32C over bytes 0..27
+//
+// v1 files store magic "PICTDB01", the page count and free head in
+// bytes 0..15 with no checksum; slot A's magic mismatch routes them to
+// the compatibility path.
+const headerSlotSize = 32
 
-// backend abstracts the byte store so the pager can run on a real file
-// or fully in memory (for tests and ephemeral indexes). Implementations
-// must support concurrent ReadAt/WriteAt (os.File does; memBackend
-// locks internally).
-type backend interface {
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// stampTrailer writes the marker and CRC into the page image.
+func stampTrailer(data *[PageSize]byte) {
+	binary.LittleEndian.PutUint32(data[PageSize-TrailerSize:], pageMarker)
+	sum := crc32.Checksum(data[:PageSize-4], castagnoli)
+	binary.LittleEndian.PutUint32(data[PageSize-4:], sum)
+}
+
+// trailerMarker reads the marker field of the page image.
+func trailerMarker(data *[PageSize]byte) uint32 {
+	return binary.LittleEndian.Uint32(data[PageSize-TrailerSize:])
+}
+
+// verifyTrailer checks the CRC of a marker-bearing page image.
+func verifyTrailer(data *[PageSize]byte) error {
+	want := binary.LittleEndian.Uint32(data[PageSize-4:])
+	got := crc32.Checksum(data[:PageSize-4], castagnoli)
+	if got != want {
+		return fmt.Errorf("%w: stored %#08x, computed %#08x", ErrChecksum, want, got)
+	}
+	return nil
+}
+
+// Backend abstracts the byte store so the pager can run on a real
+// file, fully in memory, or behind a fault-injecting wrapper.
+// Implementations must support concurrent ReadAt/WriteAt (os.File
+// does; MemBackend locks internally) and must return
+// io.ErrUnexpectedEOF (or io.EOF at exact end) for short reads.
+type Backend interface {
 	io.ReaderAt
 	io.WriterAt
 	Truncate(size int64) error
@@ -77,14 +171,32 @@ type backend interface {
 	Close() error
 }
 
-// memBackend is an in-memory backend. A mutex makes concurrent
+// MemBackend is an in-memory Backend. A mutex makes concurrent
 // ReadAt/WriteAt safe despite buffer growth.
-type memBackend struct {
+type MemBackend struct {
 	mu  sync.RWMutex
 	buf []byte
 }
 
-func (m *memBackend) ReadAt(p []byte, off int64) (int, error) {
+// NewMemBackend creates a memory backend initialized with a copy of
+// data (nil for an empty store) — the seam the crash-point harness
+// uses to reopen a database from a snapshot of its bytes.
+func NewMemBackend(data []byte) *MemBackend {
+	m := &MemBackend{}
+	if len(data) > 0 {
+		m.buf = append([]byte(nil), data...)
+	}
+	return m
+}
+
+// Bytes returns a copy of the current backing bytes.
+func (m *MemBackend) Bytes() []byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]byte(nil), m.buf...)
+}
+
+func (m *MemBackend) ReadAt(p []byte, off int64) (int, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if off >= int64(len(m.buf)) {
@@ -92,12 +204,14 @@ func (m *memBackend) ReadAt(p []byte, off int64) (int, error) {
 	}
 	n := copy(p, m.buf[off:])
 	if n < len(p) {
-		return n, io.EOF
+		// A partial read is not a clean EOF: the caller asked for bytes
+		// the store does not have.
+		return n, io.ErrUnexpectedEOF
 	}
 	return n, nil
 }
 
-func (m *memBackend) WriteAt(p []byte, off int64) (int, error) {
+func (m *MemBackend) WriteAt(p []byte, off int64) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	end := off + int64(len(p))
@@ -109,7 +223,7 @@ func (m *memBackend) WriteAt(p []byte, off int64) (int, error) {
 	return copy(m.buf[off:], p), nil
 }
 
-func (m *memBackend) Truncate(size int64) error {
+func (m *MemBackend) Truncate(size int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if size <= int64(len(m.buf)) {
@@ -122,8 +236,8 @@ func (m *memBackend) Truncate(size int64) error {
 	return nil
 }
 
-func (m *memBackend) Sync() error  { return nil }
-func (m *memBackend) Close() error { return nil }
+func (m *MemBackend) Sync() error  { return nil }
+func (m *MemBackend) Close() error { return nil }
 
 // Stats reports buffer-pool behaviour: the counters one watches when
 // comparing packed against unpacked trees on disk.
@@ -151,18 +265,31 @@ type shard struct {
 // buffer pool. It is safe for concurrent use; reads of distinct pages
 // proceed on distinct shards without contention.
 type Pager struct {
-	backend backend
-	shards  []shard
-	mask    uint32 // len(shards)-1; shard count is a power of two
-	closed  atomic.Bool
+	backend  Backend
+	path     string // for error messages
+	shards   []shard
+	mask     uint32 // len(shards)-1; shard count is a power of two
+	closed   atomic.Bool
+	readOnly atomic.Bool
 
-	// hmu guards the file header state (page count, free list) and
-	// serializes Allocate/Free. Lock order: hmu before any shard.mu.
-	// numPages is atomic so Fetch can range-check without touching
-	// hmu; it is only written under hmu.
+	// version is 1 for compatibility-mode files (no verification, no
+	// trailer stamping) and 2 once the v2 format is in effect. It only
+	// transitions 1→2, during the upgrade at the first Commit.
+	version atomic.Int32
+	// fullSums records the header flag: every page of the file is
+	// guaranteed to carry a trailer, so a missing marker is corruption
+	// rather than a legacy page.
+	fullSums bool
+
+	// hmu guards the file header state (page count, free list,
+	// generation) and serializes Allocate/Free. Lock order: hmu before
+	// any shard.mu. numPages is atomic so Fetch can range-check without
+	// touching hmu; it is only written under hmu.
 	hmu      sync.Mutex
 	numPages atomic.Uint32 // pages in file including header
 	freeHead PageID
+	gen      uint64
+	hdrSlot  int // slot holding the current on-disk header (0 or 1)
 	allocs   uint64
 	frees    uint64
 }
@@ -174,7 +301,7 @@ func Open(path string, poolPages int) (*Pager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
-	p, err := newPager(f, poolPages)
+	p, err := newPager(f, poolPages, path)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -185,12 +312,19 @@ func Open(path string, poolPages int) (*Pager, error) {
 // OpenMem creates a purely in-memory pager, useful for tests and for
 // indexes that never need to persist.
 func OpenMem(poolPages int) *Pager {
-	p, err := newPager(&memBackend{}, poolPages)
+	p, err := newPager(NewMemBackend(nil), poolPages, "(mem)")
 	if err != nil {
 		// The memory backend cannot fail to initialize.
 		panic(err)
 	}
 	return p
+}
+
+// OpenBackend opens a pager over an arbitrary Backend — the seam the
+// fault-injection and crash-point harnesses use to run the full stack
+// over torn, failing, or snapshotted storage.
+func OpenBackend(b Backend, poolPages int) (*Pager, error) {
+	return newPager(b, poolPages, "(backend)")
 }
 
 // shardCount picks a power-of-two stripe count: enough to spread the
@@ -208,13 +342,31 @@ func shardCount(capacity int) int {
 	return n
 }
 
-func newPager(b backend, poolPages int) (*Pager, error) {
+// parseHeaderSlot validates one 32-byte v2 header slot, returning its
+// fields when the magic and CRC check out.
+func parseHeaderSlot(slot []byte) (numPages uint32, freeHead PageID, flags byte, gen uint64, ok bool) {
+	if [8]byte(slot[0:8]) != magicV2 {
+		return 0, 0, 0, 0, false
+	}
+	want := binary.LittleEndian.Uint32(slot[28:32])
+	if crc32.Checksum(slot[:28], castagnoli) != want {
+		return 0, 0, 0, 0, false
+	}
+	return binary.LittleEndian.Uint32(slot[8:12]),
+		PageID(binary.LittleEndian.Uint32(slot[12:16])),
+		slot[16],
+		binary.LittleEndian.Uint64(slot[20:28]),
+		true
+}
+
+func newPager(b Backend, poolPages int, path string) (*Pager, error) {
 	if poolPages < 1 {
 		return nil, fmt.Errorf("pager: pool must hold at least 1 page, got %d", poolPages)
 	}
 	ns := shardCount(poolPages)
 	p := &Pager{
 		backend: b,
+		path:    path,
 		shards:  make([]shard, ns),
 		mask:    uint32(ns - 1),
 	}
@@ -229,21 +381,60 @@ func newPager(b backend, poolPages int) (*Pager, error) {
 	var hdr [PageSize]byte
 	n, err := b.ReadAt(hdr[:], 0)
 	switch {
-	case err == io.EOF && n == 0:
-		// Fresh file: write a header.
+	case (err == io.EOF || err == io.ErrUnexpectedEOF) && n == 0:
+		// Fresh file: full checksums from the start; write the first
+		// header into slot A.
+		p.version.Store(2)
+		p.fullSums = true
 		p.numPages.Store(1)
 		p.freeHead = InvalidPage
+		p.hdrSlot = 1 // first writeHeader targets slot 0
 		if err := p.writeHeader(); err != nil {
 			return nil, err
 		}
-	case err != nil && err != io.EOF:
+	case err != nil && err != io.EOF && err != io.ErrUnexpectedEOF:
 		return nil, fmt.Errorf("pager: read header: %w", err)
 	default:
-		if [8]byte(hdr[0:8]) != magic {
-			return nil, errors.New("pager: bad magic: not a pictdb page file")
+		// A short read leaves hdr zero-padded; slot parsing and the
+		// magic checks below classify whatever bytes are present. (The
+		// header region is the first two slots — a fresh file's page 0
+		// may be shorter than a full page until data pages extend it.)
+		// Prefer the valid v2 slot with the highest generation.
+		best := -1
+		var bestNum uint32
+		var bestFree PageID
+		var bestFlags byte
+		var bestGen uint64
+		for slot := 0; slot < 2; slot++ {
+			num, free, flags, gen, ok := parseHeaderSlot(hdr[slot*headerSlotSize : (slot+1)*headerSlotSize])
+			if ok && (best == -1 || gen > bestGen) {
+				best, bestNum, bestFree, bestFlags, bestGen = slot, num, free, flags, gen
+			}
 		}
-		p.numPages.Store(binary.LittleEndian.Uint32(hdr[8:12]))
-		p.freeHead = PageID(binary.LittleEndian.Uint32(hdr[12:16]))
+		switch {
+		case best >= 0:
+			p.version.Store(2)
+			p.fullSums = bestFlags&flagFullSums != 0
+			p.numPages.Store(bestNum)
+			p.freeHead = bestFree
+			p.gen = bestGen
+			p.hdrSlot = best
+		case [8]byte(hdr[0:8]) == magicV1:
+			// Compatibility mode: no verification, no stamping, until
+			// the first Commit upgrades the file. Slot A is considered
+			// occupied by the v1 header so the upgrade writes slot B
+			// first, keeping the v1 header recoverable if it tears.
+			p.version.Store(1)
+			p.numPages.Store(binary.LittleEndian.Uint32(hdr[8:12]))
+			p.freeHead = PageID(binary.LittleEndian.Uint32(hdr[12:16]))
+			p.hdrSlot = 0
+		case [8]byte(hdr[0:8]) == magicV2:
+			// v2 magic but no slot validates: a torn or corrupted header.
+			return nil, fmt.Errorf("pager: %s: header: %w (no valid header slot)", path, ErrChecksum)
+		default:
+			return nil, fmt.Errorf("pager: %s: %w: expected %q or %q, got %q: not a pictdb page file",
+				path, ErrBadMagic, magicV2[:], magicV1[:], hdr[0:8])
+		}
 	}
 	return p, nil
 }
@@ -252,19 +443,53 @@ func (p *Pager) shardFor(id PageID) *shard {
 	return &p.shards[uint32(id)&p.mask]
 }
 
+// writeHeader serializes the header into the inactive slot, flipping
+// the active slot only when the write succeeds. Callers are
+// responsible for ordering it after the data pages it describes have
+// been synced.
 func (p *Pager) writeHeader() error {
-	var hdr [PageSize]byte
-	copy(hdr[0:8], magic[:])
-	binary.LittleEndian.PutUint32(hdr[8:12], p.numPages.Load())
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(p.freeHead))
-	if _, err := p.backend.WriteAt(hdr[:], 0); err != nil {
+	p.hmu.Lock()
+	defer p.hmu.Unlock()
+	slot := 1 - p.hdrSlot
+	var buf [headerSlotSize]byte
+	copy(buf[0:8], magicV2[:])
+	binary.LittleEndian.PutUint32(buf[8:12], p.numPages.Load())
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(p.freeHead))
+	if p.fullSums {
+		buf[16] = flagFullSums
+	}
+	binary.LittleEndian.PutUint64(buf[20:28], p.gen+1)
+	binary.LittleEndian.PutUint32(buf[28:32], crc32.Checksum(buf[:28], castagnoli))
+	if _, err := p.backend.WriteAt(buf[:], int64(slot)*headerSlotSize); err != nil {
 		return fmt.Errorf("pager: write header: %w", err)
 	}
+	p.gen++
+	p.hdrSlot = slot
 	return nil
 }
 
 // NumPages returns the number of pages in the file, header included.
 func (p *Pager) NumPages() int { return int(p.numPages.Load()) }
+
+// Version reports the file format in effect: 1 for a not-yet-upgraded
+// compatibility-mode file, 2 for the checksummed format.
+func (p *Pager) Version() int { return int(p.version.Load()) }
+
+// FullChecksums reports whether every page of the file is guaranteed
+// to carry a verified trailer (false for files upgraded from v1).
+func (p *Pager) FullChecksums() bool { return p.fullSums }
+
+// Path returns the file path (or a placeholder for non-file backends).
+func (p *Pager) Path() string { return p.path }
+
+// SetReadOnly toggles read-only mode: Allocate, Free, Commit and Flush
+// fail with ErrReadOnly, and Close skips write-back. Used to serve
+// queries from a file that failed verification without risking further
+// damage.
+func (p *Pager) SetReadOnly(ro bool) { p.readOnly.Store(ro) }
+
+// ReadOnly reports whether the pager refuses writes.
+func (p *Pager) ReadOnly() bool { return p.readOnly.Load() }
 
 // Stats returns a snapshot of the pool counters, summed over shards.
 func (p *Pager) Stats() Stats {
@@ -300,9 +525,14 @@ func (p *Pager) ResetStats() {
 
 // Allocate returns a pinned, zeroed page, reusing a freed page when one
 // is available and extending the file otherwise. Callers must Unpin it.
+// The header recording the grown page count reaches disk at the next
+// Commit, after the page data itself.
 func (p *Pager) Allocate() (*Page, error) {
 	if p.closed.Load() {
 		return nil, ErrClosed
+	}
+	if p.readOnly.Load() {
+		return nil, ErrReadOnly
 	}
 	p.hmu.Lock()
 	defer p.hmu.Unlock()
@@ -312,42 +542,41 @@ func (p *Pager) Allocate() (*Page, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.freeHead = PageID(binary.LittleEndian.Uint32(pg.Data[0:4]))
+		next := PageID(binary.LittleEndian.Uint32(pg.Data[0:4]))
+		if next != InvalidPage && uint32(next) >= p.numPages.Load() {
+			p.Unpin(pg)
+			return nil, fmt.Errorf("pager: free list next pointer %d on page %d: %w", next, pg.ID, ErrPageRange)
+		}
+		p.freeHead = next
 		pg.Data = [PageSize]byte{}
+		pg.fresh = true
 		pg.MarkDirty()
 		p.allocs++
-		if err := p.writeHeader(); err != nil {
-			p.freeHead = pg.ID
-			p.Unpin(pg)
-			return nil, err
-		}
 		return pg, nil
 	}
 	id := PageID(p.numPages.Load())
 	p.numPages.Add(1)
-	if err := p.writeHeader(); err != nil {
-		p.numPages.Add(^uint32(0))
-		return nil, err
-	}
 	pg, err := p.install(id, false)
 	if err != nil {
 		// Roll the reservation back so a failed allocation (pool
 		// exhausted) doesn't leak a file page.
 		p.numPages.Add(^uint32(0))
-		if werr := p.writeHeader(); werr != nil {
-			return nil, werr
-		}
 		return nil, err
 	}
 	p.allocs++
+	pg.fresh = true
 	pg.MarkDirty()
 	return pg, nil
 }
 
 // Free returns a page to the free list. The page must not be pinned.
+// The shrunk free list reaches disk at the next Commit.
 func (p *Pager) Free(id PageID) error {
 	if p.closed.Load() {
 		return ErrClosed
+	}
+	if p.readOnly.Load() {
+		return ErrReadOnly
 	}
 	p.hmu.Lock()
 	defer p.hmu.Unlock()
@@ -371,7 +600,40 @@ func (p *Pager) Free(id PageID) error {
 	p.freeHead = id
 	p.frees++
 	p.Unpin(pg)
-	return p.writeHeader()
+	return nil
+}
+
+// FreePages walks the free list, validating that every link stays in
+// range and acyclic, and returns the free page ids in list order. Each
+// visited page passes through Fetch and is therefore
+// checksum-verified.
+func (p *Pager) FreePages() ([]PageID, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	p.hmu.Lock()
+	head := p.freeHead
+	p.hmu.Unlock()
+	seen := make(map[PageID]bool)
+	var out []PageID
+	for id := head; id != InvalidPage; {
+		if seen[id] {
+			return out, fmt.Errorf("pager: free list cycle at page %d", id)
+		}
+		seen[id] = true
+		pg, err := p.Fetch(id)
+		if err != nil {
+			return out, fmt.Errorf("pager: free list at page %d: %w", id, err)
+		}
+		out = append(out, id)
+		next := PageID(binary.LittleEndian.Uint32(pg.Data[0:4]))
+		p.Unpin(pg)
+		if next != InvalidPage && uint32(next) >= p.numPages.Load() {
+			return out, fmt.Errorf("pager: free list next pointer %d on page %d: %w", next, id, ErrPageRange)
+		}
+		id = next
+	}
+	return out, nil
 }
 
 // Fetch returns the page with the given id, pinned. Callers must Unpin.
@@ -413,7 +675,8 @@ func (p *Pager) install(id PageID, read bool) (*Page, error) {
 }
 
 // installShard evicts as needed and installs page id, reading its
-// contents from the backend when read is true. Caller holds sh.mu.
+// contents from the backend (and verifying its trailer) when read is
+// true. Caller holds sh.mu.
 func (p *Pager) installShard(sh *shard, id PageID, read bool) (*Page, error) {
 	for len(sh.pages) >= sh.capacity {
 		victim := sh.lruTail
@@ -429,12 +692,43 @@ func (p *Pager) installShard(sh *shard, id PageID, read bool) (*Page, error) {
 	}
 	pg := &Page{ID: id, pins: 1}
 	if read {
-		if _, err := p.backend.ReadAt(pg.Data[:], int64(id)*PageSize); err != nil && err != io.EOF {
+		n, err := p.backend.ReadAt(pg.Data[:], int64(id)*PageSize)
+		switch {
+		case err == io.EOF || err == io.ErrUnexpectedEOF:
+			// The page is inside the header's page count but the store
+			// ends before it: the file was truncated.
+			return nil, fmt.Errorf("pager: read page %d: %w", id, ErrTruncated)
+		case err != nil:
 			return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+		case n < PageSize:
+			return nil, fmt.Errorf("pager: read page %d: %w", id, ErrTruncated)
+		}
+		if err := p.verifyPage(pg); err != nil {
+			return nil, err
 		}
 	}
 	sh.pages[id] = pg
 	return pg, nil
+}
+
+// verifyPage checks a freshly read page image against its trailer
+// according to the file's coverage guarantees.
+func (p *Pager) verifyPage(pg *Page) error {
+	if p.version.Load() != 2 {
+		return nil
+	}
+	if trailerMarker(&pg.Data) == pageMarker {
+		if err := verifyTrailer(&pg.Data); err != nil {
+			return fmt.Errorf("pager: page %d: %w", pg.ID, err)
+		}
+		return nil
+	}
+	if p.fullSums {
+		return fmt.Errorf("pager: page %d: missing checksum trailer: %w", pg.ID, ErrChecksum)
+	}
+	// Partially checksummed file (upgraded from v1): the page predates
+	// the upgrade and carries no trailer; serve it unverified.
+	return nil
 }
 
 // Unpin releases a pin taken by Fetch or Allocate. Unpinned pages
@@ -479,10 +773,19 @@ func (sh *shard) lruRemove(pg *Page) {
 	pg.prev, pg.next = nil, nil
 }
 
-// flushPage writes pg back if dirty. Caller holds sh.mu.
+// flushPage writes pg back if dirty, stamping the integrity trailer
+// when the v2 format is in effect and the page is known to own its
+// trailer zone (freshly allocated, or already stamped on disk). Caller
+// holds sh.mu.
 func (p *Pager) flushPage(sh *shard, pg *Page) error {
 	if !pg.dirty {
 		return nil
+	}
+	if p.readOnly.Load() {
+		return fmt.Errorf("pager: dirty page %d: %w", pg.ID, ErrReadOnly)
+	}
+	if p.version.Load() == 2 && (pg.fresh || trailerMarker(&pg.Data) == pageMarker) {
+		stampTrailer(&pg.Data)
 	}
 	if _, err := p.backend.WriteAt(pg.Data[:], int64(pg.ID)*PageSize); err != nil {
 		return fmt.Errorf("pager: write page %d: %w", pg.ID, err)
@@ -508,27 +811,53 @@ func (p *Pager) flushShards() error {
 	return nil
 }
 
-// Flush writes every dirty page and syncs the backend.
-func (p *Pager) Flush() error {
-	if p.closed.Load() {
-		return ErrClosed
+// commit is the ordered write barrier: flush every dirty data page,
+// sync, then write and sync the header. A crash at any point leaves a
+// file whose surviving header never describes unsynced pages. A v1
+// file is upgraded here — subsequent page writes carry trailers and
+// the header becomes v2 (partial coverage).
+func (p *Pager) commit() error {
+	if p.readOnly.Load() {
+		return ErrReadOnly
 	}
+	// Upgrade before flushing so the pages written below are stamped.
+	p.version.CompareAndSwap(1, 2)
 	if err := p.flushShards(); err != nil {
+		return err
+	}
+	if err := p.backend.Sync(); err != nil {
+		return err
+	}
+	if err := p.writeHeader(); err != nil {
 		return err
 	}
 	return p.backend.Sync()
 }
 
-// Close flushes and closes the pager. Further operations fail with
-// ErrClosed.
+// Commit flushes all dirty pages, syncs them, and only then writes and
+// syncs the header — the explicit durability barrier callers place at
+// the end of bulk builds and checkpoints.
+func (p *Pager) Commit() error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	return p.commit()
+}
+
+// Flush is Commit under its historical name: every flush of the page
+// file is an ordered commit.
+func (p *Pager) Flush() error { return p.Commit() }
+
+// Close commits and closes the pager (read-only pagers just release
+// the backend). Further operations fail with ErrClosed.
 func (p *Pager) Close() error {
 	if p.closed.Swap(true) {
 		return nil
 	}
-	if err := p.flushShards(); err != nil {
-		return err
+	if p.readOnly.Load() {
+		return p.backend.Close()
 	}
-	if err := p.backend.Sync(); err != nil {
+	if err := p.commit(); err != nil {
 		return err
 	}
 	return p.backend.Close()

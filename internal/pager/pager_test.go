@@ -2,9 +2,11 @@ package pager
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -219,7 +221,8 @@ func TestBadMagicRejected(t *testing.T) {
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the magic on disk and reopen.
+	// Corrupt the magic in both header slots and reopen. (Corrupting
+	// just one slot is recoverable: the other slot still validates.)
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -227,9 +230,23 @@ func TestBadMagicRejected(t *testing.T) {
 	if _, err := f.WriteAt([]byte("XXXXXXXX"), 0); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := f.WriteAt([]byte("XXXXXXXX"), headerSlotSize); err != nil {
+		t.Fatal(err)
+	}
 	f.Close()
-	if _, err := Open(path, 2); err == nil {
+	_, err = Open(path, 2)
+	if err == nil {
 		t.Fatal("opening a corrupt file should fail")
+	}
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("error should wrap ErrBadMagic, got %v", err)
+	}
+	// The message must carry enough to diagnose from a log line: the
+	// file path, the magics we accept, and the bytes actually found.
+	for _, want := range []string{path, "PICTDB02", "PICTDB01", "XXXXXXXX"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q", err, want)
+		}
 	}
 }
 

@@ -45,6 +45,12 @@ func DecodeTuple(rec []byte) (Tuple, error) {
 	if off <= 0 {
 		return nil, fmt.Errorf("relation: corrupt tuple header")
 	}
+	// Every column takes at least one byte, so a count exceeding the
+	// remaining bytes is corrupt — and must be rejected before it sizes
+	// an allocation.
+	if n > uint64(len(rec)-off) {
+		return nil, fmt.Errorf("relation: corrupt tuple header: %d columns in %d bytes", n, len(rec))
+	}
 	pos := off
 	out := make(Tuple, 0, n)
 	for i := uint64(0); i < n; i++ {
@@ -69,7 +75,9 @@ func DecodeTuple(rec []byte) (Tuple, error) {
 			}
 		case TypeString:
 			l, w := binary.Uvarint(rec[pos:])
-			if w <= 0 || pos+w+int(l) > len(rec) {
+			// Bound l before converting: a 64-bit length can wrap int
+			// and slip past the range check as a negative slice index.
+			if w <= 0 || l > uint64(len(rec)) || pos+w+int(l) > len(rec) {
 				return nil, fmt.Errorf("relation: truncated string column %d", i)
 			}
 			pos += w
@@ -77,7 +85,7 @@ func DecodeTuple(rec []byte) (Tuple, error) {
 			pos += int(l)
 		case TypeLoc:
 			l, w := binary.Uvarint(rec[pos:])
-			if w <= 0 || pos+w+int(l)+8 > len(rec) {
+			if w <= 0 || l > uint64(len(rec)) || pos+w+int(l)+8 > len(rec) {
 				return nil, fmt.Errorf("relation: truncated loc column %d", i)
 			}
 			pos += w

@@ -385,6 +385,62 @@ func (r *Relation) SearchAreaBatch(pictureName string, windows []geom.Rect, pred
 	return out, visited, nil
 }
 
+// HeapPages returns the page ids of the relation's tuple heap, for
+// page-ownership accounting during verification.
+func (r *Relation) HeapPages() ([]pager.PageID, error) { return r.heap.Pages() }
+
+// Check validates the relation end to end: the heap's slotted-page
+// structure (every page checksum-verified through the pager), every
+// tuple's decodability and schema conformance, the structural
+// invariants of each B-tree and spatial index, and that every index
+// entry resolves to a live tuple. It returns the first problem found.
+func (r *Relation) Check() error {
+	if err := r.heap.Check(); err != nil {
+		return fmt.Errorf("relation %s: %w", r.name, err)
+	}
+	var decodeErr error
+	err := r.heap.Scan(func(id storage.TupleID, rec []byte) bool {
+		t, err := DecodeTuple(rec)
+		if err != nil {
+			decodeErr = fmt.Errorf("relation %s: tuple %v: %w", r.name, id, err)
+			return false
+		}
+		if err := r.schema.Validate(t); err != nil {
+			decodeErr = fmt.Errorf("relation %s: tuple %v: %w", r.name, id, err)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("relation %s: %w", r.name, err)
+	}
+	if decodeErr != nil {
+		return decodeErr
+	}
+	for col, idx := range r.indexes {
+		if err := idx.CheckInvariants(); err != nil {
+			return fmt.Errorf("relation %s: index %q: %w", r.name, col, err)
+		}
+		var resolveErr error
+		idx.Ascend(func(_ []byte, v int64) bool {
+			if _, err := r.heap.Get(storage.TupleIDFromInt64(v)); err != nil {
+				resolveErr = fmt.Errorf("relation %s: index %q: entry %v: %w", r.name, col, storage.TupleIDFromInt64(v), err)
+				return false
+			}
+			return true
+		})
+		if resolveErr != nil {
+			return resolveErr
+		}
+	}
+	for pic, si := range r.spatial {
+		if err := si.Tree.CheckInvariants(); err != nil {
+			return fmt.Errorf("relation %s: spatial index %q: %w", r.name, pic, err)
+		}
+	}
+	return nil
+}
+
 // RepackPicture rebuilds the spatial index for the named picture from
 // the current tuples — the paper's §3.4 periodic reorganization of a
 // drifted index.

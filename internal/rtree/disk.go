@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -40,8 +41,31 @@ const (
 	diskEntrySize  = 40
 )
 
-// DiskMaxEntries is the page-filling branching factor.
-const DiskMaxEntries = (pager.PageSize - diskHeaderSize) / diskEntrySize
+// DiskMaxEntries is the page-filling branching factor: entries fill
+// the page payload, leaving the pager's checksum trailer untouched.
+const DiskMaxEntries = (pager.PayloadSize - diskHeaderSize) / diskEntrySize
+
+// diskPhysMax is the most entries that physically fit in a raw page —
+// the bound for nodes written by pre-checksum builds, whose pages may
+// use the trailer zone. Anything above it cannot be addressed without
+// running off the page and marks the node as corrupt.
+const diskPhysMax = (pager.PageSize - diskHeaderSize) / diskEntrySize
+
+// ErrCorrupt is returned when a node page's structure is invalid.
+var ErrCorrupt = errors.New("rtree: corrupt node page")
+
+// validNode bounds-checks a node page's entry count before any entry
+// is decoded, so corrupt counts surface as typed errors instead of
+// out-of-range panics.
+func validNode(id pager.PageID, data []byte) error {
+	if data[0] > 1 {
+		return fmt.Errorf("%w: page %d: bad node kind %d", ErrCorrupt, id, data[0])
+	}
+	if n := nodeCount(data); n > diskPhysMax {
+		return fmt.Errorf("%w: page %d: entry count %d exceeds page capacity %d", ErrCorrupt, id, n, diskPhysMax)
+	}
+	return nil
+}
 
 // DiskMeta captures what a caller must persist to reopen a DiskTree.
 type DiskMeta struct {
@@ -128,9 +152,15 @@ func nodeCount(data []byte) int       { return int(binary.LittleEndian.Uint16(da
 func setNodeCount(data []byte, n int) { binary.LittleEndian.PutUint16(data[1:3], uint16(n)) }
 func nodeIsLeaf(data []byte) bool     { return data[0] == 1 }
 
-// readEntries loads all entries of a node page.
+// readEntries loads all entries of a node page. The count is clamped
+// to the physical page capacity so a corrupt count cannot run off the
+// page; paths that must report (rather than bound) corruption call
+// validNode first.
 func readEntries(data []byte) []diskEntry {
 	n := nodeCount(data)
+	if n > diskPhysMax {
+		n = diskPhysMax
+	}
 	out := make([]diskEntry, n)
 	for i := 0; i < n; i++ {
 		out[i] = readEntry(data, i)
@@ -218,6 +248,11 @@ func BulkLoadDisk(p *pager.Pager, max, min int, items []Item, g Grouper) (*DiskT
 	t.root = rootID
 	t.height = height
 	t.size = len(items)
+	// Commit is the durability barrier at the end of the bulk build:
+	// node pages are synced before the header that makes them reachable.
+	if err := p.Commit(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -231,6 +266,10 @@ func (t *DiskTree) Search(window geom.Rect, fn func(Item) bool) (int, error) {
 	walk = func(id pager.PageID) (bool, error) {
 		pg, err := t.p.Fetch(id)
 		if err != nil {
+			return false, err
+		}
+		if err := validNode(id, pg.Data[:]); err != nil {
+			t.p.Unpin(pg)
 			return false, err
 		}
 		visited++
@@ -643,6 +682,10 @@ func (t *DiskTree) CheckInvariants() error {
 	walk = func(id pager.PageID, depth int, want geom.Rect, isRoot bool) error {
 		pg, err := t.p.Fetch(id)
 		if err != nil {
+			return err
+		}
+		if err := validNode(id, pg.Data[:]); err != nil {
+			t.p.Unpin(pg)
 			return err
 		}
 		leaf := nodeIsLeaf(pg.Data[:])

@@ -42,6 +42,11 @@ var ErrNotFound = errors.New("storage: tuple not found")
 // ErrTooLarge is returned when a record cannot fit in a page.
 var ErrTooLarge = errors.New("storage: record larger than page capacity")
 
+// ErrCorrupt is returned when a page's slotted structure is invalid —
+// the typed error the durability suite expects instead of a panic or
+// silently wrong bytes.
+var ErrCorrupt = errors.New("storage: corrupt heap page")
+
 // Slotted page layout:
 //
 //	offset 0:  uint16 slotCount
@@ -51,7 +56,10 @@ var ErrTooLarge = errors.New("storage: record larger than page capacity")
 //	offset 10: slot directory: per slot uint16 offset, uint16 length
 //	           (offset 0xFFFF marks a dead slot)
 //	...
-//	records packed from the end of the page downwards.
+//	records packed from the end of the usable payload downwards (the
+//	pager reserves a checksum trailer past pager.PayloadSize; pages
+//	written by pre-checksum builds may pack records all the way to
+//	pager.PageSize and stay readable).
 const (
 	headerSize   = 10
 	slotSize     = 4
@@ -62,7 +70,7 @@ const (
 )
 
 // MaxRecordSize is the largest record a single page can hold.
-const MaxRecordSize = pager.PageSize - headerSize - slotSize
+const MaxRecordSize = pager.PayloadSize - headerSize - slotSize
 
 type pageView struct {
 	pg *pager.Page
@@ -95,11 +103,51 @@ func (v pageView) setSlot(i, offset, length int) {
 	binary.LittleEndian.PutUint16(v.pg.Data[base+2:], uint16(length))
 }
 
-// init prepares an empty slotted page.
+// init prepares an empty slotted page, leaving the pager's checksum
+// trailer zone untouched.
 func (v pageView) init() {
 	v.setSlotCount(0)
-	v.setFreeEnd(pager.PageSize)
+	v.setFreeEnd(pager.PayloadSize)
 	v.setNextPage(pager.InvalidPage)
+}
+
+// check validates the slotted structure of one page: directory and
+// free pointers in bounds, every live slot's record inside the page
+// and below the free space. It returns an error wrapping ErrCorrupt.
+func (v pageView) check() error {
+	sc := v.slotCount()
+	dirEnd := headerSize + sc*slotSize
+	fe := v.freeEnd()
+	if dirEnd > pager.PageSize {
+		return fmt.Errorf("%w: slot directory (%d slots) exceeds page", ErrCorrupt, sc)
+	}
+	if fe < dirEnd || fe > pager.PageSize {
+		return fmt.Errorf("%w: free end %d outside [%d,%d]", ErrCorrupt, fe, dirEnd, pager.PageSize)
+	}
+	for i := 0; i < sc; i++ {
+		off, length := v.slot(i)
+		if off == deadOffset {
+			continue
+		}
+		if off < fe || off+length > pager.PageSize {
+			return fmt.Errorf("%w: slot %d record [%d,%d) outside data area [%d,%d)", ErrCorrupt, i, off, off+length, fe, pager.PageSize)
+		}
+	}
+	return nil
+}
+
+// slotRecord bounds-checks slot i and returns its record range,
+// distinguishing dead slots (ErrNotFound) from structurally invalid
+// ones (ErrCorrupt).
+func (v pageView) slotRecord(i int) (offset, length int, err error) {
+	off, length := v.slot(i)
+	if off == deadOffset {
+		return 0, 0, fmt.Errorf("%w: slot %d (deleted)", ErrNotFound, i)
+	}
+	if off < headerSize || off+length > pager.PageSize {
+		return 0, 0, fmt.Errorf("%w: slot %d record [%d,%d) outside page", ErrCorrupt, i, off, off+length)
+	}
+	return off, length, nil
 }
 
 // freeSpace returns the bytes available for one more record plus its
@@ -228,9 +276,9 @@ func (h *Heap) Get(id TupleID) ([]byte, error) {
 	if int(id.Slot) >= v.slotCount() {
 		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
 	}
-	off, length := v.slot(int(id.Slot))
-	if off == deadOffset {
-		return nil, fmt.Errorf("%w: %v (deleted)", ErrNotFound, id)
+	off, length, err := v.slotRecord(int(id.Slot))
+	if err != nil {
+		return nil, fmt.Errorf("page %d: %w", id.Page, err)
 	}
 	out := make([]byte, length)
 	copy(out, pg.Data[off:off+length])
@@ -282,7 +330,8 @@ func (h *Heap) Free() error {
 
 // Scan calls fn for every live record in storage order; returning
 // false stops the scan. The record slice is only valid during the
-// call.
+// call. A structurally invalid page stops the scan with an error
+// wrapping ErrCorrupt.
 func (h *Heap) Scan(fn func(id TupleID, rec []byte) bool) error {
 	id := h.first
 	for id != pager.InvalidPage {
@@ -291,6 +340,10 @@ func (h *Heap) Scan(fn func(id TupleID, rec []byte) bool) error {
 			return err
 		}
 		v := pageView{pg}
+		if err := v.check(); err != nil {
+			h.p.Unpin(pg)
+			return fmt.Errorf("heap page %d: %w", id, err)
+		}
 		for i := 0; i < v.slotCount(); i++ {
 			off, length := v.slot(i)
 			if off == deadOffset {
@@ -304,6 +357,56 @@ func (h *Heap) Scan(fn func(id TupleID, rec []byte) bool) error {
 		next := v.nextPage()
 		h.p.Unpin(pg)
 		id = next
+	}
+	return nil
+}
+
+// Pages returns the page ids of the heap chain in order, guarding
+// against cycles and out-of-range links with errors wrapping
+// ErrCorrupt.
+func (h *Heap) Pages() ([]pager.PageID, error) {
+	seen := make(map[pager.PageID]bool)
+	var out []pager.PageID
+	id := h.first
+	for id != pager.InvalidPage {
+		if seen[id] {
+			return out, fmt.Errorf("%w: chain cycle at page %d", ErrCorrupt, id)
+		}
+		seen[id] = true
+		pg, err := h.p.Fetch(id)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, id)
+		next := pageView{pg}.nextPage()
+		h.p.Unpin(pg)
+		if next != pager.InvalidPage && int(next) >= h.p.NumPages() {
+			return out, fmt.Errorf("%w: page %d links to out-of-range page %d", ErrCorrupt, id, next)
+		}
+		id = next
+	}
+	return out, nil
+}
+
+// Check walks the heap chain and validates every page's slotted
+// structure. Each visited page passes through the pager's Fetch and is
+// therefore checksum-verified; structural faults return errors
+// wrapping ErrCorrupt.
+func (h *Heap) Check() error {
+	pages, err := h.Pages()
+	if err != nil {
+		return err
+	}
+	for _, id := range pages {
+		pg, err := h.p.Fetch(id)
+		if err != nil {
+			return err
+		}
+		err = pageView{pg}.check()
+		h.p.Unpin(pg)
+		if err != nil {
+			return fmt.Errorf("heap page %d: %w", id, err)
+		}
 	}
 	return nil
 }

@@ -123,6 +123,7 @@ type Database struct {
 	pictures  map[string]*picture.Picture
 	locations map[string]geom.Rect
 	exec      *psql.Executor
+	readOnly  bool
 }
 
 // New creates an in-memory database.
@@ -148,6 +149,14 @@ func Open(path string, poolPages int) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	return OpenWithPager(p)
+}
+
+// OpenWithPager builds a database over an already-open pager — the
+// seam the fault-injection and crash-point suites use to run the full
+// stack over torn, failing, or snapshotted backends. The pager is
+// closed if the catalog cannot be loaded.
+func OpenWithPager(p *pager.Pager) (*Database, error) {
 	db := &Database{
 		pager:     p,
 		relations: make(map[string]*relation.Relation),
@@ -166,19 +175,59 @@ func Open(path string, poolPages int) (*Database, error) {
 	return db, nil
 }
 
+// OpenChecked opens the database at path and runs a full verification
+// pass (Database.Check). When verification finds problems the database
+// is degraded to read-only — it keeps serving queries over whatever
+// loaded cleanly but refuses writes — and the report says why. The
+// error is non-nil only when the file cannot be opened at all (bad
+// magic, corrupt header or catalog).
+func OpenChecked(path string, poolPages int) (*Database, *CheckReport, error) {
+	db, err := Open(path, poolPages)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := db.Check()
+	if !report.OK() {
+		db.SetReadOnly(true)
+	}
+	return db, report, nil
+}
+
 // openRelation reopens a persisted relation (catalog reload path).
 func openRelation(db *Database, name string, schema Schema, first pager.PageID) (*Relation, error) {
 	return relation.Open(db.pager, name, schema, first)
 }
 
-// Close flushes and closes the underlying storage.
+// Close flushes (with the ordered commit barrier) and closes the
+// underlying storage.
 func (db *Database) Close() error { return db.pager.Close() }
+
+// Commit flushes every dirty page, syncs them, and only then writes
+// and syncs the file header — the explicit durability barrier. Data
+// committed here survives a crash; a crash mid-commit leaves the
+// previous header in effect.
+func (db *Database) Commit() error { return db.pager.Commit() }
+
+// SetReadOnly degrades the database to read-only: relation and picture
+// definition, checkpointing, and all pager writes fail, while queries
+// keep running. OpenChecked applies it automatically when verification
+// fails.
+func (db *Database) SetReadOnly(ro bool) {
+	db.readOnly = ro
+	db.pager.SetReadOnly(ro)
+}
+
+// ReadOnly reports whether the database refuses writes.
+func (db *Database) ReadOnly() bool { return db.readOnly }
 
 // NumPages reports the size of the underlying page file in pages.
 func (db *Database) NumPages() int { return db.pager.NumPages() }
 
 // CreateRelation defines a new relation.
 func (db *Database) CreateRelation(name string, schema Schema) (*Relation, error) {
+	if db.readOnly {
+		return nil, fmt.Errorf("pictdb: create relation %q: %w", name, pager.ErrReadOnly)
+	}
 	if _, dup := db.relations[name]; dup {
 		return nil, fmt.Errorf("pictdb: relation %q already exists", name)
 	}
@@ -192,6 +241,9 @@ func (db *Database) CreateRelation(name string, schema Schema) (*Relation, error
 
 // CreatePicture defines a new picture covering extent.
 func (db *Database) CreatePicture(name string, extent Rect) (*Picture, error) {
+	if db.readOnly {
+		return nil, fmt.Errorf("pictdb: create picture %q: %w", name, pager.ErrReadOnly)
+	}
 	if _, dup := db.pictures[name]; dup {
 		return nil, fmt.Errorf("pictdb: picture %q already exists", name)
 	}
