@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench faults fuzz table1 parbench clean
+.PHONY: check build test race vet bench benchcheck faults fuzz table1 parbench joinbench clean
 
 # The gate: everything must vet, build, pass under the race detector
 # (the concurrent read path and parallel PACK are exercised by
@@ -23,6 +23,15 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
+# Short benchmark smoke pass (no -race: the detector's overhead makes
+# timings meaningless). Catches perf-path regressions that fail to
+# run — wrong flags, broken benchmarks, alloc-assertion drift — not
+# timing changes; CI runs it as a non-blocking job.
+benchcheck:
+	$(GO) test -run xxx -bench 'DiskSearch|DiskQueryBatch|Juxtapos' -benchtime 10x -benchmem .
+	$(GO) test -run xxx -bench 'Pin|Fetch' -benchtime 100x -benchmem ./internal/pager/
+	$(GO) test -run 'ZeroAllocs|PreallocAllocs' ./internal/rtree/
+
 # Durability suite: injected I/O faults, torn writes, crash-point
 # snapshots, checksum and corruption detection, across the pager and
 # the full database stack.
@@ -39,6 +48,9 @@ table1:
 
 parbench:
 	$(GO) run ./cmd/rtreebench -parbench
+
+joinbench:
+	$(GO) run ./cmd/rtreebench -joinbench
 
 clean:
 	$(GO) clean ./...

@@ -423,6 +423,69 @@ func BenchmarkQueryBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkJuxtaposeParallel measures the parallel geographic join at
+// 1/2/4/8 workers over in-memory trees. The output is identical at
+// every worker count (frontier order is serial DFS order), so only
+// wall-clock moves.
+func BenchmarkJuxtaposeParallel(b *testing.B) {
+	params := rtree.Params{Max: 16, Min: 8}
+	points := pack.Tree(params, workload.PointItems(workload.UniformPoints(50000, 57)), pack.Options{Method: pack.MethodSTR})
+	wins := workload.QueryWindows(5000, 25, 58)
+	regionItems := make([]rtree.Item, len(wins))
+	for i, w := range wins {
+		regionItems[i] = rtree.Item{Rect: w, Data: int64(i)}
+	}
+	regions := pack.Tree(params, regionItems, pack.Options{Method: pack.MethodSTR})
+	pred := func(a, b geom.Rect) bool { return a.Intersects(b) }
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			pairs := 0
+			for i := 0; i < b.N; i++ {
+				out, _ := rtree.Juxtapose(points, regions, pred, par)
+				pairs = len(out)
+			}
+			b.ReportMetric(float64(pairs), "pairs")
+		})
+	}
+}
+
+// BenchmarkDiskJuxtapose is the disk variant of the parallel join:
+// both trees live on pager pages and the traversal is zero-copy over
+// pinned views.
+func BenchmarkDiskJuxtapose(b *testing.B) {
+	p := pager.OpenMem(2048)
+	defer p.Close()
+	points, err := rtree.BulkLoadDisk(p, 0, 0, workload.PointItems(workload.UniformPoints(50000, 57)), pack.Grouper(pack.MethodSTR))
+	if err != nil {
+		b.Fatal(err)
+	}
+	wins := workload.QueryWindows(5000, 25, 58)
+	regionItems := make([]rtree.Item, len(wins))
+	for i, w := range wins {
+		regionItems[i] = rtree.Item{Rect: w, Data: int64(i)}
+	}
+	regions, err := rtree.BulkLoadDisk(p, 0, 0, regionItems, pack.Grouper(pack.MethodSTR))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := func(a, b geom.Rect) bool { return a.Intersects(b) }
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			pairs := 0
+			for i := 0; i < b.N; i++ {
+				out, _, err := points.Juxtapose(regions, pred, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pairs = len(out)
+			}
+			b.ReportMetric(float64(pairs), "pairs")
+		})
+	}
+}
+
 // BenchmarkDiskQueryBatch is the disk variant: workers contend on the
 // sharded buffer pool, so this is the pager-scaling benchmark.
 func BenchmarkDiskQueryBatch(b *testing.B) {

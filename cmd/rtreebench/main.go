@@ -22,11 +22,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/geom"
 	"repro/internal/pack"
 	"repro/internal/rtree"
 	"repro/internal/workload"
@@ -42,9 +45,12 @@ func main() {
 	wl := flag.String("workload", "uniform", "point distribution: uniform, clustered, skewed")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the formatted table")
 	parbench := flag.Bool("parbench", false, "run the parallel build / batched query scaling benchmark")
-	parN := flag.Int("n", 200000, "parbench: number of items")
+	parN := flag.Int("n", 200000, "parbench/joinbench: number of items")
 	parWindows := flag.Int("windows", 256, "parbench: windows per query batch")
-	workers := flag.String("workers", "1,2,4,8", "parbench: comma-separated worker counts")
+	workers := flag.String("workers", "1,2,4,8", "parbench/joinbench: comma-separated worker counts")
+	joinbench := flag.Bool("joinbench", false, "run the parallel juxtaposition scaling benchmark")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	cfg := experiments.Table1Config{
@@ -102,13 +108,21 @@ func main() {
 		}
 	}
 
-	if *parbench {
+	stopCPU := startCPUProfile(*cpuprofile)
+	defer stopCPU()
+	defer writeHeapProfile(*memprofile)
+
+	if *parbench || *joinbench {
 		counts, err := parseInts(*workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rtreebench: bad -workers: %v\n", err)
 			os.Exit(2)
 		}
-		runParBench(cfg.PackMethod, *parN, *parWindows, *seed, counts, *jsonOut)
+		if *joinbench {
+			runJoinBench(cfg.PackMethod, *parN, *seed, counts, *jsonOut)
+		} else {
+			runParBench(cfg.PackMethod, *parN, *parWindows, *seed, counts, *jsonOut)
+		}
 		return
 	}
 
@@ -145,6 +159,46 @@ func main() {
 	}
 }
 
+// startCPUProfile begins CPU profiling to path (no-op when empty) and
+// returns the stop function. Profiles give future perf PRs pprof
+// evidence: rtreebench -parbench -cpuprofile cpu.out && go tool pprof.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtreebench: -cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "rtreebench: -cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeHeapProfile dumps a heap profile to path (no-op when empty).
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtreebench: -memprofile: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "rtreebench: -memprofile: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 // parseInts parses a comma-separated list of positive ints.
 func parseInts(s string) ([]int, error) {
 	var out []int
@@ -156,6 +210,89 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// joinRow is one worker count's measurements in the juxtaposition
+// scaling benchmark.
+type joinRow struct {
+	Workers     int     `json:"workers"`
+	JoinSeconds float64 `json:"join_seconds"`
+	JoinSpeedup float64 `json:"join_speedup"`
+	Pairs       int     `json:"pairs"`
+	Visited     int     `json:"visited_node_pairs"`
+	Identical   bool    `json:"identical_to_serial"`
+}
+
+// runJoinBench measures the parallel juxtaposition at each worker
+// count: points joined against region rectangles under INTERSECTS. The
+// serial (workers=1) output is the reference; every other worker count
+// must reproduce it exactly — same pairs, same order, same visit
+// count — which the Identical column asserts.
+func runJoinBench(m pack.Method, n int, seed int64, counts []int, jsonOut bool) {
+	params := rtree.Params{Max: 16, Min: 8}
+	ta := pack.Tree(params, workload.PointItems(workload.UniformPoints(n, seed)), pack.Options{Method: m})
+	wins := workload.QueryWindows(n/10, 25, seed+7)
+	regions := make([]rtree.Item, len(wins))
+	for i, w := range wins {
+		regions[i] = rtree.Item{Rect: w, Data: int64(i)}
+	}
+	tb := pack.Tree(params, regions, pack.Options{Method: m})
+	pred := func(a, b geom.Rect) bool { return a.Intersects(b) }
+
+	best := func(f func()) float64 {
+		lowest := 0.0
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start).Seconds(); r == 0 || d < lowest {
+				lowest = d
+			}
+		}
+		return lowest
+	}
+
+	refPairs, refVisited := rtree.Juxtapose(ta, tb, pred, 1)
+	rows := make([]joinRow, 0, len(counts))
+	for _, w := range counts {
+		sec := best(func() { rtree.Juxtapose(ta, tb, pred, w) })
+		pairs, visited := rtree.Juxtapose(ta, tb, pred, w)
+		identical := visited == refVisited && len(pairs) == len(refPairs)
+		if identical {
+			for i := range pairs {
+				if pairs[i] != refPairs[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		rows = append(rows, joinRow{
+			Workers:     w,
+			JoinSeconds: sec,
+			Pairs:       len(pairs),
+			Visited:     visited,
+			Identical:   identical,
+		})
+	}
+	for i := range rows {
+		rows[i].JoinSpeedup = rows[0].JoinSeconds / rows[i].JoinSeconds
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintf(os.Stderr, "rtreebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("Juxtaposition scaling: PACK(%s), %d points x %d regions, INTERSECTS\n\n", m, n, len(regions))
+	fmt.Println("  workers | join (s) | speedup |   pairs | node pairs | identical")
+	fmt.Println("  --------+----------+---------+---------+------------+----------")
+	for _, r := range rows {
+		fmt.Printf("  %7d | %8.4f | %7.2f | %7d | %10d | %v\n",
+			r.Workers, r.JoinSeconds, r.JoinSpeedup, r.Pairs, r.Visited, r.Identical)
+	}
 }
 
 // parRow is one worker count's measurements in the scaling benchmark.

@@ -53,6 +53,47 @@ func BenchmarkFetchChecksum(b *testing.B) {
 	}
 }
 
+// BenchmarkPinWarm measures the zero-copy read path against a warm
+// verified-bitmap on a real file: after the first lap every Pin is a
+// bitmap check plus a pointer into the mapping — no read, no copy, no
+// CRC. Without mmap support the same loop exercises the pool path.
+func BenchmarkPinWarm(b *testing.B) {
+	path := b.TempDir() + "/bench.db"
+	p, err := Open(path, benchPages+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchPages; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fillPage(pg)
+		p.Unpin(pg)
+	}
+	if err := p.Close(); err != nil {
+		b.Fatal(err)
+	}
+	// Reopen with a one-page pool so the pool cannot serve these reads;
+	// only the mapping (or, without it, backend reads) can.
+	p, err = Open(path, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	_ = p.EnableMmap()
+	b.ReportAllocs()
+	b.SetBytes(PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := p.Pin(PageID(1 + i%benchPages))
+		if err != nil {
+			b.Fatal(err)
+		}
+		v.Unpin()
+	}
+}
+
 func BenchmarkFetchNoChecksum(b *testing.B) {
 	p := benchPager(b)
 	defer p.Close()

@@ -1,0 +1,25 @@
+//go:build linux && !pictdb_nommap
+
+package pager
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can memory-map page files.
+// The pictdb_nommap build tag forces the portable pread fallback so CI
+// can exercise both paths on one platform.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared, so writes issued
+// through the file descriptor (the pool's write-back path) are visible
+// through the mapping via the kernel's unified page cache.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,19 @@
+//go:build !linux || pictdb_nommap
+
+package pager
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported reports whether this build can memory-map page files.
+// On this platform (or under the pictdb_nommap build tag) it cannot;
+// Pin serves every page through the buffer pool's pread path instead.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("%w on this platform", ErrMmapUnsupported)
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -137,19 +137,19 @@ const headerSlotSize = 32
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // stampTrailer writes the marker and CRC into the page image.
-func stampTrailer(data *[PageSize]byte) {
+func stampTrailer(data []byte) {
 	binary.LittleEndian.PutUint32(data[PageSize-TrailerSize:], pageMarker)
 	sum := crc32.Checksum(data[:PageSize-4], castagnoli)
 	binary.LittleEndian.PutUint32(data[PageSize-4:], sum)
 }
 
 // trailerMarker reads the marker field of the page image.
-func trailerMarker(data *[PageSize]byte) uint32 {
+func trailerMarker(data []byte) uint32 {
 	return binary.LittleEndian.Uint32(data[PageSize-TrailerSize:])
 }
 
 // verifyTrailer checks the CRC of a marker-bearing page image.
-func verifyTrailer(data *[PageSize]byte) error {
+func verifyTrailer(data []byte) error {
 	want := binary.LittleEndian.Uint32(data[PageSize-4:])
 	got := crc32.Checksum(data[:PageSize-4], castagnoli)
 	if got != want {
@@ -248,6 +248,7 @@ type Stats struct {
 	Writes    uint64 // dirty pages written back
 	Allocs    uint64 // pages allocated
 	Frees     uint64 // pages freed
+	MmapPins  uint64 // zero-copy views served straight from the mmap
 }
 
 // shard is one stripe of the buffer pool: a page map plus an LRU list
@@ -292,6 +293,14 @@ type Pager struct {
 	hdrSlot  int // slot holding the current on-disk header (0 or 1)
 	allocs   uint64
 	frees    uint64
+
+	// Zero-copy read path (view.go): the active file mapping, retired
+	// mappings kept alive for views pinned before a remap (guarded by
+	// hmu), the verified-bitmap, and the zero-copy pin counter.
+	mapping  atomic.Pointer[mapping]
+	retired  []*mapping
+	verified atomic.Pointer[verifiedSet]
+	mmapPins atomic.Uint64
 }
 
 // Open opens (or creates) a page file at path with a buffer pool of
@@ -370,6 +379,7 @@ func newPager(b Backend, poolPages int, path string) (*Pager, error) {
 		shards:  make([]shard, ns),
 		mask:    uint32(ns - 1),
 	}
+	p.verified.Store(newVerifiedSet(1))
 	for i := range p.shards {
 		cap := poolPages / ns
 		if i < poolPages%ns {
@@ -436,6 +446,7 @@ func newPager(b Backend, poolPages int, path string) (*Pager, error) {
 				path, ErrBadMagic, magicV2[:], magicV1[:], hdr[0:8])
 		}
 	}
+	p.growVerified(p.numPages.Load())
 	return p, nil
 }
 
@@ -507,6 +518,7 @@ func (p *Pager) Stats() Stats {
 	s.Allocs = p.allocs
 	s.Frees = p.frees
 	p.hmu.Unlock()
+	s.MmapPins = p.mmapPins.Load()
 	return s
 }
 
@@ -521,6 +533,7 @@ func (p *Pager) ResetStats() {
 	p.hmu.Lock()
 	p.allocs, p.frees = 0, 0
 	p.hmu.Unlock()
+	p.mmapPins.Store(0)
 }
 
 // Allocate returns a pinned, zeroed page, reusing a freed page when one
@@ -551,6 +564,7 @@ func (p *Pager) Allocate() (*Page, error) {
 		pg.Data = [PageSize]byte{}
 		pg.fresh = true
 		pg.MarkDirty()
+		p.clearVerified(pg.ID) // the on-disk image is now stale
 		p.allocs++
 		return pg, nil
 	}
@@ -563,6 +577,7 @@ func (p *Pager) Allocate() (*Page, error) {
 		p.numPages.Add(^uint32(0))
 		return nil, err
 	}
+	p.growVerified(uint32(id) + 1)
 	p.allocs++
 	pg.fresh = true
 	pg.MarkDirty()
@@ -703,32 +718,12 @@ func (p *Pager) installShard(sh *shard, id PageID, read bool) (*Page, error) {
 		case n < PageSize:
 			return nil, fmt.Errorf("pager: read page %d: %w", id, ErrTruncated)
 		}
-		if err := p.verifyPage(pg); err != nil {
+		if err := p.verifyBytes(id, pg.Data[:]); err != nil {
 			return nil, err
 		}
 	}
 	sh.pages[id] = pg
 	return pg, nil
-}
-
-// verifyPage checks a freshly read page image against its trailer
-// according to the file's coverage guarantees.
-func (p *Pager) verifyPage(pg *Page) error {
-	if p.version.Load() != 2 {
-		return nil
-	}
-	if trailerMarker(&pg.Data) == pageMarker {
-		if err := verifyTrailer(&pg.Data); err != nil {
-			return fmt.Errorf("pager: page %d: %w", pg.ID, err)
-		}
-		return nil
-	}
-	if p.fullSums {
-		return fmt.Errorf("pager: page %d: missing checksum trailer: %w", pg.ID, ErrChecksum)
-	}
-	// Partially checksummed file (upgraded from v1): the page predates
-	// the upgrade and carries no trailer; serve it unverified.
-	return nil
 }
 
 // Unpin releases a pin taken by Fetch or Allocate. Unpinned pages
@@ -784,12 +779,16 @@ func (p *Pager) flushPage(sh *shard, pg *Page) error {
 	if p.readOnly.Load() {
 		return fmt.Errorf("pager: dirty page %d: %w", pg.ID, ErrReadOnly)
 	}
-	if p.version.Load() == 2 && (pg.fresh || trailerMarker(&pg.Data) == pageMarker) {
-		stampTrailer(&pg.Data)
+	if p.version.Load() == 2 && (pg.fresh || trailerMarker(pg.Data[:]) == pageMarker) {
+		stampTrailer(pg.Data[:])
 	}
 	if _, err := p.backend.WriteAt(pg.Data[:], int64(pg.ID)*PageSize); err != nil {
 		return fmt.Errorf("pager: write page %d: %w", pg.ID, err)
 	}
+	// New bytes went out; only the next read can vouch for what the
+	// medium kept (torn writes report success), so forget the page's
+	// verification.
+	p.clearVerified(pg.ID)
 	pg.dirty = false
 	sh.stats.Writes++
 	return nil
@@ -831,7 +830,13 @@ func (p *Pager) commit() error {
 	if err := p.writeHeader(); err != nil {
 		return err
 	}
-	return p.backend.Sync()
+	if err := p.backend.Sync(); err != nil {
+		return err
+	}
+	// If the file grew past the mapped region, extend the mapping so
+	// the new pages also serve zero-copy (best-effort).
+	p.tryRemap()
+	return nil
 }
 
 // Commit flushes all dirty pages, syncs them, and only then writes and
@@ -849,8 +854,16 @@ func (p *Pager) Commit() error {
 func (p *Pager) Flush() error { return p.Commit() }
 
 // Close commits and closes the pager (read-only pagers just release
-// the backend). Further operations fail with ErrClosed.
+// the backend). Further operations fail with ErrClosed. Close refuses
+// — and the pager stays open — while zero-copy views are still pinned,
+// because unmapping would leave them dangling.
 func (p *Pager) Close() error {
+	if p.closed.Load() {
+		return nil
+	}
+	if err := p.closeMapping(); err != nil {
+		return err
+	}
 	if p.closed.Swap(true) {
 		return nil
 	}

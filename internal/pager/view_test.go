@@ -1,0 +1,411 @@
+package pager
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildFile creates a committed page file at path with n patterned
+// pages and returns their ids.
+func buildFile(t *testing.T, path string, n int) []PageID {
+	t.Helper()
+	p, err := Open(path, n+4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]PageID, n)
+	for i := 0; i < n; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillPage(pg)
+		ids[i] = pg.ID
+		p.Unpin(pg)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// TestPinParityWithFetch reads every page through both APIs, with and
+// without mmap, and requires identical bytes. On a cold pool with an
+// active mapping, pins must be zero-copy (MmapPins counts them).
+func TestPinParityWithFetch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pin.db")
+	ids := buildFile(t, path, 6)
+
+	p, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	mmapErr := p.EnableMmap()
+	if mmapSupported {
+		if mmapErr != nil {
+			t.Fatalf("EnableMmap: %v", mmapErr)
+		}
+		if !p.MmapActive() {
+			t.Fatal("mapping should be active")
+		}
+	} else {
+		if !errors.Is(mmapErr, ErrMmapUnsupported) {
+			t.Fatalf("EnableMmap without mmap support: %v, want ErrMmapUnsupported", mmapErr)
+		}
+	}
+
+	// Cold pool: with a mapping these pins never touch the pool.
+	for _, id := range ids {
+		v, err := p.Pin(id)
+		if err != nil {
+			t.Fatalf("Pin(%d): %v", id, err)
+		}
+		for i := 8; i < 256; i++ {
+			if v.Data()[i] != byte(uint32(id)*uint32(i)) {
+				t.Fatalf("page %d byte %d mismatch through Pin", id, i)
+			}
+		}
+		v.Unpin()
+	}
+	if mmapSupported {
+		if got := p.Stats().MmapPins; got != uint64(len(ids)) {
+			t.Fatalf("MmapPins = %d, want %d", got, len(ids))
+		}
+	}
+
+	// Fetch path agrees byte for byte.
+	for _, id := range ids {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := p.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v.Data()[:256]) != string(pg.Data[:256]) {
+			t.Fatalf("page %d: Pin and Fetch disagree", id)
+		}
+		v.Unpin()
+		p.Unpin(pg)
+	}
+}
+
+// TestPinPrefersDirtyPoolPage pins a page that is resident and dirty
+// in the pool: the view must serve the new bytes, not the stale
+// on-disk image under the mapping.
+func TestPinPrefersDirtyPoolPage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dirty.db")
+	ids := buildFile(t, path, 3)
+
+	p, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.EnableMmap(); err != nil && mmapSupported {
+		t.Fatal(err)
+	}
+
+	pg, err := p.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pg.Data[8:], "fresh uncommitted bytes")
+	pg.MarkDirty()
+	p.Unpin(pg)
+
+	v, err := p.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Unpin()
+	if !strings.HasPrefix(string(v.Data()[8:40]), "fresh uncommitted bytes") {
+		t.Fatalf("Pin returned stale bytes: %q", v.Data()[8:40])
+	}
+}
+
+// TestPinSeesPagesAllocatedAfterMmap allocates and commits new pages
+// after the mapping was made: Commit remaps, and pins of the new pages
+// return the committed bytes.
+func TestPinSeesPagesAllocatedAfterMmap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grow.db")
+	buildFile(t, path, 2)
+
+	p, err := Open(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.EnableMmap(); err != nil {
+		if mmapSupported {
+			t.Fatal(err)
+		}
+		t.Skip("mmap not supported in this build")
+	}
+
+	var newIDs []PageID
+	for i := 0; i < 4; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillPage(pg)
+		newIDs = append(newIDs, pg.ID)
+		p.Unpin(pg)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range newIDs {
+		v, err := p.Pin(id)
+		if err != nil {
+			t.Fatalf("Pin(%d) after growth: %v", id, err)
+		}
+		for i := 8; i < 256; i++ {
+			if v.Data()[i] != byte(uint32(id)*uint32(i)) {
+				t.Fatalf("page %d byte %d mismatch after remap", id, i)
+			}
+		}
+		v.Unpin()
+	}
+}
+
+// TestPinDetectsCorruption flips a committed byte directly in the file
+// and requires the first Pin of that page to report ErrChecksum on
+// both the mmap and the pool path.
+func TestPinDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.db")
+	ids := buildFile(t, path, 3)
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(ids[1]) * PageSize
+	if _, err := f.WriteAt([]byte{0xFF, 0xEE, 0xDD}, off+100); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	_ = p.EnableMmap()
+
+	if _, err := p.Pin(ids[1]); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Pin of corrupt page: %v, want ErrChecksum", err)
+	}
+	// Neighbors still verify.
+	v, err := p.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Unpin()
+}
+
+// TestVerifiedBitmapSkipsReverify pins the same page twice and checks
+// the second pin is served without re-verification (observable through
+// pageVerified), and that a write-back clears the bit.
+func TestVerifiedBitmapSkipsReverify(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bitmap.db")
+	ids := buildFile(t, path, 2)
+
+	p, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	_ = p.EnableMmap()
+
+	if p.pageVerified(ids[0]) {
+		t.Fatal("page verified before any read")
+	}
+	v, err := p.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Unpin()
+	if !p.pageVerified(ids[0]) {
+		t.Fatal("page not marked verified after Pin")
+	}
+
+	// Dirty the page and flush it: the on-disk generation changed, so
+	// the bit must drop.
+	pg, err := p.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Data[8] ^= 0xFF
+	pg.MarkDirty()
+	p.Unpin(pg)
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if p.pageVerified(ids[0]) {
+		t.Fatal("verified bit survived a write-back")
+	}
+}
+
+// TestCloseRefusesWithPinnedViews is the pin-while-freed misuse
+// detection: Close must fail, naming the leak, while an mmap view is
+// outstanding, and succeed after the view is released.
+func TestCloseRefusesWithPinnedViews(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "leak.db")
+	ids := buildFile(t, path, 2)
+
+	p, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableMmap(); err != nil {
+		if mmapSupported {
+			t.Fatal(err)
+		}
+		p.Close()
+		t.Skip("mmap not supported in this build")
+	}
+	v, err := p.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Close()
+	if err == nil || !strings.Contains(err.Error(), "pinned mmap view") {
+		t.Fatalf("Close with pinned view: %v, want pinned-view error", err)
+	}
+	// The pager must still be usable: the refusal is a diagnostic, not
+	// a half-close.
+	v2, err := p.Pin(ids[1])
+	if err != nil {
+		t.Fatalf("Pin after refused Close: %v", err)
+	}
+	v2.Unpin()
+	v.Unpin()
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close after Unpin: %v", err)
+	}
+}
+
+// TestUnpinTwicePanics: releasing a view twice is a lifetime bug and
+// must panic rather than corrupt the pin count.
+func TestUnpinTwicePanics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "double.db")
+	ids := buildFile(t, path, 1)
+	p, err := Open(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	_ = p.EnableMmap()
+	v, err := p.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Unpin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Unpin did not panic")
+		}
+	}()
+	v.Unpin()
+}
+
+// TestEnableMmapRejectsNonFileBackends: memory and fault-injecting
+// backends keep the pool path, preserving their interception of every
+// read.
+func TestEnableMmapRejectsNonFileBackends(t *testing.T) {
+	p := OpenMem(4)
+	defer p.Close()
+	if err := p.EnableMmap(); !errors.Is(err, ErrMmapUnsupported) {
+		t.Fatalf("EnableMmap on memory backend: %v, want ErrMmapUnsupported", err)
+	}
+
+	img := buildImage(t, 2)
+	fp, err := OpenBackend(NewFaultBackend(NewMemBackend(img), FaultConfig{}), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fp.Close()
+	if err := fp.EnableMmap(); !errors.Is(err, ErrMmapUnsupported) {
+		t.Fatalf("EnableMmap on fault backend: %v, want ErrMmapUnsupported", err)
+	}
+}
+
+// TestPinFaultParity: through a FaultBackend, Pin degrades to the pool
+// path, so injected read faults surface through Pin exactly as they do
+// through Fetch — the mmap layer cannot bypass fault injection.
+func TestPinFaultParity(t *testing.T) {
+	img := buildImage(t, 4)
+	fb := NewFaultBackend(NewMemBackend(img), FaultConfig{FailRead: 3})
+	p, err := OpenBackend(fb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sawInjected := false
+	for id := PageID(1); id <= 4; id++ {
+		v, err := p.Pin(id)
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("Pin(%d): %v, want ErrInjected", id, err)
+			}
+			sawInjected = true
+			continue
+		}
+		v.Unpin()
+	}
+	if !sawInjected {
+		t.Fatal("expected one injected read fault through Pin")
+	}
+	if faults := fb.Faults(); len(faults) != 1 {
+		t.Fatalf("Faults() = %v, want exactly one", faults)
+	}
+}
+
+// TestPinFallbackWithoutMmap: Pin must work (via the pool) when
+// EnableMmap was never called — the portable fallback path.
+func TestPinFallbackWithoutMmap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fallback.db")
+	ids := buildFile(t, path, 3)
+	p, err := Open(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, id := range ids {
+		v, err := p.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 8; i < 256; i++ {
+			if v.Data()[i] != byte(uint32(id)*uint32(i)) {
+				t.Fatalf("page %d byte %d mismatch on fallback path", id, i)
+			}
+		}
+		v.Unpin()
+	}
+	if p.Stats().MmapPins != 0 {
+		t.Fatal("fallback path counted mmap pins")
+	}
+	if p.MmapActive() {
+		t.Fatal("mapping active without EnableMmap")
+	}
+}
+
+// TestPinOutOfRange mirrors Fetch's range checking.
+func TestPinOutOfRange(t *testing.T) {
+	p := OpenMem(4)
+	defer p.Close()
+	if _, err := p.Pin(InvalidPage); !errors.Is(err, ErrPageRange) {
+		t.Fatalf("Pin(InvalidPage): %v, want ErrPageRange", err)
+	}
+	if _, err := p.Pin(99); !errors.Is(err, ErrPageRange) {
+		t.Fatalf("Pin(99): %v, want ErrPageRange", err)
+	}
+}

@@ -572,12 +572,19 @@ func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
 		}
 		st.visited += sa.Tree.NodeCount() + sb.Tree.NodeCount()
 	} else {
-		st.visited += rtree.JoinPairs(sa.Tree, sb.Tree,
-			func(x, y geom.Rect) bool { return pred(x, y) },
-			func(x, y rtree.Item) bool {
-				pairs = append(pairs, pair{storage.TupleIDFromInt64(x.Data), storage.TupleIDFromInt64(y.Data)})
-				return true
-			})
+		// Parallel simultaneous traversal; pair order and visit count
+		// are worker-count-independent, so the result rows stay
+		// deterministic.
+		jp, visited, err := a.rel.JuxtaposeSpatial(a.picture, b.rel, b.picture,
+			func(x, y geom.Rect) bool { return pred(x, y) }, st.e.parallelism())
+		if err != nil {
+			return nil, err
+		}
+		st.visited += visited
+		pairs = make([]pair, len(jp))
+		for i, p := range jp {
+			pairs[i] = pair{p.A, p.B}
+		}
 	}
 	// Materialize the joined tuples. Heap reads are pure pager fetches
 	// (thread-safe through the sharded pool), so fan the Gets out over

@@ -385,6 +385,41 @@ func (r *Relation) SearchAreaBatch(pictureName string, windows []geom.Rect, pred
 	return out, visited, nil
 }
 
+// SpatialPair is one juxtaposition result: the storage ids of the
+// joined tuples, A from the left relation and B from the right.
+type SpatialPair struct {
+	A, B storage.TupleID
+}
+
+// JuxtaposeSpatial performs the paper's geographic join (§4) between
+// this relation's spatial index on picA and s's index on picB: a
+// simultaneous traversal of the two R-trees reporting every tuple pair
+// whose object MBRs satisfy pred, fanned out over up to workers
+// goroutines (0 means GOMAXPROCS). The pair order and node-pair visit
+// count are identical to the serial traversal regardless of worker
+// count, so executors layered on top stay deterministic. pred must
+// imply rectangle intersection (the pruning rule); it is called
+// concurrently and must be pure.
+func (r *Relation) JuxtaposeSpatial(picA string, s *Relation, picB string, pred func(a, b geom.Rect) bool, workers int) ([]SpatialPair, int, error) {
+	si := r.spatial[picA]
+	if si == nil {
+		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, picA)
+	}
+	sj := s.spatial[picB]
+	if sj == nil {
+		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", s.name, picB)
+	}
+	pairs, visited := rtree.Juxtapose(si.Tree, sj.Tree, pred, workers)
+	out := make([]SpatialPair, len(pairs))
+	for i, p := range pairs {
+		out[i] = SpatialPair{
+			A: storage.TupleIDFromInt64(p.A.Data),
+			B: storage.TupleIDFromInt64(p.B.Data),
+		}
+	}
+	return out, visited, nil
+}
+
 // HeapPages returns the page ids of the relation's tuple heap, for
 // page-ownership accounting during verification.
 func (r *Relation) HeapPages() ([]pager.PageID, error) { return r.heap.Pages() }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/pager"
@@ -34,6 +36,7 @@ type DiskTree struct {
 	min    int
 	height int
 	size   int
+	qhint  atomic.Int64 // last Query's result count; sizes the next preallocation
 }
 
 const (
@@ -120,6 +123,27 @@ func (t *DiskTree) Depth() int { return t.height }
 type diskEntry struct {
 	rect geom.Rect
 	ptr  int64
+}
+
+// entryRect decodes entry i's rectangle in place — no diskEntry
+// materialized, no allocation. The hot traversal path reads MBRs
+// straight off the pinned page bytes.
+func entryRect(data []byte, i int) geom.Rect {
+	off := diskHeaderSize + i*diskEntrySize
+	return geom.Rect{
+		Min: geom.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(data[off:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))),
+		Max: geom.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(data[off+24:]))),
+	}
+}
+
+// entryPtr decodes entry i's pointer word in place.
+func entryPtr(data []byte, i int) int64 {
+	off := diskHeaderSize + i*diskEntrySize
+	return int64(binary.LittleEndian.Uint64(data[off+32:]))
 }
 
 func readEntry(data []byte, i int) diskEntry {
@@ -256,55 +280,98 @@ func BulkLoadDisk(p *pager.Pager, max, min int, items []Item, g Grouper) (*DiskT
 	return t, nil
 }
 
-// Search visits every item whose rectangle intersects window; fn
-// returning false stops early. It returns the number of node pages
-// visited (each visit is one pager Fetch; hits and misses show up in
-// the pager stats).
-func (t *DiskTree) Search(window geom.Rect, fn func(Item) bool) (int, error) {
-	visited := 0
-	var walk func(id pager.PageID) (bool, error)
-	walk = func(id pager.PageID) (bool, error) {
-		pg, err := t.p.Fetch(id)
-		if err != nil {
-			return false, err
-		}
-		if err := validNode(id, pg.Data[:]); err != nil {
-			t.p.Unpin(pg)
-			return false, err
-		}
-		visited++
-		leaf := nodeIsLeaf(pg.Data[:])
-		entries := readEntries(pg.Data[:])
-		t.p.Unpin(pg)
-		for _, e := range entries {
-			if !e.rect.Intersects(window) {
-				continue
-			}
-			if leaf {
-				if !fn(Item{Rect: e.rect, Data: e.ptr}) {
-					return false, nil
-				}
-			} else {
-				cont, err := walk(pager.PageID(e.ptr))
-				if err != nil || !cont {
-					return cont, err
-				}
-			}
-		}
-		return true, nil
-	}
-	_, err := walk(t.root)
-	return visited, err
+// diskStackPool recycles traversal stacks across searches so the
+// steady-state hot path performs zero allocations. Each goroutine
+// borrows a stack for the duration of one Search.
+var diskStackPool = sync.Pool{
+	New: func() any {
+		s := make([]pager.PageID, 0, 64)
+		return &s
+	},
 }
 
-// Query returns all items intersecting window plus pages visited.
+// Search visits every item whose rectangle intersects window; fn
+// returning false stops early. It returns the number of node pages
+// visited (each visit is one pager Pin; pool hits, misses, and
+// zero-copy mmap pins show up in the pager stats).
+//
+// The traversal is zero-copy: each node page is pinned and its MBRs
+// are read in place off the page bytes — no per-entry decode, no
+// per-node slice. fn runs while the leaf's view is pinned, so fn must
+// not write pages of the same pager (see the pin lifetime rules in
+// DESIGN.md); reading — e.g. fetching heap tuples — is fine. The
+// explicit stack comes from a sync.Pool, making steady-state searches
+// allocation-free. Children are pushed in reverse entry order so pop
+// order matches the recursive preorder the tests and the paper's cost
+// accounting expect.
+func (t *DiskTree) Search(window geom.Rect, fn func(Item) bool) (int, error) {
+	sp := diskStackPool.Get().(*[]pager.PageID)
+	stack := (*sp)[:0]
+	defer func() {
+		*sp = stack[:0]
+		diskStackPool.Put(sp)
+	}()
+
+	visited := 0
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v, err := t.p.Pin(id)
+		if err != nil {
+			return visited, err
+		}
+		data := v.Data()
+		if err := validNode(id, data); err != nil {
+			v.Unpin()
+			return visited, err
+		}
+		visited++
+		n := nodeCount(data)
+		if nodeIsLeaf(data) {
+			for i := 0; i < n; i++ {
+				r := entryRect(data, i)
+				if !r.Intersects(window) {
+					continue
+				}
+				if !fn(Item{Rect: r, Data: entryPtr(data, i)}) {
+					v.Unpin()
+					return visited, nil
+				}
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				if entryRect(data, i).Intersects(window) {
+					stack = append(stack, pager.PageID(entryPtr(data, i)))
+				}
+			}
+		}
+		v.Unpin()
+	}
+	return visited, nil
+}
+
+// Query returns all items intersecting window plus pages visited. The
+// result slice is preallocated from a size hint — the last Query's
+// result count, clamped to [16, 4096] — instead of growing from nil,
+// so a steady stream of similar windows appends without reallocating.
 func (t *DiskTree) Query(window geom.Rect) ([]Item, int, error) {
-	var out []Item
+	hint := t.qhint.Load()
+	if hint < 16 {
+		hint = 16
+	} else if hint > 4096 {
+		hint = 4096
+	}
+	out := make([]Item, 0, hint)
 	visited, err := t.Search(window, func(it Item) bool {
 		out = append(out, it)
 		return true
 	})
-	return out, visited, err
+	if err != nil {
+		return nil, visited, err
+	}
+	t.qhint.Store(int64(len(out)))
+	return out, visited, nil
 }
 
 // Insert adds an item dynamically (Guttman's INSERT on pages):

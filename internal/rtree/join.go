@@ -1,0 +1,440 @@
+package rtree
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/pager"
+)
+
+// This file parallelizes the paper's juxtaposition primitive (§4): the
+// simultaneous traversal of two R-trees. The traversal is a DFS over
+// the *product tree* whose nodes are pairs (n, m) with intersecting
+// MBRs. To fan it out without changing the answer, the product tree's
+// frontier is first expanded breadth-first — each expansion step
+// replaces a pair with its intersecting child pairs, in the exact
+// order the serial DFS would descend — until it is wide enough to feed
+// the workers. Each frontier pair then becomes an independent task: a
+// serial DFS over its subtree pair. Because (a) the frontier preserves
+// left-to-right DFS order and (b) the full DFS emission is the
+// concatenation of the subtree emissions in that order, stitching the
+// per-task results back together in frontier order reproduces the
+// serial join bit for bit — including the node-pair visit count, since
+// every pair is counted exactly once (during expansion, or at task-DFS
+// entry).
+
+// JoinPair is one joined result: item A from the first tree, item B
+// from the second.
+type JoinPair struct {
+	A, B Item
+}
+
+// frontierFactor is the target number of tasks per worker. More tasks
+// than workers smooths load imbalance between subtree pairs of very
+// different sizes; 8 keeps the expansion shallow while leaving the
+// atomic-cursor work stealing enough slack.
+const frontierFactor = 8
+
+// joinWorkers normalizes a parallelism request for a join: <= 0 means
+// GOMAXPROCS.
+func joinWorkers(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Juxtapose joins two in-memory trees with up to workers goroutines,
+// returning every pair of items whose rectangles satisfy pred plus the
+// number of node pairs visited. The result is identical — same pairs,
+// same order, same visit count — to running the serial JoinPairs and
+// collecting its emissions. workers <= 0 means GOMAXPROCS; workers ==
+// 1 runs the serial traversal directly. The pruning rule is the same
+// as JoinPairs: pred must imply rectangle intersection.
+func Juxtapose(t, u *Tree, pred func(a, b geom.Rect) bool, workers int) ([]JoinPair, int) {
+	if t.size == 0 || u.size == 0 {
+		return nil, 0
+	}
+	workers = joinWorkers(workers)
+	if workers == 1 {
+		var out []JoinPair
+		visited := JoinPairs(t, u, pred, func(a, b Item) bool {
+			out = append(out, JoinPair{A: a, B: b})
+			return true
+		})
+		return out, visited
+	}
+
+	type task struct{ n, m *node }
+	frontier := []task{{t.root, u.root}}
+	visited := 0
+	for len(frontier) < workers*frontierFactor {
+		next := make([]task, 0, 2*len(frontier))
+		expanded := false
+		for _, pr := range frontier {
+			if pr.n.leaf && pr.m.leaf {
+				// Sealed: cannot expand; stays in position so task
+				// concatenation preserves DFS emission order. Its visit
+				// is counted when the worker walks it.
+				next = append(next, pr)
+				continue
+			}
+			expanded = true
+			visited++ // this pair is visited here, during expansion
+			switch {
+			case pr.n.leaf:
+				nm := pr.n.mbr()
+				for _, eb := range pr.m.entries {
+					if nm.Intersects(eb.rect) {
+						next = append(next, task{pr.n, eb.child})
+					}
+				}
+			case pr.m.leaf:
+				mm := pr.m.mbr()
+				for _, ea := range pr.n.entries {
+					if ea.rect.Intersects(mm) {
+						next = append(next, task{ea.child, pr.m})
+					}
+				}
+			default:
+				for _, ea := range pr.n.entries {
+					for _, eb := range pr.m.entries {
+						if ea.rect.Intersects(eb.rect) {
+							next = append(next, task{ea.child, eb.child})
+						}
+					}
+				}
+			}
+		}
+		frontier = next
+		if !expanded || len(frontier) == 0 {
+			break
+		}
+	}
+
+	results := make([][]JoinPair, len(frontier))
+	var cursor, visits atomic.Int64
+	var wg sync.WaitGroup
+	if workers > len(frontier) {
+		workers = len(frontier)
+	}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(frontier) {
+					return
+				}
+				var out []JoinPair
+				visits.Add(int64(joinWalk(frontier[i].n, frontier[i].m, pred, &out)))
+				results[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]JoinPair, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, visited + int(visits.Load())
+}
+
+// joinWalk is the serial simultaneous descent over one subtree pair,
+// collecting matches into out. It returns the node pairs visited.
+func joinWalk(n, m *node, pred func(a, b geom.Rect) bool, out *[]JoinPair) int {
+	visited := 1
+	switch {
+	case n.leaf && m.leaf:
+		for _, ea := range n.entries {
+			for _, eb := range m.entries {
+				if pred(ea.rect, eb.rect) {
+					*out = append(*out, JoinPair{A: ea.item(), B: eb.item()})
+				}
+			}
+		}
+	case n.leaf:
+		nm := n.mbr()
+		for _, eb := range m.entries {
+			if nm.Intersects(eb.rect) {
+				visited += joinWalk(n, eb.child, pred, out)
+			}
+		}
+	case m.leaf:
+		mm := m.mbr()
+		for _, ea := range n.entries {
+			if ea.rect.Intersects(mm) {
+				visited += joinWalk(ea.child, m, pred, out)
+			}
+		}
+	default:
+		for _, ea := range n.entries {
+			for _, eb := range m.entries {
+				if ea.rect.Intersects(eb.rect) {
+					visited += joinWalk(ea.child, eb.child, pred, out)
+				}
+			}
+		}
+	}
+	return visited
+}
+
+// Juxtapose joins two disk trees (which may share a pager or use two)
+// with up to workers goroutines, returning matching item pairs plus
+// node-page pairs visited. Same contract as the in-memory Juxtapose:
+// output and visit count are identical to the serial descent
+// regardless of worker count. Traversal is zero-copy — node pages are
+// pinned and MBRs read in place. The first page error aborts the join.
+func (t *DiskTree) Juxtapose(u *DiskTree, pred func(a, b geom.Rect) bool, workers int) ([]JoinPair, int, error) {
+	if t.size == 0 || u.size == 0 {
+		return nil, 0, nil
+	}
+	workers = joinWorkers(workers)
+	if workers == 1 {
+		var out []JoinPair
+		visited, err := t.joinWalk(u, t.root, u.root, pred, &out)
+		if err != nil {
+			return nil, visited, err
+		}
+		return out, visited, nil
+	}
+
+	type task struct{ a, b pager.PageID }
+	frontier := []task{{t.root, u.root}}
+	visited := 0
+	for len(frontier) < workers*frontierFactor {
+		next := make([]task, 0, 2*len(frontier))
+		expanded := false
+		for _, pr := range frontier {
+			leafA, leafB, err := t.pairKinds(u, pr.a, pr.b)
+			if err != nil {
+				return nil, visited, err
+			}
+			if leafA && leafB {
+				next = append(next, pr)
+				continue
+			}
+			expanded = true
+			visited++
+			children, err := t.expandPair(u, pr.a, pr.b)
+			if err != nil {
+				return nil, visited, err
+			}
+			for _, c := range children {
+				next = append(next, task{c[0], c[1]})
+			}
+		}
+		frontier = next
+		if !expanded || len(frontier) == 0 {
+			break
+		}
+	}
+
+	results := make([][]JoinPair, len(frontier))
+	var cursor, visits atomic.Int64
+	var failed atomic.Bool
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	if workers > len(frontier) {
+		workers = len(frontier)
+	}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(frontier) {
+					return
+				}
+				var out []JoinPair
+				v, err := t.joinWalk(u, frontier[i].a, frontier[i].b, pred, &out)
+				visits.Add(int64(v))
+				if err != nil {
+					if failed.CompareAndSwap(false, true) {
+						errCh <- err
+					}
+					return
+				}
+				results[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, visited + int(visits.Load()), err
+	}
+
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]JoinPair, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, visited + int(visits.Load()), nil
+}
+
+// pairKinds reports whether each side of a node-page pair is a leaf.
+func (t *DiskTree) pairKinds(u *DiskTree, a, b pager.PageID) (leafA, leafB bool, err error) {
+	va, err := t.p.Pin(a)
+	if err != nil {
+		return false, false, err
+	}
+	leafA = nodeIsLeaf(va.Data())
+	va.Unpin()
+	vb, err := u.p.Pin(b)
+	if err != nil {
+		return false, false, err
+	}
+	leafB = nodeIsLeaf(vb.Data())
+	vb.Unpin()
+	return leafA, leafB, nil
+}
+
+// expandPair generates the intersecting child pairs of (a, b) in the
+// order the serial descent would visit them. At least one side is
+// internal.
+func (t *DiskTree) expandPair(u *DiskTree, a, b pager.PageID) ([][2]pager.PageID, error) {
+	va, err := t.p.Pin(a)
+	if err != nil {
+		return nil, err
+	}
+	defer va.Unpin()
+	vb, err := u.p.Pin(b)
+	if err != nil {
+		return nil, err
+	}
+	defer vb.Unpin()
+	da, db := va.Data(), vb.Data()
+	if err := validNode(a, da); err != nil {
+		return nil, err
+	}
+	if err := validNode(b, db); err != nil {
+		return nil, err
+	}
+	na, nb := nodeCount(da), nodeCount(db)
+	var out [][2]pager.PageID
+	switch {
+	case nodeIsLeaf(da):
+		nm := nodeMBRData(da, na)
+		for j := 0; j < nb; j++ {
+			if nm.Intersects(entryRect(db, j)) {
+				out = append(out, [2]pager.PageID{a, pager.PageID(entryPtr(db, j))})
+			}
+		}
+	case nodeIsLeaf(db):
+		mm := nodeMBRData(db, nb)
+		for i := 0; i < na; i++ {
+			if entryRect(da, i).Intersects(mm) {
+				out = append(out, [2]pager.PageID{pager.PageID(entryPtr(da, i)), b})
+			}
+		}
+	default:
+		for i := 0; i < na; i++ {
+			ra := entryRect(da, i)
+			for j := 0; j < nb; j++ {
+				if ra.Intersects(entryRect(db, j)) {
+					out = append(out, [2]pager.PageID{pager.PageID(entryPtr(da, i)), pager.PageID(entryPtr(db, j))})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// joinWalk is the serial simultaneous descent over one disk subtree
+// pair, zero-copy over pinned views. Returns node-page pairs visited.
+// Both views stay pinned across the recursion; the pin count is
+// bounded by the sum of the two tree heights.
+func (t *DiskTree) joinWalk(u *DiskTree, a, b pager.PageID, pred func(a, b geom.Rect) bool, out *[]JoinPair) (int, error) {
+	va, err := t.p.Pin(a)
+	if err != nil {
+		return 0, err
+	}
+	defer va.Unpin()
+	vb, err := u.p.Pin(b)
+	if err != nil {
+		return 0, err
+	}
+	defer vb.Unpin()
+	da, db := va.Data(), vb.Data()
+	if err := validNode(a, da); err != nil {
+		return 0, err
+	}
+	if err := validNode(b, db); err != nil {
+		return 0, err
+	}
+	visited := 1
+	na, nb := nodeCount(da), nodeCount(db)
+	switch {
+	case nodeIsLeaf(da) && nodeIsLeaf(db):
+		for i := 0; i < na; i++ {
+			ra := entryRect(da, i)
+			for j := 0; j < nb; j++ {
+				rb := entryRect(db, j)
+				if pred(ra, rb) {
+					*out = append(*out, JoinPair{
+						A: Item{Rect: ra, Data: entryPtr(da, i)},
+						B: Item{Rect: rb, Data: entryPtr(db, j)},
+					})
+				}
+			}
+		}
+	case nodeIsLeaf(da):
+		nm := nodeMBRData(da, na)
+		for j := 0; j < nb; j++ {
+			if nm.Intersects(entryRect(db, j)) {
+				v, err := t.joinWalk(u, a, pager.PageID(entryPtr(db, j)), pred, out)
+				visited += v
+				if err != nil {
+					return visited, err
+				}
+			}
+		}
+	case nodeIsLeaf(db):
+		mm := nodeMBRData(db, nb)
+		for i := 0; i < na; i++ {
+			if entryRect(da, i).Intersects(mm) {
+				v, err := t.joinWalk(u, pager.PageID(entryPtr(da, i)), b, pred, out)
+				visited += v
+				if err != nil {
+					return visited, err
+				}
+			}
+		}
+	default:
+		for i := 0; i < na; i++ {
+			ra := entryRect(da, i)
+			for j := 0; j < nb; j++ {
+				if ra.Intersects(entryRect(db, j)) {
+					v, err := t.joinWalk(u, pager.PageID(entryPtr(da, i)), pager.PageID(entryPtr(db, j)), pred, out)
+					visited += v
+					if err != nil {
+						return visited, err
+					}
+				}
+			}
+		}
+	}
+	return visited, nil
+}
+
+// nodeMBRData computes a node's MBR in place from pinned page bytes.
+func nodeMBRData(data []byte, n int) geom.Rect {
+	out := geom.EmptyRect()
+	for i := 0; i < n; i++ {
+		out = out.Union(entryRect(data, i))
+	}
+	return out
+}

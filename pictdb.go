@@ -149,6 +149,10 @@ func Open(path string, poolPages int) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Best-effort zero-copy reads: map the file so clean pages are
+	// served straight from the mapping instead of copied into pool
+	// frames. Unsupported platforms/builds just keep the pool path.
+	_ = p.EnableMmap()
 	return OpenWithPager(p)
 }
 
