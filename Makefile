@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench benchcheck faults fuzz table1 parbench joinbench clean
+.PHONY: check build test race vet bench benchcheck faults fuzz psqlbench table1 parbench joinbench clean
 
 # The gate: everything must vet, build, pass under the race detector
 # (the concurrent read path and parallel PACK are exercised by
@@ -29,8 +29,10 @@ bench:
 # timing changes; CI runs it as a non-blocking job.
 benchcheck:
 	$(GO) test -run xxx -bench 'DiskSearch|DiskQueryBatch|Juxtapos' -benchtime 10x -benchmem .
+	$(GO) test -run xxx -bench 'PSQL' -benchtime 10x -benchmem .
 	$(GO) test -run xxx -bench 'Pin|Fetch' -benchtime 100x -benchmem ./internal/pager/
 	$(GO) test -run 'ZeroAllocs|PreallocAllocs' ./internal/rtree/
+	$(GO) run ./cmd/psqlbench -iters 20 -json > /dev/null
 
 # Durability suite: injected I/O faults, torn writes, crash-point
 # snapshots, checksum and corruption detection, across the pager and
@@ -41,6 +43,11 @@ faults:
 # Short deterministic fuzz pass over the tuple decoder.
 fuzz:
 	$(GO) test -fuzz FuzzDecodeTuple -fuzztime 30s ./internal/relation/
+
+# PSQL executor benchmark: naive vs cached vs prepared over the US
+# database (JSON with -json; see BENCH_pr5.json).
+psqlbench:
+	$(GO) run ./cmd/psqlbench
 
 # Paper reproduction targets.
 table1:

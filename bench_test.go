@@ -510,3 +510,74 @@ func BenchmarkDiskQueryBatch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPSQLRepeatedWindow measures the repeated point-in-window
+// workload the statement cache and prepared-parameter path exist for:
+// the same mapping executed over and over with the window moving
+// through a fixed cycle of 64 positions. All three modes run the
+// identical query sequence; they differ only in how much work repeats.
+// "naive" re-parses and executes the reference path every time,
+// "cached" formats the text per window and serves it through the
+// statement cache (all hits after the first cycle), and "prepared"
+// re-binds the window of a statement parsed once.
+func BenchmarkPSQLRepeatedWindow(b *testing.B) {
+	const tmpl = `
+		select city, state, loc from cities on us-map
+		at loc covered-by {%g±%g, %g±%g} where population > 450_000`
+	type win struct{ cx, dx, cy, dy float64 }
+	wins := make([]win, 0, 64)
+	texts := make([]string, 0, 64)
+	for _, w := range workload.QueryWindows(64, 180, 1985) {
+		c := w.Center()
+		v := win{c.X, (w.Max.X - w.Min.X) / 2, c.Y, (w.Max.Y - w.Min.Y) / 2}
+		wins = append(wins, v)
+		texts = append(texts, fmt.Sprintf(tmpl, v.cx, v.dx, v.cy, v.dy))
+	}
+	b.Run("naive", func(b *testing.B) {
+		db, err := pictdb.BuildUSDatabase()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.QueryNaive(texts[i%len(texts)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		db, err := pictdb.BuildUSDatabase()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(texts[i%len(texts)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		db, err := pictdb.BuildUSDatabase()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		p, err := db.Prepare(fmt.Sprintf(tmpl, 800.0, 200.0, 500.0, 500.0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := wins[i%len(wins)]
+			if _, err := p.ExecWindow(w.cx, w.dx, w.cy, w.dy); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,184 @@
+// Command psqlbench measures end-to-end PSQL execution on the built-in
+// US database: the paper's §2.2 direct search, juxtaposition, and
+// nested-mapping queries, plus the repeated point-in-window workload
+// the statement cache and prepared-parameter path target. Each query
+// runs through the naive reference executor, the planned executor with
+// a cold-then-warm statement cache, and (for the window workload) the
+// prepared path, so the report shows what planning, caching, and
+// batched materialization each buy.
+//
+// Usage:
+//
+//	psqlbench [-iters n] [-windows n] [-seed s] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	pictdb "repro"
+	"repro/internal/workload"
+)
+
+type result struct {
+	Name      string  `json:"name"`
+	Mode      string  `json:"mode"`
+	Iters     int     `json:"iters"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	QPS       float64 `json:"queries_per_sec"`
+	Rows      int     `json:"rows_last"`
+	SpeedupVs float64 `json:"speedup_vs_naive,omitempty"`
+}
+
+type report struct {
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Iters      int               `json:"iters"`
+	Results    []result          `json:"results"`
+	CacheStats pictdb.CacheStats `json:"cache_stats"`
+}
+
+// CacheStats re-export keeps the JSON shape stable even if the
+// internal type moves.
+
+func measure(name, mode string, iters int, run func() (*pictdb.Result, error)) (result, error) {
+	// One warm-up execution (fills caches, faults pages in).
+	res, err := run()
+	if err != nil {
+		return result{}, fmt.Errorf("%s/%s: %w", name, mode, err)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if res, err = run(); err != nil {
+			return result{}, fmt.Errorf("%s/%s: %w", name, mode, err)
+		}
+	}
+	elapsed := time.Since(start)
+	return result{
+		Name:    name,
+		Mode:    mode,
+		Iters:   iters,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
+		QPS:     float64(iters) / elapsed.Seconds(),
+		Rows:    len(res.Rows),
+	}, nil
+}
+
+func main() {
+	iters := flag.Int("iters", 2000, "executions per query and mode")
+	nwindows := flag.Int("windows", 64, "distinct windows in the repeated point-in-window cycle")
+	seed := flag.Int64("seed", 1985, "window placement seed")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the formatted table")
+	flag.Parse()
+
+	db, err := pictdb.BuildUSDatabase()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psqlbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	queries := []struct{ name, text string }{
+		{"directSearch", `
+			select city, state, population, loc from cities on us-map
+			at loc covered-by {800±200, 500±500} where population > 450_000`},
+		{"juxtaposition", `
+			select city, zone from cities, time-zones on us-map, time-zone-map
+			at cities.loc covered-by time-zones.loc`},
+		{"nestedMapping", `
+			select lake, lakes.loc from lakes on lake-map
+			at lakes.loc covered-by
+			select states.loc from states on state-map
+			at states.loc overlapping eastern-us`},
+	}
+
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Iters: *iters}
+	add := func(r result, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psqlbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, r)
+	}
+
+	for _, q := range queries {
+		q := q
+		add(measure(q.name, "naive", *iters, func() (*pictdb.Result, error) { return db.QueryNaive(q.text) }))
+		add(measure(q.name, "cached", *iters, func() (*pictdb.Result, error) { return db.Query(q.text) }))
+	}
+
+	// Repeated point-in-window: the same mapping over a moving window.
+	const tmpl = `
+		select city, state, loc from cities on us-map
+		at loc covered-by {%g±%g, %g±%g} where population > 450_000`
+	type win struct{ cx, dx, cy, dy float64 }
+	var wins []win
+	var texts []string
+	for _, w := range workload.QueryWindows(*nwindows, 180, *seed) {
+		c := w.Center()
+		v := win{c.X, (w.Max.X - w.Min.X) / 2, c.Y, (w.Max.Y - w.Min.Y) / 2}
+		wins = append(wins, v)
+		texts = append(texts, fmt.Sprintf(tmpl, v.cx, v.dx, v.cy, v.dy))
+	}
+	var i int
+	add(measure("repeatedWindow", "naive", *iters, func() (*pictdb.Result, error) {
+		i++
+		return db.QueryNaive(texts[i%len(texts)])
+	}))
+	i = 0
+	add(measure("repeatedWindow", "cached", *iters, func() (*pictdb.Result, error) {
+		i++
+		return db.Query(texts[i%len(texts)])
+	}))
+	prep, err := db.Prepare(fmt.Sprintf(tmpl, 800.0, 200.0, 500.0, 500.0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psqlbench: prepare: %v\n", err)
+		os.Exit(1)
+	}
+	i = 0
+	add(measure("repeatedWindow", "prepared", *iters, func() (*pictdb.Result, error) {
+		i++
+		w := wins[i%len(wins)]
+		return prep.ExecWindow(w.cx, w.dx, w.cy, w.dy)
+	}))
+	rep.CacheStats = db.CacheStats()
+
+	// Fill in speedups against each query's naive mode.
+	naive := map[string]float64{}
+	for _, r := range rep.Results {
+		if r.Mode == "naive" {
+			naive[r.Name] = r.NsPerOp
+		}
+	}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if base, ok := naive[r.Name]; ok && r.Mode != "naive" && r.NsPerOp > 0 {
+			r.SpeedupVs = base / r.NsPerOp
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "psqlbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%-16s %-9s %10s %12s %8s %9s\n", "query", "mode", "ns/op", "queries/sec", "rows", "speedup")
+	for _, r := range rep.Results {
+		sp := ""
+		if r.SpeedupVs > 0 {
+			sp = fmt.Sprintf("%8.2fx", r.SpeedupVs)
+		}
+		fmt.Printf("%-16s %-9s %10.0f %12.0f %8d %9s\n", r.Name, r.Mode, r.NsPerOp, r.QPS, r.Rows, sp)
+	}
+	s := rep.CacheStats
+	fmt.Printf("cache: %d hits, %d misses, %d entries, %d invalidations\n",
+		s.Hits, s.Misses, s.Entries, s.Invalidations)
+}

@@ -124,7 +124,7 @@ func (st *execState) evalAggregate(f FuncCall, rows []row) (Datum, error) {
 // projectAggregates evaluates an all-aggregate target list into a
 // single result row.
 func (st *execState) projectAggregates(rows []row) (*Result, error) {
-	res := &Result{NodesVisited: st.visited, Plan: st.plan}
+	res := &Result{NodesVisited: st.visited, Plan: st.planNotes()}
 	out := make([]Datum, 0, len(st.q.Select))
 	for _, it := range st.q.Select {
 		name := it.Alias

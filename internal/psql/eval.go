@@ -243,7 +243,7 @@ func datumsEqual(a, b Datum) (bool, error) {
 }
 
 func (st *execState) evalFunc(ex FuncCall, r *row) (Datum, error) {
-	fn, ok := st.e.funcs[ex.Name]
+	fn, ok := st.e.lookupFunc(ex.Name)
 	if !ok {
 		return Datum{}, errf(ex.Pos, "unknown function %q", ex.Name)
 	}

@@ -23,18 +23,24 @@ type Catalog interface {
 	Location(name string) (geom.Rect, bool)
 }
 
-// Executor runs PSQL queries against a catalog.
+// Executor runs PSQL queries against a catalog. It is safe for
+// concurrent use: Run calls may race with each other and with
+// RegisterFunc (the statement cache and function registry are locked
+// internally); MaxProductRows and Parallelism should be configured
+// before the executor is shared.
 type Executor struct {
 	cat   Catalog
+	mu    sync.RWMutex // guards funcs
 	funcs map[string]Func
+	cache *stmtCache
 	// MaxProductRows caps unindexed cartesian products as a safety
 	// net; zero means the default of one million.
 	MaxProductRows int
 	// Parallelism caps the worker goroutines used for multi-window
-	// direct search and join materialization; zero or negative means
-	// runtime.GOMAXPROCS(0). Query results are identical at any
-	// setting — parallel plans merge in deterministic window/pair
-	// order.
+	// direct search, join materialization, and batched tuple fetch;
+	// zero or negative means runtime.GOMAXPROCS(0). Query results are
+	// identical at any setting — parallel plans merge in deterministic
+	// window/pair order.
 	Parallelism int
 }
 
@@ -46,24 +52,103 @@ func (e *Executor) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// NewExecutor returns an executor with the builtin function registry.
+// NewExecutor returns an executor with the builtin function registry
+// and a statement cache of DefaultStatementCacheSize entries.
 func NewExecutor(cat Catalog) *Executor {
-	return &Executor{cat: cat, funcs: builtinFuncs()}
+	return &Executor{cat: cat, funcs: builtinFuncs(), cache: newStmtCache(0)}
 }
 
 // RegisterFunc installs (or replaces) a PSQL-callable function — the
-// paper's application-defined extension hook.
+// paper's application-defined extension hook. Cached statements that
+// call name are invalidated, so queries parsed before the registration
+// still see the new implementation.
 func (e *Executor) RegisterFunc(name string, f Func) {
-	e.funcs[strings.ToLower(name)] = f
+	name = strings.ToLower(name)
+	e.mu.Lock()
+	e.funcs[name] = f
+	e.mu.Unlock()
+	e.cache.invalidateFunc(name)
 }
 
-// Run parses and executes one PSQL mapping.
+// lookupFunc resolves a registered function under the registry lock.
+func (e *Executor) lookupFunc(name string) (Func, bool) {
+	e.mu.RLock()
+	f, ok := e.funcs[name]
+	e.mu.RUnlock()
+	return f, ok
+}
+
+// CacheStats reports the statement cache's hit/miss/eviction counters.
+func (e *Executor) CacheStats() CacheStats { return e.cache.stats() }
+
+// Run parses and executes one PSQL mapping, reusing the cached parse
+// and analysis when the exact query text was run before.
 func (e *Executor) Run(src string) (*Result, error) {
+	if ent, ok := e.cache.get(src); ok {
+		return e.exec(ent.q, ent.an, execOpts{})
+	}
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Exec(q)
+	an := analyze(q)
+	e.cache.put(src, q, an)
+	return e.exec(q, an, execOpts{})
+}
+
+// RunNaive parses and executes src through the naive reference path:
+// no statement cache, no cost-based planning, no batched
+// materialization — full scans, nested loops, and per-id tuple
+// fetches. Rows, Columns, and Locs are identical to Run's (both paths
+// emit canonical row order); NodesVisited differs because the naive
+// path touches no index. It exists as the oracle the planned executor
+// is tested against.
+func (e *Executor) RunNaive(src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.exec(q, analyze(q), execOpts{naive: true})
+}
+
+// Prepared is a statement parsed and analyzed once, whose at-clause
+// window is supplied per execution — the prepared-parameter path for
+// repeated point-in-window queries, including windows inside nested
+// mappings.
+type Prepared struct {
+	e   *Executor
+	q   *Query
+	an  *analysis
+	pos int // source position of the area literal ExecWindow overrides
+}
+
+// Prepare parses src and binds its single at-clause area literal as
+// the statement's window parameter. The literal may sit in the outer
+// query or in a nested mapping; a statement with zero or multiple area
+// literals cannot be prepared this way.
+func (e *Executor) Prepare(src string) (*Prepared, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	an := analyze(q)
+	if len(an.areas) != 1 {
+		return nil, fmt.Errorf("psql: prepare needs exactly one at-clause area literal, found %d", len(an.areas))
+	}
+	return &Prepared{e: e, q: q, an: an, pos: an.areas[0]}, nil
+}
+
+// Exec runs the prepared statement with its original window.
+func (p *Prepared) Exec() (*Result, error) {
+	return p.e.exec(p.q, p.an, execOpts{})
+}
+
+// ExecWindow runs the prepared statement with the area literal
+// replaced by {cx±dx, cy±dy}. The parse, analysis, and plan skeleton
+// are reused; only the window changes.
+func (p *Prepared) ExecWindow(cx, dx, cy, dy float64) (*Result, error) {
+	w := geom.WindowAt(cx, dx, cy, dy)
+	return p.e.exec(p.q, p.an, execOpts{window: &w, windowPos: p.pos})
 }
 
 // binding is one from-clause entry resolved against the catalog.
@@ -80,13 +165,32 @@ type row struct {
 	tuples []relation.Tuple
 }
 
+// execOpts carries per-execution modes threaded through nested
+// mappings.
+type execOpts struct {
+	// naive selects the reference execution path: no planner, no
+	// batching, no index shortcuts beyond the spatial semantics
+	// themselves.
+	naive bool
+	// window, when non-nil, replaces the area literal at source
+	// position windowPos — the prepared-statement parameter.
+	window    *geom.Rect
+	windowPos int
+}
+
 // execState carries one query execution.
 type execState struct {
 	e        *Executor
 	q        *Query
+	an       *analysis
+	opts     execOpts
 	bindings []binding
+	// need[i][ci] marks the columns of binding i the query references;
+	// nil means decode every column (naive mode / select *).
+	need     [][]bool
 	visited  int
 	plan     []string
+	subnotes []string // plan notes of nested mappings, reported after the outer plan
 }
 
 // note records one access-path decision for Result.Plan.
@@ -94,12 +198,28 @@ func (st *execState) note(format string, args ...any) {
 	st.plan = append(st.plan, fmt.Sprintf(format, args...))
 }
 
-// Exec executes a parsed query.
+// planNotes assembles Result.Plan: the outer query's decisions first,
+// then nested mappings'.
+func (st *execState) planNotes() []string {
+	if len(st.subnotes) == 0 {
+		return st.plan
+	}
+	return append(append([]string(nil), st.plan...), st.subnotes...)
+}
+
+// Exec executes a parsed query (analyzing it on the spot; Run serves
+// repeated text through the statement cache instead).
 func (e *Executor) Exec(q *Query) (*Result, error) {
-	st := &execState{e: e, q: q}
+	return e.exec(q, analyze(q), execOpts{})
+}
+
+// exec executes a parsed and analyzed query.
+func (e *Executor) exec(q *Query, an *analysis, opts execOpts) (*Result, error) {
+	st := &execState{e: e, q: q, an: an, opts: opts}
 	if err := st.resolveFrom(); err != nil {
 		return nil, err
 	}
+	st.computeNeed()
 	rows, err := st.candidateRows()
 	if err != nil {
 		return nil, err
@@ -110,17 +230,13 @@ func (e *Executor) Exec(q *Query) (*Result, error) {
 	}
 	if q.Where != nil {
 		kept := rows[:0]
-		for _, r := range rows {
-			d, err := st.eval(q.Where, &r)
-			if err != nil {
-				return nil, err
-			}
-			ok, err := d.Truth()
+		for i := range rows {
+			ok, err := st.qualifies(&rows[i])
 			if err != nil {
 				return nil, err
 			}
 			if ok {
-				kept = append(kept, r)
+				kept = append(kept, rows[i])
 			}
 		}
 		rows = kept
@@ -182,6 +298,105 @@ func (st *execState) resolveFrom() error {
 	return nil
 }
 
+// qualifies applies the where-clause to one row. The planned path
+// evaluates the analysis's cost-ordered conjuncts with short-circuit
+// AND — cheap, selective terms reject rows before expensive function
+// calls run; the naive path evaluates the qualification exactly as
+// written.
+func (st *execState) qualifies(r *row) (bool, error) {
+	if st.opts.naive || st.an == nil || len(st.an.conjuncts) <= 1 {
+		d, err := st.eval(st.q.Where, r)
+		if err != nil {
+			return false, err
+		}
+		return d.Truth()
+	}
+	for _, c := range st.an.conjuncts {
+		d, err := st.eval(c.expr, r)
+		if err != nil {
+			return false, err
+		}
+		ok, err := d.Truth()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// computeNeed marks, per binding, the columns any select, where, or
+// order-by expression references, so batch materialization can skip
+// decoding the rest (column-lazy). Unqualified references mark every
+// binding that has the column — over-marking is safe, under-marking is
+// not. Naive mode and select * decode everything (need stays nil /
+// all-true).
+func (st *execState) computeNeed() {
+	if st.opts.naive {
+		return
+	}
+	need := make([][]bool, len(st.bindings))
+	for i, b := range st.bindings {
+		need[i] = make([]bool, b.schema.Arity())
+	}
+	if st.q.Star {
+		for i := range need {
+			for j := range need[i] {
+				need[i][j] = true
+			}
+		}
+	}
+	mark := func(ref ColumnRef) {
+		for i, b := range st.bindings {
+			if ref.Table != "" && ref.Table != b.name {
+				continue
+			}
+			if ci := b.schema.ColumnIndex(ref.Column); ci >= 0 {
+				need[i][ci] = true
+			}
+		}
+	}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch ex := e.(type) {
+		case ColumnRef:
+			mark(ex)
+		case UnaryExpr:
+			walk(ex.Expr)
+		case BinaryExpr:
+			walk(ex.Left)
+			walk(ex.Right)
+		case FuncCall:
+			for _, a := range ex.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, it := range st.q.Select {
+		walk(it.Expr)
+	}
+	if st.q.Where != nil {
+		walk(st.q.Where)
+	}
+	for _, ob := range st.q.OrderBy {
+		walk(ob.Expr)
+	}
+	st.need = need
+}
+
+// needLoc additionally marks binding bi's loc column, for plans that
+// re-check the at-clause against materialized tuples.
+func (st *execState) needLoc(bi int) {
+	if st.need == nil {
+		return
+	}
+	if li := st.bindings[bi].schema.LocColumn(); li >= 0 {
+		st.need[bi][li] = true
+	}
+}
+
 // bindingIndex resolves a table name (alias) to its binding index; an
 // empty table name matches when there is exactly one binding.
 func (st *execState) bindingIndex(table string, pos int) (int, error) {
@@ -239,13 +454,19 @@ func converse(op SpatialOp) SpatialOp {
 // candidateRows builds the candidate row set, using the at-clause and
 // the R-trees for direct spatial search whenever possible; absent an
 // at-clause, a single-relation query with an indexable qualification
-// conjunct uses the B-tree index instead of a scan — the paper's
-// "indexed the usual way" alphanumeric path.
+// conjunct can use the B-tree index instead of a scan — the paper's
+// "indexed the usual way" alphanumeric path. Access paths are chosen
+// by the cost model in planner.go; the naive reference mode bypasses
+// it entirely.
 func (st *execState) candidateRows() ([]row, error) {
+	if st.opts.naive {
+		return st.naiveRows()
+	}
 	at := st.q.At
 	if at == nil {
 		if len(st.bindings) == 1 {
 			if ids, ok := st.indexedCandidates(); ok {
+				sortTupleIDs(ids)
 				return st.cartesian(map[int][]storage.TupleID{0: ids})
 			}
 		}
@@ -279,20 +500,17 @@ func (st *execState) candidateRows() ([]row, error) {
 			if bi == bj {
 				return nil, errf(at.Pos, "at-clause relates %q to itself", l.Table)
 			}
-			st.note("juxtaposition: simultaneous R-tree traversal of %q and %q (%s)",
-				st.bindings[bi].name, st.bindings[bj].name, op)
 			return st.juxtapose(bi, bj, op)
 		default:
 			windows, err := st.termWindows(right)
 			if err != nil {
 				return nil, err
 			}
-			ids, err := st.directSearch(bi, op, windows)
+			ids, err := st.planWindowSearch(bi, op, windows)
 			if err != nil {
 				return nil, err
 			}
-			st.note("direct spatial search: R-tree of %q on %q, %d window(s), %s",
-				st.bindings[bi].name, st.bindings[bi].picture, len(windows), op)
+			sortTupleIDs(ids)
 			fixed := map[int][]storage.TupleID{bi: ids}
 			return st.cartesian(fixed)
 		}
@@ -306,87 +524,143 @@ func (st *execState) candidateRows() ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
-		pred := spatialPred(op)
-		hold := false
-		for _, a := range lw {
-			for _, b := range rw {
-				if pred(a, b) {
-					hold = true
-				}
-			}
-		}
-		if !hold {
+		if !constantAtHolds(lw, rw, op) {
 			return nil, nil
 		}
 		return st.cartesian(nil)
 	}
 }
 
-// indexedCandidates inspects the qualification's top-level AND
-// conjuncts for the first "column op literal" (or "literal op column")
-// predicate over an indexed column of the single bound relation, and
-// answers it with a B-tree range lookup. The full qualification is
-// still evaluated afterwards, so using the index only narrows the
-// candidates. ok is false when no conjunct is indexable.
-func (st *execState) indexedCandidates() ([]storage.TupleID, bool) {
-	b := st.bindings[0]
-	var conjuncts []Expr
-	var split func(e Expr)
-	split = func(e Expr) {
-		if be, isBin := e.(BinaryExpr); isBin && be.Op == "and" {
-			split(be.Left)
-			split(be.Right)
-			return
+// constantAtHolds evaluates a constant at-clause (no loc side): true
+// when any left window relates to any right window.
+func constantAtHolds(lw, rw []geom.Rect, op SpatialOp) bool {
+	pred := spatialPred(op)
+	for _, a := range lw {
+		for _, b := range rw {
+			if pred(a, b) {
+				return true
+			}
 		}
-		conjuncts = append(conjuncts, e)
 	}
-	if st.q.Where == nil {
+	return false
+}
+
+// planWindowSearch chooses the access path for a single-loc at-clause:
+// direct spatial search through the R-tree, or — when the cost model
+// prices it at under half the direct estimate — a B-tree lookup on the
+// most selective indexable where-conjunct with the spatial predicate
+// re-checked per candidate tuple.
+func (st *execState) planWindowSearch(bi int, op SpatialOp, windows []geom.Rect) ([]storage.TupleID, error) {
+	b := st.bindings[bi]
+	if b.picture == "" {
+		return nil, fmt.Errorf("psql: relation %q has no picture in the on-clause for direct search", b.name)
+	}
+	si := b.rel.Spatial(b.picture)
+	if si == nil {
+		return nil, fmt.Errorf("psql: relation %q is not spatially indexed on picture %q", b.name, b.picture)
+	}
+	costDirect := directSearchCost(si, windows, op)
+	if ic, ok := st.bestIndexedConjunct(); ok {
+		costIdx := btreeCost(b.rel.Len(), ic.sel)
+		if costIdx < btreeHysteresis*costDirect {
+			ids, used := b.rel.LookupRange(ic.col.Column, ic.lo, ic.hi)
+			if used {
+				st.note("index lookup: B-tree on %s.%s (%s) drives the at-clause (est %.1f vs direct %.1f)",
+					b.name, ic.col.Column, ic.op, costIdx, costDirect)
+				return st.filterSpatial(bi, ids, op, windows)
+			}
+		} else {
+			st.note("cost: direct spatial search (est %.1f) kept over B-tree on %s.%s (est %.1f)",
+				costDirect, b.name, ic.col.Column, costIdx)
+		}
+	}
+	ids, err := st.directSearch(bi, op, windows)
+	if err != nil {
+		return nil, err
+	}
+	st.note("direct spatial search: R-tree of %q on %q, %d window(s), %s",
+		b.name, b.picture, len(windows), op)
+	return ids, nil
+}
+
+// filterSpatial keeps the candidate ids whose loc object satisfies op
+// against any window, checked per materialized tuple (the non-R-tree
+// half of an index-driven at-clause plan).
+func (st *execState) filterSpatial(bi int, ids []storage.TupleID, op SpatialOp, windows []geom.Rect) ([]storage.TupleID, error) {
+	b := st.bindings[bi]
+	li := b.schema.LocColumn()
+	if li < 0 {
+		return nil, fmt.Errorf("psql: relation %q has no loc column", b.name)
+	}
+	pic, ok := st.e.cat.Picture(b.picture)
+	if !ok {
+		return nil, fmt.Errorf("psql: unknown picture %q", b.picture)
+	}
+	st.needLoc(bi)
+	need := make([]bool, b.schema.Arity())
+	need[li] = true
+	tuples, err := b.rel.GetBatch(ids, need, st.e.parallelism())
+	if err != nil {
+		return nil, err
+	}
+	pred := spatialPred(op)
+	kept := ids[:0]
+	for i, id := range ids {
+		mbr, ok := tupleMBR(tuples[i], li, pic, b.picture)
+		if !ok {
+			continue
+		}
+		for _, w := range windows {
+			if pred(mbr, w) {
+				kept = append(kept, id)
+				break
+			}
+		}
+	}
+	return kept, nil
+}
+
+// tupleMBR resolves the MBR of t's loc column against pic; ok is false
+// when the tuple references another picture or a missing object —
+// exactly the tuples the spatial index does not carry.
+func tupleMBR(t relation.Tuple, li int, pic *picture.Picture, picName string) (geom.Rect, bool) {
+	ref := t[li].Loc
+	if ref.Picture != picName {
+		return geom.Rect{}, false
+	}
+	obj, ok := pic.Get(ref.Object)
+	if !ok {
+		return geom.Rect{}, false
+	}
+	return obj.MBR(), true
+}
+
+// indexedCandidates answers a no-at-clause single-relation query from
+// the B-tree on its most selective indexable where-conjunct, when the
+// cost model prices that below a full scan. The full qualification is
+// still evaluated afterwards, so using the index only narrows the
+// candidates. ok is false when no conjunct is indexable or the scan is
+// cheaper.
+func (st *execState) indexedCandidates() ([]storage.TupleID, bool) {
+	ic, ok := st.bestIndexedConjunct()
+	if !ok {
 		return nil, false
 	}
-	split(st.q.Where)
-
-	for _, c := range conjuncts {
-		be, isBin := c.(BinaryExpr)
-		if !isBin {
-			continue
-		}
-		col, lit, op, ok := columnVsLiteral(be)
-		if !ok {
-			continue
-		}
-		if col.Table != "" && col.Table != b.name {
-			continue
-		}
-		ci := b.schema.ColumnIndex(col.Column)
-		if ci < 0 || b.rel.Index(col.Column) == nil {
-			continue
-		}
-		v, ok := literalAsColumnValue(lit, b.schema.Columns[ci].Type)
-		if !ok {
-			continue
-		}
-		var lo, hi *relation.Bound
-		switch op {
-		case "=":
-			lo = &relation.Bound{Value: v, Inclusive: true}
-			hi = &relation.Bound{Value: v, Inclusive: true}
-		case ">":
-			lo = &relation.Bound{Value: v}
-		case ">=":
-			lo = &relation.Bound{Value: v, Inclusive: true}
-		case "<":
-			hi = &relation.Bound{Value: v}
-		case "<=":
-			hi = &relation.Bound{Value: v, Inclusive: true}
-		default:
-			continue
-		}
-		if ids, used := b.rel.LookupRange(col.Column, lo, hi); used {
-			st.note("index lookup: B-tree on %s.%s (%s)", b.name, col.Column, op)
-			return ids, true
-		}
+	b := st.bindings[0]
+	costIdx := btreeCost(b.rel.Len(), ic.sel)
+	costScan := scanCost(b.rel.Len())
+	if costIdx >= costScan {
+		st.note("cost: scan (est %.1f) kept over B-tree on %s.%s (est %.1f)",
+			costScan, b.name, ic.col.Column, costIdx)
+		return nil, false
 	}
-	return nil, false
+	ids, used := b.rel.LookupRange(ic.col.Column, ic.lo, ic.hi)
+	if !used {
+		return nil, false
+	}
+	st.note("index lookup: B-tree on %s.%s (%s) (est %.1f vs scan %.1f)",
+		b.name, ic.col.Column, ic.op, costIdx, costScan)
+	return ids, true
 }
 
 // columnVsLiteral matches "col op literal" or its mirror, normalizing
@@ -457,6 +731,10 @@ func literalAsColumnValue(e Expr, t relation.Type) (relation.Value, bool) {
 func (st *execState) termWindows(t SpatialTerm) ([]geom.Rect, error) {
 	switch tt := t.(type) {
 	case AreaTerm:
+		if st.opts.window != nil && tt.Pos == st.opts.windowPos {
+			// Prepared-statement window parameter replaces this literal.
+			return []geom.Rect{*st.opts.window}, nil
+		}
 		return []geom.Rect{geom.WindowAt(tt.CX, tt.DX, tt.CY, tt.DY)}, nil
 	case NameTerm:
 		r, ok := st.e.cat.Location(tt.Name)
@@ -467,12 +745,17 @@ func (st *execState) termWindows(t SpatialTerm) ([]geom.Rect, error) {
 	case SubqueryTerm:
 		// Nested mapping: run it, collect the loc/area values of its
 		// rows as windows — "The binding of the top level window is
-		// dynamically done during the evaluation of the query."
-		res, err := st.e.Exec(tt.Query)
+		// dynamically done during the evaluation of the query." The
+		// nested execution inherits this statement's mode (naive /
+		// prepared window) and cached analysis.
+		res, err := st.e.exec(tt.Query, st.an.forQuery(tt.Query), st.opts)
 		if err != nil {
 			return nil, err
 		}
 		st.visited += res.NodesVisited
+		for _, note := range res.Plan {
+			st.subnotes = append(st.subnotes, "nested: "+note)
+		}
 		var out []geom.Rect
 		for _, r := range res.Rows {
 			for _, d := range r {
@@ -493,7 +776,8 @@ func (st *execState) termWindows(t SpatialTerm) ([]geom.Rect, error) {
 
 // directSearch finds the tuples of binding bi whose loc satisfies op
 // against any of the windows, via the R-tree when the operator admits
-// intersection pruning.
+// intersection pruning. The returned ids are unordered (candidateRows
+// canonicalizes); duplicates across windows are removed.
 func (st *execState) directSearch(bi int, op SpatialOp, windows []geom.Rect) ([]storage.TupleID, error) {
 	b := st.bindings[bi]
 	if b.picture == "" {
@@ -504,7 +788,6 @@ func (st *execState) directSearch(bi int, op SpatialOp, windows []geom.Rect) ([]
 		return nil, fmt.Errorf("psql: relation %q is not spatially indexed on picture %q", b.name, b.picture)
 	}
 	pred := spatialPred(op)
-	seen := map[storage.TupleID]bool{}
 	var out []storage.TupleID
 	if op == OpDisjoined {
 		// Disjointness cannot be pruned by intersection: scan all
@@ -512,38 +795,32 @@ func (st *execState) directSearch(bi int, op SpatialOp, windows []geom.Rect) ([]
 		for _, w := range windows {
 			st.visited += si.Tree.Search(si.Tree.Bounds(), func(it rtree.Item) bool {
 				if pred(it.Rect, w) {
-					id := storage.TupleIDFromInt64(it.Data)
-					if !seen[id] {
-						seen[id] = true
-						out = append(out, id)
-					}
+					out = append(out, storage.TupleIDFromInt64(it.Data))
 				}
 				return true
 			})
 		}
-		return out, nil
-	}
-	// Batched direct search: all windows answered through the R-tree's
-	// concurrent read path, then merged in window order so the result
-	// (and its dedup order) matches the sequential loop exactly.
-	batches, visited, err := b.rel.SearchAreaBatch(b.picture, windows, pred, st.e.parallelism())
-	if err != nil {
-		return nil, err
-	}
-	st.visited += visited
-	for _, ids := range batches {
-		for _, id := range ids {
-			if !seen[id] {
-				seen[id] = true
-				out = append(out, id)
-			}
+	} else {
+		// Batched direct search: all windows answered through the
+		// R-tree's concurrent read path.
+		batches, visited, err := b.rel.SearchAreaBatch(b.picture, windows, pred, st.e.parallelism())
+		if err != nil {
+			return nil, err
+		}
+		st.visited += visited
+		for _, ids := range batches {
+			out = append(out, ids...)
 		}
 	}
-	return out, nil
+	sortTupleIDs(out)
+	return dedupSortedIDs(out), nil
 }
 
 // juxtapose performs the paper's geographic join between bindings bi
-// and bj via simultaneous R-tree traversal, producing joined rows.
+// and bj via simultaneous R-tree traversal, producing joined rows in
+// canonical (binding 0 id, binding 1 id) order. The cost model picks
+// the driving side: the larger tree goes first so the parallel
+// traversal fans out over more subtrees.
 func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
 	if len(st.bindings) != 2 {
 		return nil, fmt.Errorf("psql: juxtaposition currently joins exactly two relations, got %d", len(st.bindings))
@@ -558,11 +835,13 @@ func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
 		return nil, fmt.Errorf("psql: juxtaposition requires spatial indexes on both relations")
 	}
 	pred := spatialPred(op)
-	type pair struct{ x, y storage.TupleID }
+	type pair struct{ x, y storage.TupleID } // x = binding bi, y = binding bj
 	var pairs []pair
 	if op == OpDisjoined {
 		// Nested loop: disjoint pairs are exactly what tree pruning
 		// eliminates.
+		st.note("juxtaposition: nested loop of %q and %q (%s admits no pruning)",
+			a.name, b.name, op)
 		for _, ia := range sa.Tree.Items() {
 			for _, ib := range sb.Tree.Items() {
 				if pred(ia.Rect, ib.Rect) {
@@ -572,88 +851,111 @@ func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
 		}
 		st.visited += sa.Tree.NodeCount() + sb.Tree.NodeCount()
 	} else {
-		// Parallel simultaneous traversal; pair order and visit count
-		// are worker-count-independent, so the result rows stay
-		// deterministic.
-		jp, visited, err := a.rel.JuxtaposeSpatial(a.picture, b.rel, b.picture,
-			func(x, y geom.Rect) bool { return pred(x, y) }, st.e.parallelism())
-		if err != nil {
-			return nil, err
-		}
-		st.visited += visited
-		pairs = make([]pair, len(jp))
-		for i, p := range jp {
-			pairs[i] = pair{p.A, p.B}
-		}
-	}
-	// Materialize the joined tuples. Heap reads are pure pager fetches
-	// (thread-safe through the sharded pool), so fan the Gets out over
-	// index ranges; each worker fills only its own row slots, keeping
-	// the output in pair order regardless of scheduling.
-	rows := make([]row, len(pairs))
-	workers := st.e.parallelism()
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
-	if workers <= 1 {
-		for i, p := range pairs {
-			if err := st.materializePair(&rows[i], a, b, bi, bj, p.x, p.y); err != nil {
+		// Parallel simultaneous traversal; visit count is
+		// worker-count-independent and pairs are canonically sorted
+		// below, so the result rows stay deterministic across worker
+		// budgets and driving-side choices.
+		drive := a.name
+		if sb.Stats.Nodes > sa.Stats.Nodes {
+			drive = b.name
+			jp, visited, err := b.rel.JuxtaposeSpatial(b.picture, a.rel, a.picture,
+				func(y, x geom.Rect) bool { return pred(x, y) }, st.e.parallelism())
+			if err != nil {
 				return nil, err
 			}
-		}
-		return rows, nil
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	chunk := (len(pairs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				if err := st.materializePair(&rows[i], a, b, bi, bj, pairs[i].x, pairs[i].y); err != nil {
-					errs[w] = err
-					return
-				}
+			st.visited += visited
+			pairs = make([]pair, len(jp))
+			for i, p := range jp {
+				pairs[i] = pair{p.B, p.A}
 			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		} else {
+			jp, visited, err := a.rel.JuxtaposeSpatial(a.picture, b.rel, b.picture,
+				func(x, y geom.Rect) bool { return pred(x, y) }, st.e.parallelism())
+			if err != nil {
+				return nil, err
+			}
+			st.visited += visited
+			pairs = make([]pair, len(jp))
+			for i, p := range jp {
+				pairs[i] = pair{p.A, p.B}
+			}
 		}
+		st.note("juxtaposition: simultaneous R-tree traversal of %q and %q (%s), driving %q (%d vs %d nodes)",
+			a.name, b.name, op, drive, sa.Stats.Nodes, sb.Stats.Nodes)
+	}
+	// Canonical row order: ascending by binding 0's id, then binding
+	// 1's — independent of traversal order and driving side.
+	first := bi == 0
+	sort.Slice(pairs, func(i, j int) bool {
+		pi, pj := pairs[i], pairs[j]
+		if !first {
+			pi, pj = pair{pi.y, pi.x}, pair{pj.y, pj.x}
+		}
+		if pi.x != pj.x {
+			return tupleIDLess(pi.x, pj.x)
+		}
+		return tupleIDLess(pi.y, pj.y)
+	})
+
+	// Batch-materialize each side once over the deduplicated ids; rows
+	// then share the decoded tuples (read-only from here on).
+	xs := make([]storage.TupleID, len(pairs))
+	ys := make([]storage.TupleID, len(pairs))
+	for i, p := range pairs {
+		xs[i], ys[i] = p.x, p.y
+	}
+	tx, err := st.fetchSide(bi, xs)
+	if err != nil {
+		return nil, err
+	}
+	ty, err := st.fetchSide(bj, ys)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]row, len(pairs))
+	idsBuf := make([]storage.TupleID, 2*len(pairs))
+	tupBuf := make([]relation.Tuple, 2*len(pairs))
+	for i, p := range pairs {
+		r := &rows[i]
+		r.ids = idsBuf[2*i : 2*i+2 : 2*i+2]
+		r.tuples = tupBuf[2*i : 2*i+2 : 2*i+2]
+		r.ids[bi], r.tuples[bi] = p.x, tx[i]
+		r.ids[bj], r.tuples[bj] = p.y, ty[i]
 	}
 	return rows, nil
 }
 
-// materializePair fetches the two tuples of one join pair into r.
-func (st *execState) materializePair(r *row, a, b binding, bi, bj int, x, y storage.TupleID) error {
-	ta, err := a.rel.Get(x)
-	if err != nil {
-		return err
+// fetchSide materializes one join side's tuples for a pair list: each
+// distinct id is fetched and decoded once, and the result is expanded
+// back to pair positions (join sides repeat ids heavily).
+func (st *execState) fetchSide(bi int, ids []storage.TupleID) ([]relation.Tuple, error) {
+	uniq := make([]storage.TupleID, 0, len(ids))
+	at := make(map[storage.TupleID]int, len(ids))
+	for _, id := range ids {
+		if _, ok := at[id]; !ok {
+			at[id] = len(uniq)
+			uniq = append(uniq, id)
+		}
 	}
-	tb, err := b.rel.Get(y)
-	if err != nil {
-		return err
+	var need []bool
+	if st.need != nil {
+		need = st.need[bi]
 	}
-	r.ids = make([]storage.TupleID, 2)
-	r.tuples = make([]relation.Tuple, 2)
-	r.ids[bi], r.tuples[bi] = x, ta
-	r.ids[bj], r.tuples[bj] = y, tb
-	return nil
+	tuples, err := st.bindings[bi].rel.GetBatch(uniq, need, st.e.parallelism())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relation.Tuple, len(ids))
+	for i, id := range ids {
+		out[i] = tuples[at[id]]
+	}
+	return out, nil
 }
 
 // cartesian builds the product of candidate id lists; fixed overrides
 // the candidate list for specific bindings, others are full scans.
+// Each binding's candidates are batch-materialized once — product rows
+// share the decoded tuples rather than re-fetching per row.
 func (st *execState) cartesian(fixed map[int][]storage.TupleID) ([]row, error) {
 	lists := make([][]storage.TupleID, len(st.bindings))
 	product := 1
@@ -679,33 +981,41 @@ func (st *execState) cartesian(fixed map[int][]storage.TupleID) ([]row, error) {
 	if product == 0 {
 		return nil, nil
 	}
-	rows := make([]row, 0, product)
-	idx := make([]int, len(lists))
-	for {
-		r := row{ids: make([]storage.TupleID, len(lists)), tuples: make([]relation.Tuple, len(lists))}
-		for i, l := range lists {
-			id := l[idx[i]]
-			t, err := st.bindings[i].rel.Get(id)
-			if err != nil {
-				return nil, err
-			}
-			r.ids[i], r.tuples[i] = id, t
+	tuples := make([][]relation.Tuple, len(lists))
+	for i := range lists {
+		var need []bool
+		if st.need != nil {
+			need = st.need[i]
 		}
-		rows = append(rows, r)
+		ts, err := st.bindings[i].rel.GetBatch(lists[i], need, st.e.parallelism())
+		if err != nil {
+			return nil, err
+		}
+		tuples[i] = ts
+	}
+	nb := len(lists)
+	rows := make([]row, product)
+	idsBuf := make([]storage.TupleID, product*nb)
+	tupBuf := make([]relation.Tuple, product*nb)
+	idx := make([]int, nb)
+	for ri := 0; ri < product; ri++ {
+		r := &rows[ri]
+		r.ids = idsBuf[ri*nb : (ri+1)*nb : (ri+1)*nb]
+		r.tuples = tupBuf[ri*nb : (ri+1)*nb : (ri+1)*nb]
+		for i := range lists {
+			r.ids[i] = lists[i][idx[i]]
+			r.tuples[i] = tuples[i][idx[i]]
+		}
 		// Odometer increment.
-		k := len(idx) - 1
-		for k >= 0 {
+		for k := nb - 1; k >= 0; k-- {
 			idx[k]++
 			if idx[k] < len(lists[k]) {
 				break
 			}
 			idx[k] = 0
-			k--
-		}
-		if k < 0 {
-			return rows, nil
 		}
 	}
+	return rows, nil
 }
 
 // orderRows sorts rows by the order-by keys. Key expressions are
@@ -762,7 +1072,7 @@ func (st *execState) orderRows(rows []row) error {
 
 // project evaluates the target list over the qualifying rows.
 func (st *execState) project(rows []row) (*Result, error) {
-	res := &Result{NodesVisited: st.visited, Plan: st.plan}
+	res := &Result{NodesVisited: st.visited, Plan: st.planNotes()}
 
 	// Expand the target list.
 	var items []SelectItem

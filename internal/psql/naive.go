@@ -1,0 +1,229 @@
+package psql
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// The naive reference executor: the same PSQL semantics as the planned
+// path, expressed as full scans, nested loops, and one Get per tuple —
+// no R-tree descent, no B-tree shortcuts, no batched materialization,
+// no conjunct reordering. It exists so the planned executor has an
+// oracle to be compared against row for row: both paths emit candidate
+// rows in canonical ascending TupleID order (the order a heap scan
+// delivers), so equal semantics mean equal output.
+
+// naiveRows is candidateRows for naive mode.
+func (st *execState) naiveRows() ([]row, error) {
+	at := st.q.At
+	if at == nil {
+		return st.naiveCartesian(nil)
+	}
+
+	// Normalize exactly like the planned path: loc on the left.
+	left, op, right := at.Left, at.Op, at.Right
+	if _, lok := left.(LocTerm); !lok {
+		if _, rok := right.(LocTerm); rok {
+			left, right = right, left
+			op = converse(op)
+		}
+	}
+
+	switch l := left.(type) {
+	case LocTerm:
+		bi, err := st.bindingIndex(l.Table, l.Pos)
+		if err != nil {
+			return nil, err
+		}
+		switch r := right.(type) {
+		case LocTerm:
+			bj, err := st.bindingIndex(r.Table, r.Pos)
+			if err != nil {
+				return nil, err
+			}
+			if bi == bj {
+				return nil, errf(at.Pos, "at-clause relates %q to itself", l.Table)
+			}
+			return st.naiveJoin(bi, bj, op)
+		default:
+			windows, err := st.termWindows(right)
+			if err != nil {
+				return nil, err
+			}
+			ids, err := st.naiveWindowFilter(bi, op, windows)
+			if err != nil {
+				return nil, err
+			}
+			return st.naiveCartesian(map[int][]storage.TupleID{bi: ids})
+		}
+	default:
+		lw, err := st.termWindows(left)
+		if err != nil {
+			return nil, err
+		}
+		rw, err := st.termWindows(right)
+		if err != nil {
+			return nil, err
+		}
+		if !constantAtHolds(lw, rw, op) {
+			return nil, nil
+		}
+		return st.naiveCartesian(nil)
+	}
+}
+
+// naiveMBRs scans binding bi and resolves each tuple's loc MBR against
+// the on-clause picture. Tuples whose loc points at another picture or
+// a missing object are skipped — the same tuples a spatial index does
+// not carry. Ids come back in heap-scan (ascending TupleID) order.
+func (st *execState) naiveMBRs(bi int) ([]storage.TupleID, []geom.Rect, error) {
+	b := st.bindings[bi]
+	if b.picture == "" {
+		return nil, nil, fmt.Errorf("psql: relation %q has no picture in the on-clause for direct search", b.name)
+	}
+	li := b.schema.LocColumn()
+	if li < 0 {
+		return nil, nil, fmt.Errorf("psql: relation %q has no loc column", b.name)
+	}
+	pic, ok := st.e.cat.Picture(b.picture)
+	if !ok {
+		return nil, nil, fmt.Errorf("psql: unknown picture %q", b.picture)
+	}
+	ids, err := st.scanIDs(bi)
+	if err != nil {
+		return nil, nil, err
+	}
+	var outIDs []storage.TupleID
+	var outMBRs []geom.Rect
+	for _, id := range ids {
+		t, err := b.rel.Get(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		mbr, ok := tupleMBR(t, li, pic, b.picture)
+		if !ok {
+			continue
+		}
+		outIDs = append(outIDs, id)
+		outMBRs = append(outMBRs, mbr)
+	}
+	return outIDs, outMBRs, nil
+}
+
+// naiveWindowFilter keeps binding bi's tuples whose loc satisfies op
+// against any window — a full scan standing in for direct search.
+func (st *execState) naiveWindowFilter(bi int, op SpatialOp, windows []geom.Rect) ([]storage.TupleID, error) {
+	ids, mbrs, err := st.naiveMBRs(bi)
+	if err != nil {
+		return nil, err
+	}
+	pred := spatialPred(op)
+	var out []storage.TupleID
+	for i, id := range ids {
+		for _, w := range windows {
+			if pred(mbrs[i], w) {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// naiveJoin is juxtaposition as a nested loop: binding 0 outer, binding
+// 1 inner (canonical pair order), with the spatial predicate applied
+// respecting which binding the at-clause names first.
+func (st *execState) naiveJoin(bi, bj int, op SpatialOp) ([]row, error) {
+	if len(st.bindings) != 2 {
+		return nil, fmt.Errorf("psql: juxtaposition currently joins exactly two relations, got %d", len(st.bindings))
+	}
+	ids0, mbrs0, err := st.naiveMBRs(0)
+	if err != nil {
+		return nil, err
+	}
+	ids1, mbrs1, err := st.naiveMBRs(1)
+	if err != nil {
+		return nil, err
+	}
+	pred := spatialPred(op)
+	var rows []row
+	for i0, id0 := range ids0 {
+		for i1, id1 := range ids1 {
+			a, b := mbrs0[i0], mbrs1[i1]
+			if bi == 1 {
+				a, b = b, a // at-clause names binding 1's loc first
+			}
+			if !pred(a, b) {
+				continue
+			}
+			t0, err := st.bindings[0].rel.Get(id0)
+			if err != nil {
+				return nil, err
+			}
+			t1, err := st.bindings[1].rel.Get(id1)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row{ids: []storage.TupleID{id0, id1}, tuples: []relation.Tuple{t0, t1}})
+		}
+	}
+	return rows, nil
+}
+
+// naiveCartesian is cartesian with per-id Get instead of batch
+// materialization.
+func (st *execState) naiveCartesian(fixed map[int][]storage.TupleID) ([]row, error) {
+	lists := make([][]storage.TupleID, len(st.bindings))
+	product := 1
+	limit := st.e.MaxProductRows
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	for i := range st.bindings {
+		if ids, ok := fixed[i]; ok {
+			lists[i] = ids
+		} else {
+			ids, err := st.scanIDs(i)
+			if err != nil {
+				return nil, err
+			}
+			lists[i] = ids
+		}
+		product *= len(lists[i])
+		if product > limit {
+			return nil, fmt.Errorf("psql: cartesian product exceeds %d rows; add an at-clause", limit)
+		}
+	}
+	if product == 0 {
+		return nil, nil
+	}
+	rows := make([]row, 0, product)
+	idx := make([]int, len(lists))
+	for {
+		r := row{ids: make([]storage.TupleID, len(lists)), tuples: make([]relation.Tuple, len(lists))}
+		for i, l := range lists {
+			id := l[idx[i]]
+			t, err := st.bindings[i].rel.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			r.ids[i], r.tuples[i] = id, t
+		}
+		rows = append(rows, r)
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(lists[k]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			return rows, nil
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package psql
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// The cost model. Costs are in abstract "page touches": one R-tree
+// node visit, one B-tree node visit, and one tuple fetch all count 1.
+// The direct-search estimate follows the paper's Table 1 reasoning —
+// the expected number of nodes visited grows with the fraction of the
+// indexed space the window covers, inflated by the leaf-level coverage
+// and overlap the pack left behind — so a tightly packed tree (low
+// coverage, near-zero overlap) prices direct search low, and a drifted
+// or badly packed one prices it high. See DESIGN.md §11.
+
+// btreeHysteresis biases the at-clause plan toward direct spatial
+// search: the B-tree alternative must beat it by 2x before the planner
+// abandons the R-tree. Spatial estimates are coarse (window-area
+// extrapolation), so the bias keeps the paper's signature access path
+// unless the index is clearly better.
+const btreeHysteresis = 0.5
+
+// directSearchCost estimates the page touches of answering the windows
+// through si: expected nodes visited plus expected qualifying-tuple
+// fetches.
+func directSearchCost(si *relation.SpatialIndex, windows []geom.Rect, op SpatialOp) float64 {
+	s := si.Stats
+	if s.Items == 0 {
+		return 1
+	}
+	bounds := si.Tree.Bounds()
+	boundsArea := bounds.Area()
+	if boundsArea <= 0 {
+		boundsArea = 1
+	}
+	avgLeaf := 0.0
+	if s.Leaves > 0 {
+		avgLeaf = s.Coverage / float64(s.Leaves)
+	}
+	overlapPenalty := 1.0
+	if s.Coverage > 0 {
+		overlapPenalty += s.Overlap / s.Coverage
+	}
+	total := 0.0
+	for _, w := range windows {
+		// A node is visited when its MBR intersects the window: the
+		// classic window-inflated-by-average-extent estimate.
+		f := (w.Intersection(bounds).Area() + avgLeaf) / boundsArea * overlapPenalty
+		if f > 1 {
+			f = 1
+		}
+		if op == OpDisjoined {
+			// Disjointness admits no pruning: every node is visited and
+			// the complement of the window qualifies.
+			total += float64(s.Nodes) + (1-f)*float64(s.Items)
+			continue
+		}
+		total += 1 + f*float64(s.Nodes-1) + f*float64(s.Items)
+	}
+	return total
+}
+
+// btreeCost estimates the page touches of driving the query from a
+// B-tree conjunct with selectivity sel over n tuples: the root-to-leaf
+// descent, the qualifying index entries, and a fetch plus spatial test
+// per candidate tuple.
+func btreeCost(n int, sel float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return math.Log2(float64(n)+1) + 2*sel*float64(n)
+}
+
+// scanCost estimates a full scan: every tuple fetched and decoded.
+func scanCost(n int) float64 { return float64(n) }
+
+// indexableConjunct is one where-term answerable by a B-tree range
+// lookup on the (single) bound relation.
+type indexableConjunct struct {
+	col    ColumnRef
+	op     string
+	lo, hi *relation.Bound
+	sel    float64
+}
+
+// bestIndexedConjunct scans the planner-ordered conjuncts of a
+// single-relation query for B-tree-answerable terms and returns the
+// most selective one. ok is false when none is indexable.
+func (st *execState) bestIndexedConjunct() (indexableConjunct, bool) {
+	best := indexableConjunct{sel: math.Inf(1)}
+	if len(st.bindings) != 1 || st.an == nil {
+		return best, false
+	}
+	b := st.bindings[0]
+	for _, c := range st.an.conjuncts {
+		be, isBin := c.expr.(BinaryExpr)
+		if !isBin {
+			continue
+		}
+		col, lit, op, ok := columnVsLiteral(be)
+		if !ok {
+			continue
+		}
+		if col.Table != "" && col.Table != b.name {
+			continue
+		}
+		ci := b.schema.ColumnIndex(col.Column)
+		if ci < 0 || b.rel.Index(col.Column) == nil {
+			continue
+		}
+		v, ok := literalAsColumnValue(lit, b.schema.Columns[ci].Type)
+		if !ok {
+			continue
+		}
+		ic := indexableConjunct{col: col, op: op, sel: c.sel}
+		switch op {
+		case "=":
+			ic.lo = &relation.Bound{Value: v, Inclusive: true}
+			ic.hi = &relation.Bound{Value: v, Inclusive: true}
+		case ">":
+			ic.lo = &relation.Bound{Value: v}
+		case ">=":
+			ic.lo = &relation.Bound{Value: v, Inclusive: true}
+		case "<":
+			ic.hi = &relation.Bound{Value: v}
+		case "<=":
+			ic.hi = &relation.Bound{Value: v, Inclusive: true}
+		default:
+			continue
+		}
+		if ic.sel < best.sel {
+			best = ic
+		}
+	}
+	return best, !math.IsInf(best.sel, 1)
+}
+
+// sortTupleIDs puts ids in canonical ascending (page, slot) order —
+// the order a heap scan delivers — so the row order of a fixed
+// candidate list never depends on which access path produced it.
+func sortTupleIDs(ids []storage.TupleID) {
+	sort.Slice(ids, func(i, j int) bool { return tupleIDLess(ids[i], ids[j]) })
+}
+
+func tupleIDLess(a, b storage.TupleID) bool {
+	if a.Page != b.Page {
+		return a.Page < b.Page
+	}
+	return a.Slot < b.Slot
+}
+
+// dedupSortedIDs removes adjacent duplicates from a sorted id list.
+func dedupSortedIDs(ids []storage.TupleID) []storage.TupleID {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

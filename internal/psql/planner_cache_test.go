@@ -1,0 +1,432 @@
+package psql_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	pictdb "repro"
+	"repro/internal/psql"
+)
+
+// sameRows fails the test unless a and b agree on Columns, Rows (order
+// included), and Locs. NodesVisited is plan-dependent and deliberately
+// not compared.
+func sameRows(t *testing.T, label string, a, b *pictdb.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Columns, b.Columns) {
+		t.Fatalf("%s: columns %v != %v", label, a.Columns, b.Columns)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("%s: %d rows != %d rows", label, len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			t.Fatalf("%s: row %d arity %d != %d", label, i, len(a.Rows[i]), len(b.Rows[i]))
+		}
+		for j := range a.Rows[i] {
+			if a.Rows[i][j].String() != b.Rows[i][j].String() {
+				t.Fatalf("%s: row %d col %d: %v != %v", label, i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.Locs, b.Locs) {
+		t.Fatalf("%s: locs %v != %v", label, a.Locs, b.Locs)
+	}
+}
+
+// TestPlannedMatchesNaiveOracle runs a corpus covering every access
+// path the planner can choose — direct search under all four spatial
+// operators, index-driven at-clauses, juxtaposition, nested mappings,
+// B-tree and scan qualifications, ordering, aggregates — and checks
+// the planned executor against the naive reference row for row, at
+// worker budgets 1 and 8. Both paths emit canonical row order, so any
+// divergence is a planner or batching bug.
+func TestPlannedMatchesNaiveOracle(t *testing.T) {
+	corpus := []string{
+		`select city, state, population, loc from cities on us-map
+		 at loc covered-by {800±200, 500±500} where population > 450_000`,
+		`select city from cities on us-map at loc covering {640±2, 378±2}`,
+		`select city from cities on us-map at loc overlapping {500±150, 500±500}`,
+		`select city from cities on us-map at loc disjoined {800±200, 500±500}`,
+		// Equality conjunct: cheap enough that the planner may drive the
+		// at-clause from the B-tree instead of the R-tree.
+		`select city from cities on us-map
+		 at loc covered-by {800±200, 500±500} where city = 'Boston'`,
+		`select city, zone from cities, time-zones on us-map, time-zone-map
+		 at cities.loc covered-by time-zones.loc`,
+		`select zone, city from cities, time-zones on us-map, time-zone-map
+		 at time-zones.loc covering cities.loc`,
+		`select lake, area, lakes.loc from lakes on lake-map
+		 at lakes.loc covered-by
+		   select states.loc from states on state-map
+		   at states.loc overlapping {800±200, 500±500}`,
+		`select city from cities where population > 1_000_000`,
+		`select city from cities where state = 'TX' and population > 400_000`,
+		`select city, population from cities
+		 order by population desc limit 5`,
+		`select count(*), max(population) from cities
+		 on us-map at loc covered-by eastern-us`,
+		`select city from cities on us-map at loc covered-by eastern-us
+		 where distance(loc, {640±0, 378±0}) < 200 and population > 100_000`,
+	}
+	for _, par := range []int{1, 8} {
+		db := usdb(t)
+		db.SetParallelism(par)
+		for _, q := range corpus {
+			planned, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("par=%d planned %s: %v", par, q, err)
+			}
+			naive, err := db.QueryNaive(q)
+			if err != nil {
+				t.Fatalf("par=%d naive %s: %v", par, q, err)
+			}
+			sameRows(t, fmt.Sprintf("par=%d %s", par, q), planned, naive)
+		}
+	}
+}
+
+// TestPlannedMatchesNaiveRandomized is the randomized half of the
+// oracle: planned vs naive over random pictures and windows, all four
+// operators, rows compared in order.
+func TestPlannedMatchesNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	ops := []string{"covered-by", "covering", "overlapping", "disjoined"}
+	for trial := 0; trial < 3; trial++ {
+		db := pictdb.New()
+		pic, err := db.CreatePicture("m", pictdb.R(0, 0, 1000, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := db.CreateRelation("objs", pictdb.MustSchema("n:int", "loc:loc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 50 + rng.Intn(150)
+		for i := 0; i < n; i++ {
+			p := pictdb.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			oid := pic.AddPoint("", p)
+			if _, err := rel.Insert(pictdb.Tuple{pictdb.I(int64(i)), pictdb.L("m", oid)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rel.AttachPicture(pic, pictdb.PackOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 8; q++ {
+			cx, cy := rng.Float64()*1000, rng.Float64()*1000
+			dx, dy := rng.Float64()*200, rng.Float64()*200
+			op := ops[rng.Intn(len(ops))]
+			query := fmt.Sprintf(`select n, loc from objs on m at loc %s {%g±%g, %g±%g}`,
+				op, cx, dx, cy, dy)
+			planned, err := db.Query(query)
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, query, err)
+			}
+			naive, err := db.QueryNaive(query)
+			if err != nil {
+				t.Fatalf("trial %d naive: %s: %v", trial, query, err)
+			}
+			sameRows(t, query, planned, naive)
+		}
+		db.Close()
+	}
+}
+
+// TestStatementCacheHitIdentical runs the same text twice and demands
+// bit-identical results — including Plan and NodesVisited — plus a
+// recorded cache hit. A cached statement must be indistinguishable
+// from a fresh parse.
+func TestStatementCacheHitIdentical(t *testing.T) {
+	db := usdb(t)
+	q := `select city, state, loc from cities on us-map
+	      at loc covered-by {800±200, 500±500} where population > 450_000`
+	first, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.CacheStats()
+	second, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := db.CacheStats()
+	if after.Hits != before.Hits+1 {
+		t.Errorf("hits %d -> %d, want one more", before.Hits, after.Hits)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached execution differs:\nfirst  %+v\nsecond %+v", first, second)
+	}
+	if after.Entries < 1 {
+		t.Errorf("cache entries = %d", after.Entries)
+	}
+}
+
+// TestRegisterFuncInvalidatesCache is the regression test for stale
+// plans: a cached statement that calls a function must be evicted when
+// the function is re-registered, so the next run sees the new
+// implementation.
+func TestRegisterFuncInvalidatesCache(t *testing.T) {
+	db := usdb(t)
+	db.RegisterFunc("grade", func(c *psql.FuncContext) (psql.Datum, error) {
+		return psql.Datum{Kind: psql.KindInt, Int: 1}, nil
+	})
+	q := `select grade(population) from cities where city = 'Boston'`
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 1 {
+		t.Fatalf("first implementation returned %v", res.Rows[0][0])
+	}
+	// Warm the cache, then swap the implementation.
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterFunc("grade", func(c *psql.FuncContext) (psql.Datum, error) {
+		return psql.Datum{Kind: psql.KindInt, Int: 2}, nil
+	})
+	if got := db.CacheStats(); got.Invalidations < 1 {
+		t.Errorf("invalidations = %d, want >= 1", got.Invalidations)
+	}
+	res, err = db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 2 {
+		t.Errorf("cached plan served stale function: got %v, want 2", res.Rows[0][0])
+	}
+	// A statement that does not call grade must survive the eviction.
+	if _, err := db.Query(`select city from cities limit 1`); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterFunc("grade", func(c *psql.FuncContext) (psql.Datum, error) {
+		return psql.Datum{Kind: psql.KindInt, Int: 3}, nil
+	})
+	if got := db.CacheStats(); got.Entries < 1 {
+		t.Errorf("unrelated statement evicted too (entries = %d)", got.Entries)
+	}
+}
+
+// TestPreparedWindow checks the prepared-parameter path: ExecWindow
+// must equal re-parsing the statement with the window spliced into the
+// text, both for a top-level window and for one inside a nested
+// mapping.
+func TestPreparedWindow(t *testing.T) {
+	db := usdb(t)
+	p, err := db.Prepare(`select city, loc from cities on us-map
+	                      at loc covered-by {800±200, 500±500}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original window.
+	got, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.QueryNaive(`select city, loc from cities on us-map
+	                            at loc covered-by {800±200, 500±500}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "prepared original window", got, want)
+	// Re-bound windows.
+	for _, w := range []struct{ cx, dx, cy, dy float64 }{
+		{200, 200, 500, 500}, // west coast
+		{640, 30, 378, 30},   // around Chicago
+		{500, 500, 500, 500}, // everything
+	} {
+		got, err := p.ExecWindow(w.cx, w.dx, w.cy, w.dy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := fmt.Sprintf(`select city, loc from cities on us-map
+		                     at loc covered-by {%g±%g, %g±%g}`, w.cx, w.dx, w.cy, w.dy)
+		want, err := db.QueryNaive(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, text, got, want)
+	}
+
+	// Window inside a nested mapping.
+	nested := `select lake, lakes.loc from lakes on lake-map
+	           at lakes.loc covered-by
+	             select states.loc from states on state-map
+	             at states.loc overlapping {%g±%g, %g±%g}`
+	pn, err := db.Prepare(fmt.Sprintf(nested, 800.0, 200.0, 500.0, 500.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotN, err := pn.ExecWindow(200, 200, 500, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN, err := db.QueryNaive(fmt.Sprintf(nested, 200.0, 200.0, 500.0, 500.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "prepared nested window", gotN, wantN)
+
+	// Zero or multiple area literals cannot be prepared.
+	if _, err := db.Prepare(`select city from cities`); err == nil {
+		t.Error("prepare with no area literal should fail")
+	}
+	if _, err := db.Prepare(`select city from cities on us-map
+	                         at {1±1, 1±1} covered-by {2±2, 2±2}`); err == nil {
+		t.Error("prepare with two area literals should fail")
+	}
+}
+
+// TestPlannerAccessPathChoice pins the cost model's decisions on the
+// US database: a highly selective equality conjunct flips the
+// at-clause to the B-tree, a loose range conjunct keeps the paper's
+// direct spatial search, and the plan says which happened.
+func TestPlannerAccessPathChoice(t *testing.T) {
+	db := usdb(t)
+	plan := func(q string) string {
+		t.Helper()
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return strings.Join(res.Plan, "; ")
+	}
+	// city = 'Boston' is indexed and estimated at 5% selectivity: the
+	// B-tree should drive the at-clause.
+	p := plan(`select city from cities on us-map
+	           at loc covered-by {800±200, 500±500} where city = 'Boston'`)
+	if !strings.Contains(p, "index lookup") || !strings.Contains(p, "drives the at-clause") {
+		t.Errorf("equality conjunct should drive the at-clause from the B-tree; plan: %s", p)
+	}
+	// population > 450_000 is a loose range: direct search must win
+	// (the paper's signature access path, protected by hysteresis).
+	p = plan(`select city from cities on us-map
+	          at loc covered-by {800±200, 500±500} where population > 450_000`)
+	if !strings.Contains(p, "direct spatial search") {
+		t.Errorf("range conjunct should keep direct spatial search; plan: %s", p)
+	}
+	// Juxtaposition reports its driving side.
+	p = plan(`select city, zone from cities, time-zones on us-map, time-zone-map
+	          at cities.loc covered-by time-zones.loc`)
+	if !strings.Contains(p, "juxtaposition") || !strings.Contains(p, "driving") {
+		t.Errorf("juxtaposition plan should name the driving side; plan: %s", p)
+	}
+	// Nested mappings report their own plan, prefixed.
+	res, err := db.Query(`select lake from lakes on lake-map
+	                      at lakes.loc covered-by
+	                        select states.loc from states on state-map
+	                        at states.loc overlapping {800±200, 500±500}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Plan, "; ")
+	if !strings.Contains(joined, "nested: ") {
+		t.Errorf("nested mapping plan notes missing; plan: %s", joined)
+	}
+}
+
+// TestConjunctReordering: the executor must evaluate cheap selective
+// conjuncts before expensive function calls, without changing the
+// answer. The expensive function counts its invocations; with
+// reordering it runs only on rows surviving the equality test.
+func TestConjunctReordering(t *testing.T) {
+	db := usdb(t)
+	var calls int
+	db.RegisterFunc("expensive", func(c *psql.FuncContext) (psql.Datum, error) {
+		calls++
+		return psql.Datum{Kind: psql.KindInt, Int: 1}, nil
+	})
+	// Written with the function first: planner order must still put the
+	// equality test first.
+	res, err := db.Query(`select city from cities
+	                      where expensive(population) = 1 and city = 'Boston'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", res.Len())
+	}
+	if calls != 1 {
+		t.Errorf("expensive() called %d times; conjunct reordering should gate it to 1", calls)
+	}
+}
+
+// TestConcurrentRunStress hammers one shared executor from many
+// goroutines mixing cached queries, prepared executions, and function
+// re-registration. Run under -race (make check) it verifies the
+// statement cache, function registry, and batched read path are safe
+// to share; results are also checked against a precomputed answer.
+func TestConcurrentRunStress(t *testing.T) {
+	db := usdb(t)
+	queries := []string{
+		`select city from cities on us-map at loc covered-by {800±200, 500±500}`,
+		`select city, zone from cities, time-zones on us-map, time-zone-map
+		 at cities.loc covered-by time-zones.loc`,
+		`select city from cities where population > 1_000_000`,
+		`select count(*) from cities on us-map at loc covered-by eastern-us`,
+	}
+	want := make([]*pictdb.Result, len(queries))
+	for i, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	prep, err := db.Prepare(`select city from cities on us-map
+	                         at loc covered-by {500±150, 500±500}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 30
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (g + i) % len(queries)
+				res, err := db.Query(queries[qi])
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if len(res.Rows) != len(want[qi].Rows) {
+					errs[g] = fmt.Errorf("goroutine %d iter %d: %d rows, want %d",
+						g, i, len(res.Rows), len(want[qi].Rows))
+					return
+				}
+				if i%5 == 0 {
+					if _, err := prep.ExecWindow(500, 100+float64(i), 500, 500); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+				if i%7 == 0 {
+					name := fmt.Sprintf("f%d", g)
+					db.RegisterFunc(name, func(c *psql.FuncContext) (psql.Datum, error) {
+						return psql.Datum{Kind: psql.KindInt, Int: int64(i)}, nil
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := db.CacheStats()
+	if stats.Hits == 0 {
+		t.Error("concurrent stress recorded no cache hits")
+	}
+}

@@ -40,7 +40,18 @@ func EncodeTuple(t Tuple) []byte {
 }
 
 // DecodeTuple parses a record produced by EncodeTuple.
-func DecodeTuple(rec []byte) (Tuple, error) {
+func DecodeTuple(rec []byte) (Tuple, error) { return DecodeTupleCols(rec, nil) }
+
+// DecodeTupleCols parses a record, materializing only the columns whose
+// need flag is set. Skipped columns keep their type tag but carry a
+// zero payload — in particular no string or picture-name bytes are
+// copied out of rec, which is what makes batch materialization over
+// pinned pages cheap when a query touches a few columns of a wide
+// tuple. A nil need (or one shorter than the tuple) decodes the
+// remaining columns, so DecodeTupleCols(rec, nil) == DecodeTuple(rec).
+// Validation is not relaxed: a corrupt record fails the same way
+// whether or not the broken column was needed.
+func DecodeTupleCols(rec []byte, need []bool) (Tuple, error) {
 	n, off := binary.Uvarint(rec)
 	if off <= 0 {
 		return nil, fmt.Errorf("relation: corrupt tuple header")
@@ -57,6 +68,7 @@ func DecodeTuple(rec []byte) (Tuple, error) {
 		if pos >= len(rec) {
 			return nil, fmt.Errorf("relation: truncated tuple at column %d", i)
 		}
+		want := need == nil || i >= uint64(len(need)) || need[i]
 		typ := Type(rec[pos])
 		pos++
 		var v Value
@@ -66,13 +78,15 @@ func DecodeTuple(rec []byte) (Tuple, error) {
 			if pos+8 > len(rec) {
 				return nil, fmt.Errorf("relation: truncated numeric column %d", i)
 			}
-			bits := binary.LittleEndian.Uint64(rec[pos:])
-			pos += 8
-			if typ == TypeInt {
-				v.Int = int64(bits)
-			} else {
-				v.Float = math.Float64frombits(bits)
+			if want {
+				bits := binary.LittleEndian.Uint64(rec[pos:])
+				if typ == TypeInt {
+					v.Int = int64(bits)
+				} else {
+					v.Float = math.Float64frombits(bits)
+				}
 			}
+			pos += 8
 		case TypeString:
 			l, w := binary.Uvarint(rec[pos:])
 			// Bound l before converting: a 64-bit length can wrap int
@@ -81,7 +95,9 @@ func DecodeTuple(rec []byte) (Tuple, error) {
 				return nil, fmt.Errorf("relation: truncated string column %d", i)
 			}
 			pos += w
-			v.Str = string(rec[pos : pos+int(l)])
+			if want {
+				v.Str = string(rec[pos : pos+int(l)])
+			}
 			pos += int(l)
 		case TypeLoc:
 			l, w := binary.Uvarint(rec[pos:])
@@ -89,10 +105,11 @@ func DecodeTuple(rec []byte) (Tuple, error) {
 				return nil, fmt.Errorf("relation: truncated loc column %d", i)
 			}
 			pos += w
-			v.Loc.Picture = string(rec[pos : pos+int(l)])
-			pos += int(l)
-			v.Loc.Object = picture.ObjectID(binary.LittleEndian.Uint64(rec[pos:]))
-			pos += 8
+			if want {
+				v.Loc.Picture = string(rec[pos : pos+int(l)])
+				v.Loc.Object = picture.ObjectID(binary.LittleEndian.Uint64(rec[pos+int(l):]))
+			}
+			pos += int(l) + 8
 		default:
 			return nil, fmt.Errorf("relation: unknown type tag %d in column %d", typ, i)
 		}

@@ -2,6 +2,8 @@ package relation
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/btree"
 	"repro/internal/geom"
@@ -22,6 +24,11 @@ type SpatialIndex struct {
 	// Opts records how the index was packed, so a catalog reload can
 	// rebuild it identically.
 	Opts pack.Options
+	// Stats captures the tree's structural measures (Table 1's node
+	// count, depth, coverage, overlap) as of the last pack. Inserts and
+	// deletes after the pack are not reflected; the query planner uses
+	// these as estimates, not invariants.
+	Stats rtree.Metrics
 }
 
 // Relation is one table of the pictorial database: a tuple heap,
@@ -146,6 +153,69 @@ func (r *Relation) Get(id storage.TupleID) (Tuple, error) {
 		return nil, err
 	}
 	return DecodeTuple(rec)
+}
+
+// GetBatch materializes the tuples stored under ids, preserving input
+// order: out[i] is the tuple for ids[i]. The heap pins each referenced
+// page once (sorted page order, zero-copy view when mmap is active) and
+// tuples are decoded in place; need selects which columns to
+// materialize, as in DecodeTupleCols (nil = all). With workers > 1 (0
+// means GOMAXPROCS) the batch is split into contiguous chunks decoded
+// concurrently; output is identical at any worker count.
+func (r *Relation) GetBatch(ids []storage.TupleID, need []bool, workers int) ([]Tuple, error) {
+	out := make([]Tuple, len(ids))
+	if len(ids) == 0 {
+		return out, nil
+	}
+	decode := func(lo, hi int) error {
+		return r.heap.GetBatch(ids[lo:hi], func(i int, rec []byte) error {
+			t, err := DecodeTupleCols(rec, need)
+			if err != nil {
+				return fmt.Errorf("relation %s: tuple %v: %w", r.name, ids[lo+i], err)
+			}
+			out[lo+i] = t
+			return nil
+		})
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Chunks below ~32 tuples cost more in goroutine churn and repeat
+	// page pins than they save.
+	const minChunk = 32
+	if max := (len(ids) + minChunk - 1) / minChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		if err := decode(0, len(ids)); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	chunk := (len(ids) + workers - 1) / workers
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = decode(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Delete removes the tuple stored under id from the heap and every
@@ -317,10 +387,12 @@ func (r *Relation) AttachPicture(pic *picture.Picture, opts pack.Options) error 
 	if err != nil {
 		return err
 	}
+	tree := pack.Tree(r.rtreeParams, items, opts)
 	r.spatial[pic.Name()] = &SpatialIndex{
 		Picture: pic,
-		Tree:    pack.Tree(r.rtreeParams, items, opts),
+		Tree:    tree,
 		Opts:    opts,
+		Stats:   tree.ComputeMetrics(),
 	}
 	return nil
 }

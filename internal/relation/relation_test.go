@@ -465,6 +465,130 @@ func TestRelationOpen(t *testing.T) {
 	}
 }
 
+func TestDecodeTupleColsLazy(t *testing.T) {
+	tu := Tuple{S("Washington"), S("DC"), I(700000), F(2.5), L("us-map", 7)}
+	rec := EncodeTuple(tu)
+
+	// nil need == full decode.
+	full, err := DecodeTupleCols(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range tu {
+		if !full[j].Eq(tu[j]) {
+			t.Fatalf("full decode col %d: %v != %v", j, full[j], tu[j])
+		}
+	}
+
+	// Only columns 1 and 4 materialized; the rest keep type tags with
+	// zero payloads.
+	part, err := DecodeTupleCols(rec, []bool{false, true, false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != len(tu) {
+		t.Fatalf("lazy arity = %d", len(part))
+	}
+	if !part[1].Eq(tu[1]) || !part[4].Eq(tu[4]) {
+		t.Fatalf("needed columns wrong: %v", part)
+	}
+	if part[0].Type != TypeString || part[0].Str != "" {
+		t.Fatalf("skipped string materialized: %v", part[0])
+	}
+	if part[2].Type != TypeInt || part[2].Int != 0 {
+		t.Fatalf("skipped int materialized: %v", part[2])
+	}
+	if part[3].Type != TypeFloat || part[3].Float != 0 {
+		t.Fatalf("skipped float materialized: %v", part[3])
+	}
+
+	// A need slice shorter than the tuple decodes the tail.
+	tail, err := DecodeTupleCols(rec, []bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tail[4].Eq(tu[4]) || tail[0].Str != "" {
+		t.Fatalf("short need slice: %v", tail)
+	}
+
+	// Lazy decode keeps full validation: truncations still fail even
+	// when every column is skipped.
+	skipAll := make([]bool, len(tu))
+	for cut := 1; cut < len(rec); cut++ {
+		if _, err := DecodeTupleCols(rec[:cut], skipAll); err == nil {
+			t.Fatalf("truncation at %d accepted with lazy decode", cut)
+		}
+	}
+}
+
+func TestGetBatchMatchesGetRelation(t *testing.T) {
+	rel, pic := newCities(t)
+	rng := rand.New(rand.NewSource(9))
+	var ids []storage.TupleID
+	for i := 0; i < 300; i++ {
+		ids = append(ids, addCity(t, rel, pic, randWord(rng), "ST", int64(i), rng.Float64()*1000, rng.Float64()*1000))
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+
+	for _, workers := range []int{1, 2, 8, 0} {
+		got, err := rel.GetBatch(ids, nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			want, err := rel.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if !got[i][j].Eq(want[j]) {
+					t.Fatalf("workers=%d id %v col %d: %v != %v", workers, id, j, got[i][j], want[j])
+				}
+			}
+		}
+	}
+
+	// Column-lazy batch: population only.
+	need := []bool{false, false, true, false}
+	got, err := rel.GetBatch(ids, need, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		want, _ := rel.Get(id)
+		if got[i][2].Int != want[2].Int || got[i][0].Str != "" {
+			t.Fatalf("lazy batch id %v: %v", id, got[i])
+		}
+	}
+
+	// A dead id fails the whole batch.
+	if err := rel.Delete(ids[5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rel.GetBatch(ids, nil, 4); err == nil {
+		t.Fatal("batch with dead id succeeded")
+	}
+}
+
+func TestSpatialIndexStats(t *testing.T) {
+	rel, pic := newCities(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		addCity(t, rel, pic, randWord(rng), "ST", int64(i), rng.Float64()*1000, rng.Float64()*1000)
+	}
+	if err := rel.AttachPicture(pic, pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	si := rel.Spatial("us-map")
+	if si.Stats.Items != 150 || si.Stats.Nodes < 1 || si.Stats.Depth < 1 {
+		t.Fatalf("stats not populated: %+v", si.Stats)
+	}
+	want := si.Tree.ComputeMetrics()
+	if si.Stats != want {
+		t.Fatalf("stats %+v != computed %+v", si.Stats, want)
+	}
+}
+
 func TestUpdate(t *testing.T) {
 	rel, pic := newCities(t)
 	if err := rel.CreateIndex("state"); err != nil {

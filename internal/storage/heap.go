@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/pager"
 )
@@ -72,30 +73,83 @@ const (
 // MaxRecordSize is the largest record a single page can hold.
 const MaxRecordSize = pager.PayloadSize - headerSize - slotSize
 
+// slotted reads a slotted-page image wherever its bytes live: a
+// mutable pool frame (pageView) or a read-only pinned view from the
+// zero-copy Pin path (GetBatch). It never writes.
+type slotted []byte
+
+func (s slotted) slotCount() int { return int(binary.LittleEndian.Uint16(s[offSlotCount:])) }
+func (s slotted) freeEnd() int   { return int(binary.LittleEndian.Uint16(s[offFreeEnd:])) }
+func (s slotted) nextPage() pager.PageID {
+	return pager.PageID(binary.LittleEndian.Uint32(s[offNextPage:]))
+}
+
+func (s slotted) slot(i int) (offset, length int) {
+	base := headerSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(s[base:])),
+		int(binary.LittleEndian.Uint16(s[base+2:]))
+}
+
+// check validates the slotted structure of one page image: directory
+// and free pointers in bounds, every live slot's record inside the
+// page and below the free space. It returns an error wrapping
+// ErrCorrupt.
+func (s slotted) check() error {
+	sc := s.slotCount()
+	dirEnd := headerSize + sc*slotSize
+	fe := s.freeEnd()
+	if dirEnd > pager.PageSize {
+		return fmt.Errorf("%w: slot directory (%d slots) exceeds page", ErrCorrupt, sc)
+	}
+	if fe < dirEnd || fe > pager.PageSize {
+		return fmt.Errorf("%w: free end %d outside [%d,%d]", ErrCorrupt, fe, dirEnd, pager.PageSize)
+	}
+	for i := 0; i < sc; i++ {
+		off, length := s.slot(i)
+		if off == deadOffset {
+			continue
+		}
+		if off < fe || off+length > pager.PageSize {
+			return fmt.Errorf("%w: slot %d record [%d,%d) outside data area [%d,%d)", ErrCorrupt, i, off, off+length, fe, pager.PageSize)
+		}
+	}
+	return nil
+}
+
+// slotRecord bounds-checks slot i and returns its record range,
+// distinguishing dead slots (ErrNotFound) from structurally invalid
+// ones (ErrCorrupt).
+func (s slotted) slotRecord(i int) (offset, length int, err error) {
+	off, length := s.slot(i)
+	if off == deadOffset {
+		return 0, 0, fmt.Errorf("%w: slot %d (deleted)", ErrNotFound, i)
+	}
+	if off < headerSize || off+length > pager.PageSize {
+		return 0, 0, fmt.Errorf("%w: slot %d record [%d,%d) outside page", ErrCorrupt, i, off, off+length)
+	}
+	return off, length, nil
+}
+
 type pageView struct {
 	pg *pager.Page
 }
 
-func (v pageView) slotCount() int { return int(binary.LittleEndian.Uint16(v.pg.Data[offSlotCount:])) }
+func (v pageView) bytes() slotted { return slotted(v.pg.Data[:]) }
+
+func (v pageView) slotCount() int { return v.bytes().slotCount() }
 func (v pageView) setSlotCount(n int) {
 	binary.LittleEndian.PutUint16(v.pg.Data[offSlotCount:], uint16(n))
 }
-func (v pageView) freeEnd() int { return int(binary.LittleEndian.Uint16(v.pg.Data[offFreeEnd:])) }
+func (v pageView) freeEnd() int { return v.bytes().freeEnd() }
 func (v pageView) setFreeEnd(n int) {
 	binary.LittleEndian.PutUint16(v.pg.Data[offFreeEnd:], uint16(n))
 }
-func (v pageView) nextPage() pager.PageID {
-	return pager.PageID(binary.LittleEndian.Uint32(v.pg.Data[offNextPage:]))
-}
+func (v pageView) nextPage() pager.PageID { return v.bytes().nextPage() }
 func (v pageView) setNextPage(id pager.PageID) {
 	binary.LittleEndian.PutUint32(v.pg.Data[offNextPage:], uint32(id))
 }
 
-func (v pageView) slot(i int) (offset, length int) {
-	base := headerSize + i*slotSize
-	return int(binary.LittleEndian.Uint16(v.pg.Data[base:])),
-		int(binary.LittleEndian.Uint16(v.pg.Data[base+2:]))
-}
+func (v pageView) slot(i int) (offset, length int) { return v.bytes().slot(i) }
 
 func (v pageView) setSlot(i, offset, length int) {
 	base := headerSize + i*slotSize
@@ -111,43 +165,13 @@ func (v pageView) init() {
 	v.setNextPage(pager.InvalidPage)
 }
 
-// check validates the slotted structure of one page: directory and
-// free pointers in bounds, every live slot's record inside the page
-// and below the free space. It returns an error wrapping ErrCorrupt.
-func (v pageView) check() error {
-	sc := v.slotCount()
-	dirEnd := headerSize + sc*slotSize
-	fe := v.freeEnd()
-	if dirEnd > pager.PageSize {
-		return fmt.Errorf("%w: slot directory (%d slots) exceeds page", ErrCorrupt, sc)
-	}
-	if fe < dirEnd || fe > pager.PageSize {
-		return fmt.Errorf("%w: free end %d outside [%d,%d]", ErrCorrupt, fe, dirEnd, pager.PageSize)
-	}
-	for i := 0; i < sc; i++ {
-		off, length := v.slot(i)
-		if off == deadOffset {
-			continue
-		}
-		if off < fe || off+length > pager.PageSize {
-			return fmt.Errorf("%w: slot %d record [%d,%d) outside data area [%d,%d)", ErrCorrupt, i, off, off+length, fe, pager.PageSize)
-		}
-	}
-	return nil
-}
+// check validates the slotted structure of one page (see
+// slotted.check).
+func (v pageView) check() error { return v.bytes().check() }
 
-// slotRecord bounds-checks slot i and returns its record range,
-// distinguishing dead slots (ErrNotFound) from structurally invalid
-// ones (ErrCorrupt).
+// slotRecord bounds-checks slot i (see slotted.slotRecord).
 func (v pageView) slotRecord(i int) (offset, length int, err error) {
-	off, length := v.slot(i)
-	if off == deadOffset {
-		return 0, 0, fmt.Errorf("%w: slot %d (deleted)", ErrNotFound, i)
-	}
-	if off < headerSize || off+length > pager.PageSize {
-		return 0, 0, fmt.Errorf("%w: slot %d record [%d,%d) outside page", ErrCorrupt, i, off, off+length)
-	}
-	return off, length, nil
+	return v.bytes().slotRecord(i)
 }
 
 // freeSpace returns the bytes available for one more record plus its
@@ -283,6 +307,58 @@ func (h *Heap) Get(id TupleID) ([]byte, error) {
 	out := make([]byte, length)
 	copy(out, pg.Data[off:off+length])
 	return out, nil
+}
+
+// GetBatch reads the records of many ids, pinning each distinct page
+// once through the pager's zero-copy read path (Pager.Pin: bytes come
+// straight from the mmap when one is active, from the buffer pool
+// otherwise). fn is called exactly once per id — i indexes into ids —
+// in ascending (page, slot) order, which groups all ids of one page
+// under a single pin. rec points into the pinned page image: it is
+// valid only during the call and must not be retained or written
+// through. Any fn error, unknown id, or corrupt slot aborts the batch.
+func (h *Heap) GetBatch(ids []TupleID, fn func(i int, rec []byte) error) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		x, y := ids[order[a]], ids[order[b]]
+		if x.Page != y.Page {
+			return x.Page < y.Page
+		}
+		return x.Slot < y.Slot
+	})
+	for k := 0; k < len(order); {
+		page := ids[order[k]].Page
+		v, err := h.p.Pin(page)
+		if err != nil {
+			return err
+		}
+		s := slotted(v.Data())
+		for ; k < len(order) && ids[order[k]].Page == page; k++ {
+			i := order[k]
+			id := ids[i]
+			if int(id.Slot) >= s.slotCount() {
+				v.Unpin()
+				return fmt.Errorf("%w: %v", ErrNotFound, id)
+			}
+			off, length, err := s.slotRecord(int(id.Slot))
+			if err != nil {
+				v.Unpin()
+				return fmt.Errorf("page %d: %w", id.Page, err)
+			}
+			if err := fn(i, s[off:off+length]); err != nil {
+				v.Unpin()
+				return err
+			}
+		}
+		v.Unpin()
+	}
+	return nil
 }
 
 // Delete removes the record at id. Space within the page is not

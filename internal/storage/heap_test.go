@@ -172,6 +172,95 @@ func TestScanEarlyStop(t *testing.T) {
 	}
 }
 
+func TestGetBatchMatchesGet(t *testing.T) {
+	h := newHeap(t)
+	var ids []TupleID
+	for i := 0; i < 200; i++ {
+		id, err := h.Insert([]byte(fmt.Sprintf("batch-record-%03d-%s", i, bytes.Repeat([]byte("z"), i%50))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Shuffle and duplicate some ids: GetBatch must deliver each request
+	// at its own index regardless of page order or repetition.
+	rng := rand.New(rand.NewSource(5))
+	req := append([]TupleID(nil), ids...)
+	rng.Shuffle(len(req), func(i, j int) { req[i], req[j] = req[j], req[i] })
+	req = append(req, req[0], req[1], req[0])
+
+	got := make([][]byte, len(req))
+	if err := h.GetBatch(req, func(i int, rec []byte) error {
+		got[i] = append([]byte(nil), rec...) // rec only valid during callback
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range req {
+		want, err := h.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("batch index %d (id %v): got %q want %q", i, id, got[i], want)
+		}
+	}
+}
+
+func TestGetBatchEmpty(t *testing.T) {
+	h := newHeap(t)
+	if err := h.GetBatch(nil, func(int, []byte) error {
+		t.Fatal("callback on empty batch")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetBatchDeadSlot(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Insert([]byte("a"))
+	b, _ := h.Insert([]byte("b"))
+	if err := h.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	err := h.GetBatch([]TupleID{b, a}, func(int, []byte) error { return nil })
+	if err == nil {
+		t.Fatal("deleted record readable through GetBatch")
+	}
+}
+
+func TestGetBatchBadSlot(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Insert([]byte("a"))
+	bad := TupleID{Page: a.Page, Slot: a.Slot + 99}
+	err := h.GetBatch([]TupleID{bad}, func(int, []byte) error { return nil })
+	if err == nil {
+		t.Fatal("out-of-range slot readable through GetBatch")
+	}
+}
+
+func TestGetBatchCallbackError(t *testing.T) {
+	h := newHeap(t)
+	var ids []TupleID
+	for i := 0; i < 10; i++ {
+		id, _ := h.Insert([]byte{byte(i)})
+		ids = append(ids, id)
+	}
+	boom := fmt.Errorf("boom")
+	calls := 0
+	err := h.GetBatch(ids, func(i int, _ []byte) error {
+		calls++
+		if calls == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("callback error not propagated: err=%v calls=%d", err, calls)
+	}
+}
+
 func TestTupleIDInt64Roundtrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 1000; i++ {

@@ -67,6 +67,10 @@ type (
 	ColumnType = relation.Type
 	// Result is a PSQL query result.
 	Result = psql.Result
+	// CacheStats reports PSQL statement-cache counters.
+	CacheStats = psql.CacheStats
+	// Prepared is a PSQL statement with a re-bindable window parameter.
+	Prepared = psql.Prepared
 	// PackOptions configures spatial index packing.
 	PackOptions = pack.Options
 	// RTreeParams configures R-tree branching.
@@ -280,9 +284,30 @@ func (db *Database) Location(name string) (geom.Rect, bool) {
 	return r, ok
 }
 
-// Query parses and executes a PSQL mapping.
+// Query parses and executes a PSQL mapping, serving repeated query
+// text through the executor's statement cache.
 func (db *Database) Query(src string) (*Result, error) {
 	return db.exec.Run(src)
+}
+
+// QueryNaive executes a PSQL mapping through the naive reference path:
+// full scans and nested loops, no planner, cache, or batching. Rows
+// are identical to Query's; it exists as the oracle the planned
+// executor is tested against.
+func (db *Database) QueryNaive(src string) (*Result, error) {
+	return db.exec.RunNaive(src)
+}
+
+// Prepare parses a PSQL mapping whose single at-clause area literal
+// becomes a per-execution window parameter — the fast path for
+// repeated point-in-window queries.
+func (db *Database) Prepare(src string) (*psql.Prepared, error) {
+	return db.exec.Prepare(src)
+}
+
+// CacheStats reports the PSQL statement cache's counters.
+func (db *Database) CacheStats() psql.CacheStats {
+	return db.exec.CacheStats()
 }
 
 // SetParallelism caps the worker goroutines the executor uses for
