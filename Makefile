@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench benchcheck faults fuzz psqlbench table1 parbench joinbench clean
+.PHONY: check build test race vet bench benchcheck faults fuzz psqlbench ingestbench table1 parbench joinbench clean
 
 # The gate: everything must vet, build, pass under the race detector
 # (the concurrent read path and parallel PACK are exercised by
@@ -31,8 +31,10 @@ benchcheck:
 	$(GO) test -run xxx -bench 'DiskSearch|DiskQueryBatch|Juxtapos' -benchtime 10x -benchmem .
 	$(GO) test -run xxx -bench 'PSQL' -benchtime 10x -benchmem .
 	$(GO) test -run xxx -bench 'Pin|Fetch' -benchtime 100x -benchmem ./internal/pager/
+	$(GO) test -run xxx -bench 'DeltaMergedSearch|PackedOnlySearch' -benchtime 20x -benchmem ./internal/relation/
 	$(GO) test -run 'ZeroAllocs|PreallocAllocs' ./internal/rtree/
 	$(GO) run ./cmd/psqlbench -iters 20 -json > /dev/null
+	$(GO) run ./cmd/ingestbench -n 5000 -inserts 2000 -deletes 200 -threshold 512 -queries 200 -windows 64 -json > /dev/null
 
 # Durability suite: injected I/O faults, torn writes, crash-point
 # snapshots, checksum and corruption detection, across the pager and
@@ -48,6 +50,12 @@ fuzz:
 # database (JSON with -json; see BENCH_pr5.json).
 psqlbench:
 	$(GO) run ./cmd/psqlbench
+
+# Ingest-vs-read-amplification benchmark: per-tuple Guttman vs the LSM
+# delta path vs stop-the-world repacks, index tier and end-to-end.
+# Records the acceptance numbers in BENCH_pr6.json.
+ingestbench:
+	$(GO) run ./cmd/ingestbench -out BENCH_pr6.json
 
 # Paper reproduction targets.
 table1:

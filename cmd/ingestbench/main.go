@@ -1,0 +1,507 @@
+// Command ingestbench compares write strategies for a spatially
+// indexed relation under a mixed insert/delete load:
+//
+//   - guttman: per-tuple Guttman INSERT/DELETE applied in place to the
+//     packed tree — the paper's dynamic baseline (WriteInPlace).
+//   - lsm: writes appended to the O(1) L0 buffer, drained into the
+//     small delta tree by the background absorber (deletes into the
+//     tombstone set), and merged into the packed tree by background
+//     repacks when the write side crosses its threshold (WriteDelta,
+//     the default policy).
+//   - stw: the same delta path but with stop-the-world repacks forced
+//     synchronously every threshold writes — what the background
+//     repacker would cost if it blocked the writer.
+//
+// After ingest each strategy answers a warm window-query workload on
+// whatever index state the writes left (residual delta included), so
+// the report shows both sides of the trade: insert throughput and
+// read amplification. A freshly packed reference over the same final
+// data ("fresh-pack") anchors the query-latency comparison.
+//
+// Usage:
+//
+//	ingestbench [-n items] [-inserts n] [-deletes n] [-threshold n]
+//	            [-queries n] [-windows n] [-seed s] [-json] [-out file]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/pack"
+	"repro/internal/pager"
+	"repro/internal/picture"
+	"repro/internal/relation"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// strategyResult is one strategy's measurements.
+type strategyResult struct {
+	Strategy      string                  `json:"strategy"`
+	IngestOps     int                     `json:"ingest_ops"`
+	IngestSeconds float64                 `json:"ingest_seconds"`
+	OpsPerSec     float64                 `json:"inserts_per_sec"`
+	Repacks       int                     `json:"repacks"`
+	SettleSeconds float64                 `json:"settle_seconds"`
+	DeltaAtQuery  int                     `json:"delta_items_at_query"`
+	TombsAtQuery  int                     `json:"tombstones_at_query"`
+	Query         workload.LatencySummary `json:"query_latency"`
+	AvgVisited    float64                 `json:"avg_nodes_visited"`
+	RowsLast      int                     `json:"rows_last"`
+}
+
+// indexResult is one strategy's measurement in the index tier: the
+// raw spatial-index write path with heap and catalog costs factored
+// out.
+type indexResult struct {
+	Strategy  string  `json:"strategy"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"inserts_per_sec"`
+	Merges    int     `json:"merges"`
+}
+
+type report struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Items     int    `json:"initial_items"`
+	Inserts   int    `json:"inserts"`
+	Deletes   int    `json:"deletes"`
+	Threshold int    `json:"delta_threshold"`
+	Queries   int    `json:"queries"`
+
+	// IndexTier isolates the index write path (rtree only); Strategies
+	// is the end-to-end relation tier, heap and picture included.
+	IndexTier  []indexResult    `json:"index_tier"`
+	Strategies []strategyResult `json:"relation_tier"`
+
+	// The two acceptance ratios: LSM index-write throughput over the
+	// per-tuple Guttman baseline (index tier, where the strategies
+	// differ), and LSM warm query p50 over the freshly packed
+	// reference (read amplification in wall-clock form).
+	LSMIngestSpeedup  float64 `json:"lsm_ingest_speedup_vs_guttman"`
+	LSMWarmQueryRatio float64 `json:"lsm_warm_query_p50_ratio_vs_fresh"`
+}
+
+type config struct {
+	n, inserts, deletes, threshold, queries, nWindows int
+	seed                                              int64
+	method                                            pack.Method
+}
+
+// runIndexTier measures the bare index write path — no heap, no
+// picture, no tuple encoding — so the strategies' actual difference
+// is visible undiluted. guttman applies every insert and delete to
+// the packed Max=4 quadratic tree per-tuple; lsm mirrors the real
+// SpatialIndex write path: the writer appends to an L0 buffer (plus a
+// tombstone set for deletes), a background absorber drains the buffer
+// into a small linear delta tree in batches, and a background merge
+// folds everything into a fresh pack each time the write side crosses
+// the threshold (the writer never blocks on a merge); stw runs the
+// same merges inline on the writer.
+func runIndexTier(cfg config) []indexResult {
+	params := rtree.DefaultParams()
+	deltaParams := rtree.Params{Max: 32, Min: 8, Split: rtree.SplitLinear}
+	base := workload.PointItems(workload.UniformPoints(cfg.n, cfg.seed))
+	ins := workload.UniformPoints(cfg.inserts, cfg.seed+100)
+	opts := pack.Options{Method: cfg.method}
+	mergeOpts := opts
+	mergeOpts.TrimToMultiple = false
+	deleteEvery := 0
+	if cfg.deletes > 0 {
+		deleteEvery = cfg.inserts / cfg.deletes
+	}
+
+	guttman := func() indexResult {
+		tree := pack.Tree(params, base, opts)
+		ops, del := 0, 0
+		start := time.Now()
+		for i, pt := range ins {
+			tree.Insert(geom.R(pt.X, pt.Y, pt.X, pt.Y), int64(cfg.n+i))
+			ops++
+			if deleteEvery > 0 && i%deleteEvery == deleteEvery-1 && del < len(base) {
+				tree.Delete(base[del].Rect, base[del].Data)
+				del++
+				ops++
+			}
+		}
+		sec := time.Since(start).Seconds()
+		return indexResult{Strategy: "guttman", Ops: ops, Seconds: sec, OpsPerSec: float64(ops) / sec}
+	}
+
+	delta := func(name string, inline bool) indexResult {
+		packed := pack.Tree(params, base, opts)
+		var mu sync.Mutex
+		dt := rtree.New(deltaParams)
+		var l0 []rtree.Item
+		tombs := map[int64]struct{}{}
+		merges := 0
+		var pending chan *rtree.Tree
+		merge := func(from *rtree.Tree, frozen []rtree.Item, ts map[int64]struct{}) *rtree.Tree {
+			items := make([]rtree.Item, 0, from.Len()+len(frozen))
+			for _, it := range from.Items() {
+				if _, dead := ts[it.Data]; !dead {
+					items = append(items, it)
+				}
+			}
+			items = append(items, frozen...)
+			return pack.Tree(params, items, mergeOpts)
+		}
+		// Background absorber: drain L0 into the delta tree in short
+		// batches under the lock, exactly like the real index.
+		absorbing := false
+		var wg sync.WaitGroup
+		absorb := func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				n := len(l0)
+				if n == 0 {
+					absorbing = false
+					mu.Unlock()
+					return
+				}
+				if n > 128 {
+					n = 128
+				}
+				for _, it := range l0[:n] {
+					dt.Insert(it.Rect, it.Data)
+				}
+				l0 = l0[n:]
+				mu.Unlock()
+			}
+		}
+		ops, del := 0, 0
+		start := time.Now()
+		for i, pt := range ins {
+			mu.Lock()
+			l0 = append(l0, rtree.Item{Rect: geom.R(pt.X, pt.Y, pt.X, pt.Y), Data: int64(cfg.n + i)})
+			ops++
+			if deleteEvery > 0 && i%deleteEvery == deleteEvery-1 && del < len(base) {
+				tombs[base[del].Data] = struct{}{}
+				del++
+				ops++
+			}
+			trigger := !absorbing && len(l0) >= 512
+			if trigger {
+				absorbing = true
+			}
+			if pending != nil {
+				// Adopt a finished background merge without blocking:
+				// like the real index, the writer never waits — the
+				// write side keeps absorbing while a repack is in
+				// flight.
+				select {
+				case packed = <-pending:
+					pending = nil
+				default:
+				}
+			}
+			if pending == nil && dt.Len()+len(l0)+len(tombs) >= cfg.threshold {
+				frozen := append(dt.Items(), l0...)
+				ts := tombs
+				dt = rtree.New(deltaParams)
+				l0 = nil
+				tombs = map[int64]struct{}{}
+				merges++
+				if inline {
+					packed = merge(packed, frozen, ts)
+				} else {
+					from := packed
+					ch := make(chan *rtree.Tree, 1)
+					go func() { ch <- merge(from, frozen, ts) }()
+					pending = ch
+				}
+			}
+			mu.Unlock()
+			if trigger {
+				wg.Add(1)
+				go absorb()
+			}
+		}
+		sec := time.Since(start).Seconds()
+		wg.Wait()
+		if pending != nil {
+			packed = <-pending
+		}
+		_ = packed
+		return indexResult{Strategy: name, Ops: ops, Seconds: sec, OpsPerSec: float64(ops) / sec, Merges: merges}
+	}
+
+	return []indexResult{guttman(), delta("lsm", false), delta("stw", true)}
+}
+
+// buildFixture creates a cities relation over n uniform points with a
+// packed spatial index, the common starting state for every strategy.
+func buildFixture(cfg config) (*pager.Pager, *relation.Relation, *picture.Picture, error) {
+	p := pager.OpenMem(4096)
+	rel, err := relation.New(p, "cities", relation.MustSchema("name:string", "loc:loc"))
+	if err != nil {
+		p.Close()
+		return nil, nil, nil, err
+	}
+	pic := picture.New("map", geom.R(0, 0, 1000, 1000))
+	for i, pt := range workload.UniformPoints(cfg.n, cfg.seed) {
+		oid := pic.AddPoint(fmt.Sprintf("c%d", i), pt)
+		if _, err := rel.Insert(relation.Tuple{relation.S(fmt.Sprintf("c%d", i)), relation.L("map", oid)}); err != nil {
+			p.Close()
+			return nil, nil, nil, err
+		}
+	}
+	if err := rel.AttachPicture(pic, pack.Options{Method: cfg.method}); err != nil {
+		p.Close()
+		return nil, nil, nil, err
+	}
+	return p, rel, pic, nil
+}
+
+// ingest drives the mixed insert/delete load. Every deleteEvery-th op
+// is a delete of the oldest surviving tuple; for the stw strategy a
+// stop-the-world repack runs synchronously every threshold ops.
+func ingest(rel *relation.Relation, pic *picture.Picture, cfg config, stw bool) (int, float64, error) {
+	si := rel.Spatial("map")
+	var ids []storage.TupleID
+	if err := rel.Scan(func(id storage.TupleID, _ relation.Tuple) bool {
+		ids = append(ids, id)
+		return true
+	}); err != nil {
+		return 0, 0, err
+	}
+	deleteEvery := 0
+	if cfg.deletes > 0 {
+		deleteEvery = cfg.inserts / cfg.deletes
+	}
+	pts := workload.UniformPoints(cfg.inserts, cfg.seed+100)
+	ops := 0
+	start := time.Now()
+	for i, pt := range pts {
+		oid := pic.AddPoint(fmt.Sprintf("n%d", i), pt)
+		id, err := rel.Insert(relation.Tuple{relation.S(fmt.Sprintf("n%d", i)), relation.L("map", oid)})
+		if err != nil {
+			return 0, 0, err
+		}
+		ids = append(ids, id)
+		ops++
+		if deleteEvery > 0 && i%deleteEvery == deleteEvery-1 && len(ids) > 0 {
+			if err := rel.Delete(ids[0]); err != nil {
+				return 0, 0, err
+			}
+			ids = ids[1:]
+			ops++
+		}
+		if stw && ops%cfg.threshold == 0 {
+			si.RepackNow(true)
+		}
+	}
+	return ops, time.Since(start).Seconds(), nil
+}
+
+// queryPhase runs the warm window workload against the index as the
+// ingest left it, returning per-op latency and mean visited nodes.
+func queryPhase(rel *relation.Relation, cfg config) (workload.LatencySummary, float64, int, error) {
+	windows := workload.QueryWindows(cfg.nWindows, 25, cfg.seed+1)
+	always := func(obj, win geom.Rect) bool { return true }
+	samples := make([]time.Duration, 0, cfg.queries)
+	totalVisited := 0
+	rows := 0
+	// Collect ingest-phase garbage now so GC pauses don't land inside
+	// the timed loop, then warm page and allocator caches untimed.
+	runtime.GC()
+	for i := 0; i < len(windows) && i < 64; i++ {
+		if _, _, err := rel.SearchArea("map", windows[i], always); err != nil {
+			return workload.LatencySummary{}, 0, 0, err
+		}
+	}
+	for i := 0; i < cfg.queries; i++ {
+		w := windows[i%len(windows)]
+		t0 := time.Now()
+		ids, visited, err := rel.SearchArea("map", w, always)
+		if err != nil {
+			return workload.LatencySummary{}, 0, 0, err
+		}
+		samples = append(samples, time.Since(t0))
+		totalVisited += visited
+		rows = len(ids)
+	}
+	return workload.Summarize(samples), float64(totalVisited) / float64(cfg.queries), rows, nil
+}
+
+// runStrategy executes one full build-ingest-query cycle. When fresh
+// is true the index is collapsed to a freshly packed tree before the
+// query phase — the read-side reference the LSM state is compared to.
+func runStrategy(name string, cfg config, fresh bool) (strategyResult, error) {
+	p, rel, pic, err := buildFixture(cfg)
+	if err != nil {
+		return strategyResult{}, err
+	}
+	defer p.Close()
+	si := rel.Spatial("map")
+	si.SetDeltaThreshold(cfg.threshold)
+	stw := false
+	switch name {
+	case "guttman":
+		rel.SetSpatialWritePolicy(relation.WriteInPlace)
+	case "lsm", "fresh-pack":
+		// Default WriteDelta with background repacks.
+	case "stw":
+		si.SetAutoRepack(false)
+		stw = true
+	}
+
+	ops, ingestSec, err := ingest(rel, pic, cfg, stw)
+	if err != nil {
+		return strategyResult{}, err
+	}
+	settleStart := time.Now()
+	si.WaitAbsorb()
+	si.WaitRepack()
+	settle := time.Since(settleStart).Seconds()
+	if fresh {
+		// Collapse delta and tombstones: the query phase below sees a
+		// freshly packed tree over the same final data.
+		si.RepackNow(true)
+	}
+
+	lat, avgVisited, rows, err := queryPhase(rel, cfg)
+	if err != nil {
+		return strategyResult{}, err
+	}
+	return strategyResult{
+		Strategy:      name,
+		IngestOps:     ops,
+		IngestSeconds: ingestSec,
+		OpsPerSec:     float64(ops) / ingestSec,
+		Repacks:       si.Repacks(),
+		SettleSeconds: settle,
+		DeltaAtQuery:  si.DeltaLen(),
+		TombsAtQuery:  si.TombstoneCount(),
+		Query:         lat,
+		AvgVisited:    avgVisited,
+		RowsLast:      rows,
+	}, nil
+}
+
+func main() {
+	n := flag.Int("n", 100000, "initial packed items")
+	inserts := flag.Int("inserts", 20000, "tuples inserted during ingest")
+	deletes := flag.Int("deletes", 2000, "tuples deleted during ingest")
+	threshold := flag.Int("threshold", 4096, "delta size that triggers a repack")
+	queries := flag.Int("queries", 2000, "warm window queries per strategy")
+	nWindows := flag.Int("windows", 256, "distinct query windows")
+	seed := flag.Int64("seed", 1985, "workload seed")
+	method := flag.String("method", "str", "packing method for build and repack: str, hilbert, lowx, nn")
+	jsonOut := flag.Bool("json", false, "emit the JSON report on stdout instead of the table")
+	out := flag.String("out", "", "also write the JSON report to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingestbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ingestbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+
+	methods := map[string]pack.Method{
+		"str": pack.MethodSTR, "hilbert": pack.MethodHilbert,
+		"lowx": pack.MethodLowX, "nn": pack.MethodNN,
+	}
+	m, ok := methods[*method]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ingestbench: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	cfg := config{
+		n: *n, inserts: *inserts, deletes: *deletes, threshold: *threshold,
+		queries: *queries, nWindows: *nWindows, seed: *seed, method: m,
+	}
+	rep := report{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Items: cfg.n, Inserts: cfg.inserts, Deletes: cfg.deletes,
+		Threshold: cfg.threshold, Queries: cfg.queries,
+	}
+
+	rep.IndexTier = runIndexTier(cfg)
+	byIdx := map[string]indexResult{}
+	for _, r := range rep.IndexTier {
+		byIdx[r.Strategy] = r
+	}
+	if g, l := byIdx["guttman"], byIdx["lsm"]; g.OpsPerSec > 0 {
+		rep.LSMIngestSpeedup = l.OpsPerSec / g.OpsPerSec
+	}
+
+	byName := map[string]strategyResult{}
+	for _, s := range []struct {
+		name  string
+		fresh bool
+	}{
+		{"guttman", false},
+		{"lsm", false},
+		{"stw", false},
+		{"fresh-pack", true},
+	} {
+		r, err := runStrategy(s.name, cfg, s.fresh)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingestbench: %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		rep.Strategies = append(rep.Strategies, r)
+		byName[s.name] = r
+	}
+	if f, l := byName["fresh-pack"], byName["lsm"]; f.Query.P50 > 0 {
+		rep.LSMWarmQueryRatio = float64(l.Query.P50) / float64(f.Query.P50)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingestbench: -out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "ingestbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("Ingest: %d packed items + %d inserts / %d deletes, threshold %d, %d warm queries\n\n",
+		cfg.n, cfg.inserts, cfg.deletes, cfg.threshold, cfg.queries)
+	fmt.Printf("index tier (rtree write path only):\n")
+	fmt.Printf("%-10s %12s %8s\n", "strategy", "inserts/sec", "merges")
+	for _, r := range rep.IndexTier {
+		fmt.Printf("%-10s %12.0f %8d\n", r.Strategy, r.OpsPerSec, r.Merges)
+	}
+	fmt.Printf("\nrelation tier (end to end):\n")
+	fmt.Printf("%-10s %12s %8s %10s %10s %10s %10s %8s %8s\n",
+		"strategy", "inserts/sec", "repacks", "p50", "p95", "p99", "visited", "delta", "tombs")
+	for _, r := range rep.Strategies {
+		fmt.Printf("%-10s %12.0f %8d %10s %10s %10s %10.1f %8d %8d\n",
+			r.Strategy, r.OpsPerSec, r.Repacks, r.Query.P50, r.Query.P95, r.Query.P99,
+			r.AvgVisited, r.DeltaAtQuery, r.TombsAtQuery)
+	}
+	fmt.Printf("\nlsm ingest speedup vs guttman: %.2fx\n", rep.LSMIngestSpeedup)
+	fmt.Printf("lsm warm query p50 vs fresh pack: %.2fx\n", rep.LSMWarmQueryRatio)
+}

@@ -7,9 +7,16 @@
 // prepared path, so the report shows what planning, caching, and
 // batched materialization each buy.
 //
+// With -latency the throughput table is replaced by a concurrent-load
+// latency run: -clients goroutines issue the same queries through the
+// planned executor and the per-operation p50/p95/p99 percentiles are
+// reported per query, the tail-latency view the LSM write path is
+// tuned against.
+//
 // Usage:
 //
 //	psqlbench [-iters n] [-windows n] [-seed s] [-json]
+//	          [-latency] [-clients n]
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	pictdb "repro"
@@ -68,11 +76,93 @@ func measure(name, mode string, iters int, run func() (*pictdb.Result, error)) (
 	}, nil
 }
 
+// latencyResult is one row of the -latency report: percentile latency
+// for a query under concurrent client load.
+type latencyResult struct {
+	Name    string                  `json:"name"`
+	Clients int                     `json:"clients"`
+	QPS     float64                 `json:"queries_per_sec"`
+	Latency workload.LatencySummary `json:"latency"`
+}
+
+// runLatencyMode drives nclients goroutines through the planned
+// executor, each issuing its share of iters executions of one query,
+// and summarizes the merged per-operation latencies.
+func runLatencyMode(db *pictdb.Database, queries []struct{ name, text string }, texts []string, nclients, iters int, jsonOut bool) {
+	var out []latencyResult
+	run := func(name string, op func(i int) error) {
+		perClient := iters / nclients
+		if perClient == 0 {
+			perClient = 1
+		}
+		samples := make([][]time.Duration, nclients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < nclients; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := make([]time.Duration, 0, perClient)
+				for i := 0; i < perClient; i++ {
+					t0 := time.Now()
+					if err := op(c*perClient + i); err != nil {
+						fmt.Fprintf(os.Stderr, "psqlbench: %s: %v\n", name, err)
+						os.Exit(1)
+					}
+					local = append(local, time.Since(t0))
+				}
+				samples[c] = local
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		var all []time.Duration
+		for _, s := range samples {
+			all = append(all, s...)
+		}
+		out = append(out, latencyResult{
+			Name:    name,
+			Clients: nclients,
+			QPS:     float64(len(all)) / elapsed.Seconds(),
+			Latency: workload.Summarize(all),
+		})
+	}
+
+	for _, q := range queries {
+		q := q
+		// Warm the statement cache before measuring.
+		if _, err := db.Query(q.text); err != nil {
+			fmt.Fprintf(os.Stderr, "psqlbench: %s: %v\n", q.name, err)
+			os.Exit(1)
+		}
+		run(q.name, func(int) error { _, err := db.Query(q.text); return err })
+	}
+	run("repeatedWindow", func(i int) error { _, err := db.Query(texts[i%len(texts)]); return err })
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "psqlbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%-16s %8s %12s %10s %10s %10s %10s\n", "query", "clients", "queries/sec", "p50", "p95", "p99", "max")
+	for _, r := range out {
+		fmt.Printf("%-16s %8d %12.0f %10s %10s %10s %10s\n",
+			r.Name, r.Clients, r.QPS, r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+	}
+}
+
 func main() {
 	iters := flag.Int("iters", 2000, "executions per query and mode")
 	nwindows := flag.Int("windows", 64, "distinct windows in the repeated point-in-window cycle")
 	seed := flag.Int64("seed", 1985, "window placement seed")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the formatted table")
+	latency := flag.Bool("latency", false, "measure p50/p95/p99 latency under concurrent client load instead of throughput")
+	clients := flag.Int("clients", 4, "concurrent clients in -latency mode")
 	flag.Parse()
 
 	db, err := pictdb.BuildUSDatabase()
@@ -96,6 +186,25 @@ func main() {
 			at states.loc overlapping eastern-us`},
 	}
 
+	// Repeated point-in-window: the same mapping over a moving window.
+	const tmpl = `
+		select city, state, loc from cities on us-map
+		at loc covered-by {%g±%g, %g±%g} where population > 450_000`
+	type win struct{ cx, dx, cy, dy float64 }
+	var wins []win
+	var texts []string
+	for _, w := range workload.QueryWindows(*nwindows, 180, *seed) {
+		c := w.Center()
+		v := win{c.X, (w.Max.X - w.Min.X) / 2, c.Y, (w.Max.Y - w.Min.Y) / 2}
+		wins = append(wins, v)
+		texts = append(texts, fmt.Sprintf(tmpl, v.cx, v.dx, v.cy, v.dy))
+	}
+
+	if *latency {
+		runLatencyMode(db, queries, texts, *clients, *iters, *jsonOut)
+		return
+	}
+
 	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Iters: *iters}
 	add := func(r result, err error) {
 		if err != nil {
@@ -111,19 +220,6 @@ func main() {
 		add(measure(q.name, "cached", *iters, func() (*pictdb.Result, error) { return db.Query(q.text) }))
 	}
 
-	// Repeated point-in-window: the same mapping over a moving window.
-	const tmpl = `
-		select city, state, loc from cities on us-map
-		at loc covered-by {%g±%g, %g±%g} where population > 450_000`
-	type win struct{ cx, dx, cy, dy float64 }
-	var wins []win
-	var texts []string
-	for _, w := range workload.QueryWindows(*nwindows, 180, *seed) {
-		c := w.Center()
-		v := win{c.X, (w.Max.X - w.Min.X) / 2, c.Y, (w.Max.Y - w.Min.Y) / 2}
-		wins = append(wins, v)
-		texts = append(texts, fmt.Sprintf(tmpl, v.cx, v.dx, v.cy, v.dy))
-	}
 	var i int
 	add(measure("repeatedWindow", "naive", *iters, func() (*pictdb.Result, error) {
 		i++

@@ -8,6 +8,7 @@
 //	rtreebench [-queries n] [-seed s] [-split linear|quadratic|exhaustive]
 //	           [-method nn|lowx|str|hilbert|rotate] [-trim] [-js 10,25,...]
 //	           [-json] [-parbench] [-n items] [-windows n] [-workers 1,2,4,8]
+//	           [-latency] [-clients n]
 //
 // With -trim (the paper's "multiple of four" assumption) the PACK N
 // and D columns reproduce Table 1 exactly. -json switches either mode
@@ -26,6 +27,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
@@ -49,6 +51,8 @@ func main() {
 	parWindows := flag.Int("windows", 256, "parbench: windows per query batch")
 	workers := flag.String("workers", "1,2,4,8", "parbench/joinbench: comma-separated worker counts")
 	joinbench := flag.Bool("joinbench", false, "run the parallel juxtaposition scaling benchmark")
+	latency := flag.Bool("latency", false, "run the concurrent-load window-query latency benchmark (p50/p95/p99)")
+	clients := flag.Int("clients", 4, "concurrent clients in -latency mode")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -111,6 +115,11 @@ func main() {
 	stopCPU := startCPUProfile(*cpuprofile)
 	defer stopCPU()
 	defer writeHeapProfile(*memprofile)
+
+	if *latency {
+		runLatencyBench(cfg.PackMethod, *parN, *queries, *seed, *clients, *jsonOut)
+		return
+	}
 
 	if *parbench || *joinbench {
 		counts, err := parseInts(*workers)
@@ -197,6 +206,69 @@ func writeHeapProfile(path string) {
 		fmt.Fprintf(os.Stderr, "rtreebench: -memprofile: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// latencyRow is the -latency report: per-operation window-query
+// percentiles on a packed tree under concurrent client load.
+type latencyRow struct {
+	Clients int                     `json:"clients"`
+	Items   int                     `json:"items"`
+	QPS     float64                 `json:"queries_per_sec"`
+	Latency workload.LatencySummary `json:"latency"`
+}
+
+// runLatencyBench packs n uniform points and has nclients goroutines
+// issue single-window queries concurrently (queries per client),
+// reporting merged p50/p95/p99 per-operation latency — the read-side
+// tail the two-tree write path must not disturb.
+func runLatencyBench(m pack.Method, n, queries int, seed int64, nclients int, jsonOut bool) {
+	params := rtree.Params{Max: 16, Min: 8}
+	tree := pack.Tree(params, workload.PointItems(workload.UniformPoints(n, seed)), pack.Options{Method: m})
+	windows := workload.QueryWindows(1024, 25, seed+1)
+
+	samples := make([][]time.Duration, nclients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < nclients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, queries)
+			for i := 0; i < queries; i++ {
+				w := windows[(c*queries+i)%len(windows)]
+				t0 := time.Now()
+				tree.Query(w)
+				local = append(local, time.Since(t0))
+			}
+			samples[c] = local
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []time.Duration
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	row := latencyRow{
+		Clients: nclients,
+		Items:   n,
+		QPS:     float64(len(all)) / elapsed.Seconds(),
+		Latency: workload.Summarize(all),
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(row); err != nil {
+			fmt.Fprintf(os.Stderr, "rtreebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("Concurrent window-query latency: PACK(%s), %d items, %d clients x %d queries\n\n", m, n, nclients, queries)
+	fmt.Printf("  queries/sec %10.0f\n  p50  %v\n  p95  %v\n  p99  %v\n  max  %v\n",
+		row.QPS, row.Latency.P50, row.Latency.P95, row.Latency.P99, row.Latency.Max)
 }
 
 // parseInts parses a comma-separated list of positive ints.

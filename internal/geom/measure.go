@@ -26,21 +26,33 @@ func CoverageArea(rects []Rect) float64 {
 }
 
 // OverlapPairwise returns the sum over all unordered pairs of rects of
-// their intersection area — the paper's O as reported in Table 1.
+// their intersection area — the paper's O as reported in Table 1. The
+// rectangles are swept in ascending Min.X so only pairs whose
+// x-extents overlap are examined: near-linear on packed trees whose
+// leaves barely overlap, O(n^2) only when most pairs truly intersect.
 func OverlapPairwise(rects []Rect) float64 {
+	sorted := make([]Rect, 0, len(rects))
+	for _, r := range rects {
+		if !r.IsEmpty() {
+			sorted = append(sorted, r)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Min.X < sorted[j].Min.X })
 	sum := 0.0
-	for i := 0; i < len(rects); i++ {
-		for j := i + 1; j < len(rects); j++ {
-			sum += rects[i].Intersection(rects[j]).Area()
+	for i, ri := range sorted {
+		for _, rj := range sorted[i+1:] {
+			if rj.Min.X > ri.Max.X {
+				break
+			}
+			sum += ri.Intersection(rj).Area()
 		}
 	}
 	return sum
 }
 
-// UnionArea returns the exact area of the union of rects, computed by
-// coordinate compression: O(n^2) cells over the n distinct x and y
-// boundaries, each tested against every rectangle. Suitable for the
-// node counts arising in the paper's experiments (hundreds of leaves).
+// UnionArea returns the exact area of the union of rects — the
+// coordinate-compression reading used as the reference in tests
+// (UnionAreaSweep is the production path via DeadSpace).
 func UnionArea(rects []Rect) float64 {
 	return measureAtLeast(rects, 1)
 }
@@ -60,56 +72,98 @@ func DeadSpace(rects []Rect) float64 {
 }
 
 // measureAtLeast returns the area of the region covered by at least k
-// of rects.
+// of rects, by a plane sweep over x: between adjacent x boundaries the
+// covered-y length is measured from two sorted arrays of the active
+// rectangles' y boundaries, maintained incrementally as rectangles
+// enter and leave the sweep. No per-slab sorting happens, so the cost
+// is O(n x active) — near-linear for tiled packings, where few leaves
+// are active at any x.
 func measureAtLeast(rects []Rect, k int) float64 {
-	var xs, ys []float64
-	nonEmpty := rects[:0:0]
+	var evs []xEvent
+	n := 0
 	for _, r := range rects {
 		if r.IsEmpty() || r.Area() == 0 {
 			// Zero-area rectangles contribute nothing to any measure.
 			continue
 		}
-		nonEmpty = append(nonEmpty, r)
-		xs = append(xs, r.Min.X, r.Max.X)
-		ys = append(ys, r.Min.Y, r.Max.Y)
+		n++
+		evs = append(evs,
+			xEvent{x: r.Min.X, d: 1, yLo: r.Min.Y, yHi: r.Max.Y},
+			xEvent{x: r.Max.X, d: -1, yLo: r.Min.Y, yHi: r.Max.Y})
 	}
-	if len(nonEmpty) < k {
+	if n < k {
 		return 0
 	}
-	xs = dedupSorted(xs)
-	ys = dedupSorted(ys)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].x < evs[j].x })
+	var startsY, endsY []float64
 	total := 0.0
-	for i := 0; i+1 < len(xs); i++ {
-		cx := (xs[i] + xs[i+1]) / 2
-		w := xs[i+1] - xs[i]
-		// Collect the y-intervals of rectangles spanning this x-slab,
-		// then scan the compressed y cells once per slab.
-		var active []Rect
-		for _, r := range nonEmpty {
-			if r.Min.X <= cx && cx <= r.Max.X {
-				active = append(active, r)
-			}
+	prevX := evs[0].x
+	for i := 0; i < len(evs); {
+		x := evs[i].x
+		if x > prevX && len(startsY) >= k {
+			total += (x - prevX) * coveredLength(startsY, endsY, k)
 		}
-		if len(active) < k {
-			continue
-		}
-		for j := 0; j+1 < len(ys); j++ {
-			cy := (ys[j] + ys[j+1]) / 2
-			n := 0
-			for _, r := range active {
-				if r.Min.Y <= cy && cy <= r.Max.Y {
-					n++
-					if n >= k {
-						break
-					}
-				}
+		for i < len(evs) && evs[i].x == x {
+			e := evs[i]
+			if e.d > 0 {
+				startsY = insertSorted(startsY, e.yLo)
+				endsY = insertSorted(endsY, e.yHi)
+			} else {
+				startsY = removeSorted(startsY, e.yLo)
+				endsY = removeSorted(endsY, e.yHi)
 			}
-			if n >= k {
-				total += w * (ys[j+1] - ys[j])
-			}
+			i++
 		}
+		prevX = x
 	}
 	return total
+}
+
+// xEvent is a sweep boundary: at coordinate x a rectangle with
+// y-extent [yLo, yHi] enters (d=+1) or leaves (d=-1) the active set.
+type xEvent struct {
+	x, yLo, yHi float64
+	d           int
+}
+
+// insertSorted inserts v into ascending-sorted vs.
+func insertSorted(vs []float64, v float64) []float64 {
+	i := sort.SearchFloat64s(vs, v)
+	vs = append(vs, 0)
+	copy(vs[i+1:], vs[i:])
+	vs[i] = v
+	return vs
+}
+
+// removeSorted removes one instance of v from ascending-sorted vs.
+func removeSorted(vs []float64, v float64) []float64 {
+	i := sort.SearchFloat64s(vs, v)
+	return append(vs[:i], vs[i+1:]...)
+}
+
+// coveredLength returns the total y-length covered by at least k of
+// the active intervals, given their start and end coordinates each in
+// ascending order (both arrays have equal length).
+func coveredLength(startsY, endsY []float64, k int) float64 {
+	depth, i, j := 0, 0, 0
+	length, prev := 0.0, 0.0
+	for i < len(startsY) || j < len(endsY) {
+		var y float64
+		var d int
+		if i < len(startsY) && startsY[i] <= endsY[j] {
+			y, d = startsY[i], 1
+			i++
+		} else {
+			y, d = endsY[j], -1
+			j++
+		}
+		if depth >= k {
+			length += y - prev
+		}
+		depth += d
+		prev = y
+	}
+	return length
 }
 
 func dedupSorted(v []float64) []float64 {

@@ -10,7 +10,6 @@ import (
 	"repro/internal/geom"
 	"repro/internal/picture"
 	"repro/internal/relation"
-	"repro/internal/rtree"
 	"repro/internal/storage"
 )
 
@@ -559,7 +558,7 @@ func (st *execState) planWindowSearch(bi int, op SpatialOp, windows []geom.Rect)
 	if si == nil {
 		return nil, fmt.Errorf("psql: relation %q is not spatially indexed on picture %q", b.name, b.picture)
 	}
-	costDirect := directSearchCost(si, windows, op)
+	costDirect := directSearchCost(si.CostSnapshot(), windows, op)
 	if ic, ok := st.bestIndexedConjunct(); ok {
 		costIdx := btreeCost(b.rel.Len(), ic.sel)
 		if costIdx < btreeHysteresis*costDirect {
@@ -790,15 +789,20 @@ func (st *execState) directSearch(bi int, op SpatialOp, windows []geom.Rect) ([]
 	pred := spatialPred(op)
 	var out []storage.TupleID
 	if op == OpDisjoined {
-		// Disjointness cannot be pruned by intersection: scan all
-		// leaf entries per window.
+		// Disjointness cannot be pruned by intersection: enumerate all
+		// live leaf entries (merged across packed and delta trees) and
+		// test every window.
+		items, visited, err := b.rel.SpatialItems(b.picture)
+		if err != nil {
+			return nil, err
+		}
+		st.visited += visited
 		for _, w := range windows {
-			st.visited += si.Tree.Search(si.Tree.Bounds(), func(it rtree.Item) bool {
+			for _, it := range items {
 				if pred(it.Rect, w) {
 					out = append(out, storage.TupleIDFromInt64(it.Data))
 				}
-				return true
-			})
+			}
 		}
 	} else {
 		// Batched direct search: all windows answered through the
@@ -839,24 +843,36 @@ func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
 	var pairs []pair
 	if op == OpDisjoined {
 		// Nested loop: disjoint pairs are exactly what tree pruning
-		// eliminates.
+		// eliminates. Enumeration merges packed and delta trees.
 		st.note("juxtaposition: nested loop of %q and %q (%s admits no pruning)",
 			a.name, b.name, op)
-		for _, ia := range sa.Tree.Items() {
-			for _, ib := range sb.Tree.Items() {
+		itemsA, va, err := a.rel.SpatialItems(a.picture)
+		if err != nil {
+			return nil, err
+		}
+		itemsB, vb, err := b.rel.SpatialItems(b.picture)
+		if err != nil {
+			return nil, err
+		}
+		for _, ia := range itemsA {
+			for _, ib := range itemsB {
 				if pred(ia.Rect, ib.Rect) {
 					pairs = append(pairs, pair{storage.TupleIDFromInt64(ia.Data), storage.TupleIDFromInt64(ib.Data)})
 				}
 			}
 		}
-		st.visited += sa.Tree.NodeCount() + sb.Tree.NodeCount()
+		st.visited += va + vb
 	} else {
 		// Parallel simultaneous traversal; visit count is
 		// worker-count-independent and pairs are canonically sorted
 		// below, so the result rows stay deterministic across worker
-		// budgets and driving-side choices.
+		// budgets and driving-side choices. The driving side is the
+		// bigger index by live node count (packed plus delta).
+		na, nb := sa.CostSnapshot(), sb.CostSnapshot()
+		nodesA := na.Stats.Nodes + na.DeltaNodes
+		nodesB := nb.Stats.Nodes + nb.DeltaNodes
 		drive := a.name
-		if sb.Stats.Nodes > sa.Stats.Nodes {
+		if nodesB > nodesA {
 			drive = b.name
 			jp, visited, err := b.rel.JuxtaposeSpatial(b.picture, a.rel, a.picture,
 				func(y, x geom.Rect) bool { return pred(x, y) }, st.e.parallelism())
@@ -881,7 +897,7 @@ func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
 			}
 		}
 		st.note("juxtaposition: simultaneous R-tree traversal of %q and %q (%s), driving %q (%d vs %d nodes)",
-			a.name, b.name, op, drive, sa.Stats.Nodes, sb.Stats.Nodes)
+			a.name, b.name, op, drive, nodesA, nodesB)
 	}
 	// Canonical row order: ascending by binding 0's id, then binding
 	// 1's — independent of traversal order and driving side.

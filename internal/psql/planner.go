@@ -26,14 +26,19 @@ import (
 const btreeHysteresis = 0.5
 
 // directSearchCost estimates the page touches of answering the windows
-// through si: expected nodes visited plus expected qualifying-tuple
-// fetches.
-func directSearchCost(si *relation.SpatialIndex, windows []geom.Rect, op SpatialOp) float64 {
-	s := si.Stats
-	if s.Items == 0 {
+// through the index described by snap: expected nodes visited plus
+// expected qualifying-tuple fetches. The snapshot's live write-side
+// counters keep the estimate honest after inserts and deletes: under
+// WriteDelta the delta trees add their own visit and fetch terms, and
+// under WriteInPlace the pending-write counters scale the stale packed
+// stats (more entries, more nodes, worse overlap — drift degrades the
+// packing Table 1 measures).
+func directSearchCost(snap relation.CostSnapshot, windows []geom.Rect, op SpatialOp) float64 {
+	s := snap.Stats
+	if s.Items == 0 && snap.DeltaItems == 0 && snap.PendingInserts == 0 {
 		return 1
 	}
-	bounds := si.Tree.Bounds()
+	bounds := snap.Bounds
 	boundsArea := bounds.Area()
 	if boundsArea <= 0 {
 		boundsArea = 1
@@ -46,6 +51,27 @@ func directSearchCost(si *relation.SpatialIndex, windows []geom.Rect, op Spatial
 	if s.Coverage > 0 {
 		overlapPenalty += s.Overlap / s.Coverage
 	}
+	items, nodes := float64(s.Items), float64(s.Nodes)
+	if snap.InPlace && s.Items > 0 {
+		// The packed tree was mutated in place since the last pack:
+		// Stats are stale. Scale the population by the net pending
+		// writes, grow the node count proportionally, and degrade the
+		// overlap penalty by the churn fraction — per-tuple Guttman
+		// inserts erode coverage/overlap roughly in proportion to the
+		// writes applied (Table 1's INSERT rows).
+		churn := float64(snap.PendingInserts+snap.PendingDeletes) / float64(s.Items)
+		items += float64(snap.PendingInserts - snap.PendingDeletes)
+		if items < 1 {
+			items = 1
+		}
+		nodes *= items / float64(s.Items)
+		if nodes < 1 {
+			nodes = 1
+		}
+		overlapPenalty *= 1 + churn
+	}
+	deltaItems := float64(snap.DeltaItems)
+	deltaNodes := float64(snap.DeltaNodes)
 	total := 0.0
 	for _, w := range windows {
 		// A node is visited when its MBR intersects the window: the
@@ -57,10 +83,14 @@ func directSearchCost(si *relation.SpatialIndex, windows []geom.Rect, op Spatial
 		if op == OpDisjoined {
 			// Disjointness admits no pruning: every node is visited and
 			// the complement of the window qualifies.
-			total += float64(s.Nodes) + (1-f)*float64(s.Items)
+			total += nodes + (1-f)*items + deltaNodes + (1-f)*deltaItems
 			continue
 		}
-		total += 1 + f*float64(s.Nodes-1) + f*float64(s.Items)
+		total += 1 + f*(nodes-1) + f*items
+		// The unpacked side has poor clustering, so charge every delta
+		// node plus the window's share of delta entries; each packed
+		// hit also pays a (cheap) tombstone probe.
+		total += deltaNodes + f*deltaItems + 0.01*float64(snap.Tombstones)
 	}
 	return total
 }

@@ -14,23 +14,6 @@ import (
 	"repro/internal/storage"
 )
 
-// SpatialIndex is a packed R-tree over a relation's loc column for one
-// associated picture. Leaf entries carry the MBR of the referenced
-// spatial object and the tuple's storage id — the paper's
-// "(I, tuple-identifier)".
-type SpatialIndex struct {
-	Picture *picture.Picture
-	Tree    *rtree.Tree
-	// Opts records how the index was packed, so a catalog reload can
-	// rebuild it identically.
-	Opts pack.Options
-	// Stats captures the tree's structural measures (Table 1's node
-	// count, depth, coverage, overlap) as of the last pack. Inserts and
-	// deletes after the pack are not reflected; the query planner uses
-	// these as estimates, not invariants.
-	Stats rtree.Metrics
-}
-
 // Relation is one table of the pictorial database: a tuple heap,
 // secondary B-tree indexes on alphanumeric columns, and R-tree spatial
 // indexes on the loc column, one per associated picture.
@@ -42,6 +25,9 @@ type Relation struct {
 	spatial map[string]*SpatialIndex
 	// rtreeParams configures spatial indexes built for this relation.
 	rtreeParams rtree.Params
+	// spatialPolicy is the write policy applied to spatial indexes
+	// attached after the call (zero value: WriteDelta).
+	spatialPolicy WritePolicy
 }
 
 // New creates an empty relation backed by a fresh heap in p.
@@ -106,6 +92,23 @@ func (r *Relation) Len() int { return r.heap.Len() }
 // attached after the call.
 func (r *Relation) SetRTreeParams(p rtree.Params) { r.rtreeParams = p }
 
+// SetSpatialWritePolicy sets the write policy for every existing
+// spatial index and for indexes attached after the call.
+func (r *Relation) SetSpatialWritePolicy(p WritePolicy) {
+	r.spatialPolicy = p
+	for _, si := range r.spatial {
+		si.SetWritePolicy(p)
+	}
+}
+
+// WaitRepacks blocks until no spatial index has a background repack in
+// flight.
+func (r *Relation) WaitRepacks() {
+	for _, si := range r.spatial {
+		si.WaitRepack()
+	}
+}
+
 // Insert validates and stores t, updating every index. It returns the
 // tuple's storage id.
 func (r *Relation) Insert(t Tuple) (storage.TupleID, error) {
@@ -122,7 +125,7 @@ func (r *Relation) Insert(t Tuple) (storage.TupleID, error) {
 	}
 	for _, si := range r.spatial {
 		if rect, ok := r.locMBR(t, si.Picture); ok {
-			si.Tree.Insert(rect, id.Int64())
+			si.insert(rect, id.Int64())
 		}
 	}
 	return id, nil
@@ -234,7 +237,7 @@ func (r *Relation) Delete(id storage.TupleID) error {
 	}
 	for _, si := range r.spatial {
 		if rect, ok := r.locMBR(t, si.Picture); ok {
-			si.Tree.Delete(rect, id.Int64())
+			si.delete(rect, id.Int64())
 		}
 	}
 	return nil
@@ -388,12 +391,9 @@ func (r *Relation) AttachPicture(pic *picture.Picture, opts pack.Options) error 
 		return err
 	}
 	tree := pack.Tree(r.rtreeParams, items, opts)
-	r.spatial[pic.Name()] = &SpatialIndex{
-		Picture: pic,
-		Tree:    tree,
-		Opts:    opts,
-		Stats:   tree.ComputeMetrics(),
-	}
+	si := newSpatialIndex(pic, tree, opts, r.rtreeParams)
+	si.policy = r.spatialPolicy
+	r.spatial[pic.Name()] = si
 	return nil
 }
 
@@ -416,34 +416,52 @@ func (r *Relation) Pictures() []string {
 // against the window, using the R-tree for pruning. pred receives
 // (objectMBR, window); use geom.CoveredBy for the paper's "loc
 // covered-by W", geom.Overlapping for intersection, etc. The returned
-// visit count is the number of R-tree nodes touched.
+// visit count is the number of R-tree nodes touched (summed across the
+// packed and delta trees). Ids are returned in canonical ascending
+// TupleID order, merged across packed + delta minus tombstones — the
+// answer a single freshly packed tree would give.
 func (r *Relation) SearchArea(pictureName string, window geom.Rect, pred func(obj, win geom.Rect) bool) ([]storage.TupleID, int, error) {
 	si := r.spatial[pictureName]
 	if si == nil {
 		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)
 	}
+	items, visited := si.query(window)
 	var out []storage.TupleID
-	visited := si.Tree.Search(window, func(it rtree.Item) bool {
+	for _, it := range items {
 		if pred(it.Rect, window) {
 			out = append(out, storage.TupleIDFromInt64(it.Data))
 		}
-		return true
-	})
+	}
 	return out, visited, nil
+}
+
+// SpatialItems enumerates every live entry of the named picture's
+// spatial index — (object MBR, storage id) pairs in canonical ascending
+// TupleID order — along with a node-visit count charging every node of
+// the merged trees. It is the executor's access path for predicates the
+// R-tree cannot prune (the paper's "disjoined").
+func (r *Relation) SpatialItems(pictureName string) ([]rtree.Item, int, error) {
+	si := r.spatial[pictureName]
+	if si == nil {
+		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)
+	}
+	items, visited := si.items()
+	return items, visited, nil
 }
 
 // SearchAreaBatch answers many windows against one spatial index with
 // up to parallelism goroutines (0 means GOMAXPROCS), using the
 // R-tree's batched read path. results[i] holds the qualifying storage
-// ids for windows[i] in tree order — identical to calling SearchArea
-// per window — and the visit count is summed across the batch. pred is
-// called concurrently and must be a pure function of its arguments.
+// ids for windows[i] in canonical ascending-TupleID order — identical
+// to calling SearchArea per window — and the visit count is summed
+// across the batch and the merged trees. pred is called concurrently
+// and must be a pure function of its arguments.
 func (r *Relation) SearchAreaBatch(pictureName string, windows []geom.Rect, pred func(obj, win geom.Rect) bool, parallelism int) ([][]storage.TupleID, int, error) {
 	si := r.spatial[pictureName]
 	if si == nil {
 		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)
 	}
-	batches, visited := si.Tree.QueryBatch(windows, parallelism)
+	batches, visited := si.queryBatch(windows, parallelism)
 	out := make([][]storage.TupleID, len(batches))
 	for i, items := range batches {
 		var ids []storage.TupleID // nil when empty, like SearchArea
@@ -465,13 +483,15 @@ type SpatialPair struct {
 
 // JuxtaposeSpatial performs the paper's geographic join (§4) between
 // this relation's spatial index on picA and s's index on picB: a
-// simultaneous traversal of the two R-trees reporting every tuple pair
-// whose object MBRs satisfy pred, fanned out over up to workers
-// goroutines (0 means GOMAXPROCS). The pair order and node-pair visit
-// count are identical to the serial traversal regardless of worker
-// count, so executors layered on top stay deterministic. pred must
-// imply rectangle intersection (the pruning rule); it is called
-// concurrently and must be pure.
+// simultaneous traversal of the two merged indexes (each constituent
+// packed/delta tree pair juxtaposed, tombstoned entries dropped)
+// reporting every tuple pair whose object MBRs satisfy pred, fanned
+// out over up to workers goroutines (0 means GOMAXPROCS). Pairs are
+// returned in canonical ascending (A, B) TupleID order and the
+// node-pair visit count is identical at any worker count, so executors
+// layered on top stay deterministic. pred must imply rectangle
+// intersection (the pruning rule); it is called concurrently and must
+// be pure.
 func (r *Relation) JuxtaposeSpatial(picA string, s *Relation, picB string, pred func(a, b geom.Rect) bool, workers int) ([]SpatialPair, int, error) {
 	si := r.spatial[picA]
 	if si == nil {
@@ -481,7 +501,7 @@ func (r *Relation) JuxtaposeSpatial(picA string, s *Relation, picB string, pred 
 	if sj == nil {
 		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", s.name, picB)
 	}
-	pairs, visited := rtree.Juxtapose(si.Tree, sj.Tree, pred, workers)
+	pairs, visited := juxtaposeMerged(si, sj, pred, workers)
 	out := make([]SpatialPair, len(pairs))
 	for i, p := range pairs {
 		out[i] = SpatialPair{
@@ -541,7 +561,7 @@ func (r *Relation) Check() error {
 		}
 	}
 	for pic, si := range r.spatial {
-		if err := si.Tree.CheckInvariants(); err != nil {
+		if err := si.checkInvariants(); err != nil {
 			return fmt.Errorf("relation %s: spatial index %q: %w", r.name, pic, err)
 		}
 	}
@@ -550,13 +570,24 @@ func (r *Relation) Check() error {
 
 // RepackPicture rebuilds the spatial index for the named picture from
 // the current tuples — the paper's §3.4 periodic reorganization of a
-// drifted index.
+// drifted index. The index object is rebuilt in place (the SpatialIndex
+// pointer stays valid): the new tree is packed from a heap scan with
+// opts, and the delta, tombstones, and pending counters are cleared.
 func (r *Relation) RepackPicture(pictureName string, opts pack.Options) error {
 	si := r.spatial[pictureName]
 	if si == nil {
 		return fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)
 	}
-	pic := si.Picture
-	delete(r.spatial, pictureName)
-	return r.AttachPicture(pic, opts)
+	var items []rtree.Item
+	err := r.Scan(func(id storage.TupleID, t Tuple) bool {
+		if rect, ok := r.locMBR(t, si.Picture); ok {
+			items = append(items, rtree.Item{Rect: rect, Data: id.Int64()})
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	si.rebuild(items, opts)
+	return nil
 }

@@ -361,16 +361,23 @@ func TestRepackPicture(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		addCity(t, rel, pic, randWord(rng), "ST", int64(i), rng.Float64()*1000, rng.Float64()*1000)
 	}
-	before := rel.Spatial("us-map").Tree.ComputeMetrics()
+	si := rel.Spatial("us-map")
+	beforeLive := si.Len()
 	if err := rel.RepackPicture("us-map", pack.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	after := rel.Spatial("us-map").Tree.ComputeMetrics()
-	if after.Items != before.Items {
-		t.Fatalf("repack lost items: %d -> %d", before.Items, after.Items)
+	if si != rel.Spatial("us-map") {
+		t.Fatal("repack replaced the SpatialIndex object")
 	}
-	if after.Nodes > before.Nodes {
-		t.Fatalf("repack grew the tree: %d -> %d nodes", before.Nodes, after.Nodes)
+	after := si.PackedTree().ComputeMetrics()
+	if after.Items != beforeLive {
+		t.Fatalf("repack lost items: %d live -> %d packed", beforeLive, after.Items)
+	}
+	if si.DeltaLen() != 0 || si.TombstoneCount() != 0 {
+		t.Fatalf("repack left delta=%d tombs=%d", si.DeltaLen(), si.TombstoneCount())
+	}
+	if si.Stats() != after {
+		t.Fatalf("stats %+v != computed %+v", si.Stats(), after)
 	}
 	if err := rel.RepackPicture("nope", pack.Options{}); err == nil {
 		t.Fatal("repack of missing picture accepted")
@@ -580,12 +587,13 @@ func TestSpatialIndexStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	si := rel.Spatial("us-map")
-	if si.Stats.Items != 150 || si.Stats.Nodes < 1 || si.Stats.Depth < 1 {
-		t.Fatalf("stats not populated: %+v", si.Stats)
+	stats := si.Stats()
+	if stats.Items != 150 || stats.Nodes < 1 || stats.Depth < 1 {
+		t.Fatalf("stats not populated: %+v", stats)
 	}
-	want := si.Tree.ComputeMetrics()
-	if si.Stats != want {
-		t.Fatalf("stats %+v != computed %+v", si.Stats, want)
+	want := si.PackedTree().ComputeMetrics()
+	if stats != want {
+		t.Fatalf("stats %+v != computed %+v", stats, want)
 	}
 }
 

@@ -1,0 +1,943 @@
+package relation
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/pack"
+	"repro/internal/picture"
+	"repro/internal/rtree"
+)
+
+// This file implements the LSM-style write path for spatial indexes.
+//
+// The paper's bet is that PACK's near-optimal static trees beat Guttman
+// dynamics on search cost — but a per-tuple Guttman insert into the
+// packed tree steadily destroys exactly the coverage/overlap properties
+// Table 1 celebrates. So writes are absorbed by the in-memory write
+// side — an append-only L0 buffer feeding a small delta R-tree, with a
+// tombstone set for deletes — reads merge packed + delta + L0 in
+// canonical ascending-TupleID order, and a background repacker folds the
+// write side back into a freshly packed tree when it crosses a
+// threshold.
+//
+// The L0 buffer is what makes inserts O(1) on the writer's thread: an
+// insert only appends an item, and a background absorber bulk-moves
+// L0 entries into the delta R-tree in small batches under the lock.
+// Every entry lives in exactly one tier at any instant (all moves
+// happen under mu), so merged reads see each item exactly once.
+// See DESIGN.md §12 for the lifecycle and its invariants.
+
+// WritePolicy selects where Relation.Insert/Delete land for a spatial
+// index.
+type WritePolicy int
+
+const (
+	// WriteDelta (the default) absorbs writes into the in-memory delta
+	// R-tree and tombstone set; the packed tree stays immutable between
+	// repacks.
+	WriteDelta WritePolicy = iota
+	// WriteInPlace is the paper's §3.4 legacy behavior: per-tuple
+	// Guttman INSERT/DELETE straight into the packed tree. Kept as the
+	// measured baseline for the ingest benchmarks.
+	WriteInPlace
+)
+
+// String names the policy.
+func (p WritePolicy) String() string {
+	switch p {
+	case WriteDelta:
+		return "delta"
+	case WriteInPlace:
+		return "in-place"
+	default:
+		return fmt.Sprintf("WritePolicy(%d)", int(p))
+	}
+}
+
+// DefaultDeltaThreshold is the write-side size (L0 + live delta items
+// plus pending tombstones) at which a background repack is triggered.
+const DefaultDeltaThreshold = 4096
+
+// DefaultAbsorbTrigger is the L0 length at which the background
+// absorber starts draining the buffer into the delta R-tree.
+const DefaultAbsorbTrigger = 512
+
+// absorbBatch bounds how many L0 entries the absorber moves into the
+// delta tree per lock acquisition, so readers and writers are never
+// blocked behind a long drain.
+const absorbBatch = 128
+
+// deltaParams configures the write-absorbing delta tree. Wide nodes and
+// the linear split make inserts cheap; the resulting tree quality does
+// not matter much because the delta stays small and is periodically
+// repacked away.
+var deltaParams = rtree.Params{Max: 32, Min: 8, Split: rtree.SplitLinear}
+
+// spatialSeq hands out lock-ordering ranks for SpatialIndex pairs.
+var spatialSeq atomic.Int64
+
+// SpatialIndex is an LSM index over a relation's loc column for one
+// associated picture: a packed R-tree (read-optimized, immutable
+// between repacks under WriteDelta) plus a write side made of an
+// append-only L0 buffer, a small delta R-tree the background absorber
+// drains the buffer into, and a tombstone set absorbing deletes. Leaf
+// entries carry the MBR of the referenced spatial object and the
+// tuple's storage id — the paper's "(I, tuple-identifier)".
+//
+// All reads merge packed + delta + L0 minus tombstones and return items
+// in canonical ascending-TupleID order, bit-identical to a hypothetical
+// single-tree execution. A background repacker merges the write side
+// into the packed tree with parallel PACK and swaps the root atomically
+// under the index lock.
+type SpatialIndex struct {
+	Picture *picture.Picture
+	// Opts records how the index was packed, so a catalog reload can
+	// rebuild it identically. Repacks reuse it (with TrimToMultiple
+	// forced off so no live item is ever dropped).
+	Opts pack.Options
+
+	// params configures both the packed tree (at repack) and matches
+	// the relation's rtreeParams at attach time.
+	params rtree.Params
+	// seq orders lock acquisition when two indexes are locked together
+	// (juxtaposition): lower seq first, so no lock cycle can form.
+	seq int64
+
+	mu     sync.RWMutex
+	packed *rtree.Tree
+	// stats captures the packed tree's structural measures (Table 1's
+	// node count, depth, coverage, overlap) as of the last pack/repack.
+	// Under WriteDelta they describe the packed tree exactly; under
+	// WriteInPlace they go stale as writes land (see CostSnapshot).
+	stats rtree.Metrics
+	// l0 is the append-only write buffer: inserts land here in O(1) and
+	// the background absorber bulk-moves entries into delta, keeping
+	// R-tree maintenance off the writer's critical path. Reads scan it
+	// linearly (it is bounded by the repack threshold).
+	l0 []rtree.Item
+	// delta absorbs inserts under WriteDelta (via the L0 absorber).
+	delta *rtree.Tree
+	// frozen/frozenL0 are the previous delta tree and L0 buffer while a
+	// background repack is merging them; nil otherwise. Immutable once
+	// set.
+	frozen   *rtree.Tree
+	frozenL0 []rtree.Item
+	// tombs holds the storage ids of deleted tuples whose entries still
+	// exist in packed (or frozen). An id deleted straight out of the
+	// active delta never enters tombs.
+	tombs map[int64]struct{}
+	// ts0 snapshots tombs at repack freeze time; nil when no repack is
+	// in flight. The merging repack removes exactly ts0 from the packed
+	// items, so reads filter packed by tombs but frozen only by
+	// tombs∖ts0 (a frozen entry is newer than anything ts0 names: ids
+	// are only reused after their tombstoned slot is reclaimed).
+	ts0 map[int64]struct{}
+
+	policy     WritePolicy
+	threshold  int
+	autoRepack bool
+	// pendingIns/pendingDel count inserts/deletes not yet reflected in
+	// stats — the planner's staleness correction. Reset by repacks to
+	// whatever remains unabsorbed.
+	pendingIns int
+	pendingDel int
+	repacks    int
+
+	// repacking guards the single background repacker (and RepackNow)
+	// via CAS; wg lets WaitRepack block on it.
+	repacking atomic.Bool
+	wg        sync.WaitGroup
+	// absorbing guards the single background L0 absorber via CAS; awg
+	// lets WaitAbsorb block on it.
+	absorbing atomic.Bool
+	awg       sync.WaitGroup
+}
+
+// newSpatialIndex wraps a freshly packed tree.
+func newSpatialIndex(pic *picture.Picture, tree *rtree.Tree, opts pack.Options, params rtree.Params) *SpatialIndex {
+	return &SpatialIndex{
+		Picture:    pic,
+		Opts:       opts,
+		params:     params,
+		seq:        spatialSeq.Add(1),
+		packed:     tree,
+		stats:      tree.ComputeMetrics(),
+		delta:      rtree.New(deltaParams),
+		tombs:      make(map[int64]struct{}),
+		threshold:  DefaultDeltaThreshold,
+		autoRepack: true,
+	}
+}
+
+// CostSnapshot is a consistent view of everything the query planner
+// needs to price a direct spatial search: the packed tree's stats, the
+// merged bounds, and the live write-side counters. Taken under the
+// index lock so the fields are mutually consistent.
+type CostSnapshot struct {
+	// Stats describes the packed tree as of the last pack/repack.
+	Stats rtree.Metrics
+	// Bounds is the MBR of everything live (packed ∪ frozen ∪ delta).
+	Bounds geom.Rect
+	// DeltaItems/DeltaNodes size the unpacked side (delta + frozen):
+	// extra read amplification every merged search pays.
+	DeltaItems int
+	DeltaNodes int
+	// Tombstones counts deleted ids still present in packed/frozen.
+	Tombstones int
+	// PendingInserts/PendingDeletes count writes since Stats was
+	// computed. Under WriteDelta they are already covered by DeltaItems
+	// and Tombstones; under WriteInPlace they measure how stale Stats
+	// is.
+	PendingInserts int
+	PendingDeletes int
+	// InPlace reports WriteInPlace (Stats drift with every write).
+	InPlace bool
+	// Repacking reports an in-flight background repack.
+	Repacking bool
+}
+
+// CostSnapshot returns a consistent planner view of the index.
+func (si *SpatialIndex) CostSnapshot() CostSnapshot {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	snap := CostSnapshot{
+		Stats:          si.stats,
+		Bounds:         si.packed.Bounds(),
+		Tombstones:     len(si.tombs),
+		PendingInserts: si.pendingIns,
+		PendingDeletes: si.pendingDel,
+		InPlace:        si.policy == WriteInPlace,
+		Repacking:      si.frozen != nil,
+	}
+	if si.delta.Len() > 0 {
+		snap.DeltaItems += si.delta.Len()
+		snap.DeltaNodes += si.delta.NodeCount()
+		snap.Bounds = snap.Bounds.Union(si.delta.Bounds())
+	}
+	if si.frozen != nil && si.frozen.Len() > 0 {
+		snap.DeltaItems += si.frozen.Len()
+		snap.DeltaNodes += si.frozen.NodeCount()
+		snap.Bounds = snap.Bounds.Union(si.frozen.Bounds())
+	}
+	snap.DeltaItems += len(si.l0) + len(si.frozenL0)
+	for _, it := range si.l0 {
+		snap.Bounds = snap.Bounds.Union(it.Rect)
+	}
+	for _, it := range si.frozenL0 {
+		snap.Bounds = snap.Bounds.Union(it.Rect)
+	}
+	return snap
+}
+
+// Stats returns the packed tree's structural measures as of the last
+// pack/repack. See CostSnapshot for the staleness counters.
+func (si *SpatialIndex) Stats() rtree.Metrics {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	return si.stats
+}
+
+// PackedTree returns the current packed tree. Under WriteDelta the
+// returned tree is immutable (a repack swaps in a new tree rather than
+// mutating it), so callers may compute metrics on it concurrently with
+// writers; it may be superseded at any moment.
+func (si *SpatialIndex) PackedTree() *rtree.Tree {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	return si.packed
+}
+
+// Len returns the number of live entries: packed + frozen + L0 + delta
+// minus tombstones.
+func (si *SpatialIndex) Len() int {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	n := si.packed.Len() + si.delta.Len() + len(si.l0) + len(si.frozenL0) - len(si.tombs)
+	if si.frozen != nil {
+		n += si.frozen.Len()
+	}
+	return n
+}
+
+// DeltaLen returns the number of items in the write-absorbing side (L0
+// buffer and active delta, plus any frozen counterparts mid-repack).
+func (si *SpatialIndex) DeltaLen() int {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	n := si.delta.Len() + len(si.l0) + len(si.frozenL0)
+	if si.frozen != nil {
+		n += si.frozen.Len()
+	}
+	return n
+}
+
+// TombstoneCount returns the number of pending tombstones.
+func (si *SpatialIndex) TombstoneCount() int {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	return len(si.tombs)
+}
+
+// Repacks returns how many repacks (background or synchronous) have
+// completed since the index was built.
+func (si *SpatialIndex) Repacks() int {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	return si.repacks
+}
+
+// WritePolicy returns the current write policy.
+func (si *SpatialIndex) WritePolicy() WritePolicy {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	return si.policy
+}
+
+// SetWritePolicy changes where future writes land. Switching to
+// WriteInPlace does not flush the delta; reads keep merging it until a
+// repack folds it in.
+func (si *SpatialIndex) SetWritePolicy(p WritePolicy) {
+	si.mu.Lock()
+	si.policy = p
+	si.mu.Unlock()
+}
+
+// SetDeltaThreshold sets the delta size (live delta items + pending
+// tombstones) that triggers a background repack. Zero or negative
+// restores DefaultDeltaThreshold.
+func (si *SpatialIndex) SetDeltaThreshold(n int) {
+	if n <= 0 {
+		n = DefaultDeltaThreshold
+	}
+	si.mu.Lock()
+	si.threshold = n
+	si.mu.Unlock()
+}
+
+// SetAutoRepack enables or disables the background repacker. With it
+// off the delta grows without bound until RepackNow is called — the
+// stop-the-world baseline the benchmarks measure.
+func (si *SpatialIndex) SetAutoRepack(on bool) {
+	si.mu.Lock()
+	si.autoRepack = on
+	si.mu.Unlock()
+}
+
+// Bounds returns the MBR of everything live in the index.
+func (si *SpatialIndex) Bounds() geom.Rect {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	return si.boundsLocked()
+}
+
+func (si *SpatialIndex) boundsLocked() geom.Rect {
+	b := si.packed.Bounds()
+	if si.delta.Len() > 0 {
+		b = b.Union(si.delta.Bounds())
+	}
+	if si.frozen != nil && si.frozen.Len() > 0 {
+		b = b.Union(si.frozen.Bounds())
+	}
+	for _, it := range si.l0 {
+		b = b.Union(it.Rect)
+	}
+	for _, it := range si.frozenL0 {
+		b = b.Union(it.Rect)
+	}
+	return b
+}
+
+// insert routes one new entry according to the write policy and
+// triggers the background absorber/repacker when their thresholds
+// cross. Under WriteDelta the writer's cost is one slice append.
+func (si *SpatialIndex) insert(r geom.Rect, id int64) {
+	si.mu.Lock()
+	if si.policy == WriteInPlace {
+		si.packed.Insert(r, id)
+	} else {
+		si.l0 = append(si.l0, rtree.Item{Rect: r, Data: id})
+	}
+	si.pendingIns++
+	absorb := len(si.l0) >= DefaultAbsorbTrigger
+	due := si.repackDueLocked()
+	si.mu.Unlock()
+	if due {
+		si.triggerRepack()
+	} else if absorb {
+		si.triggerAbsorb()
+	}
+}
+
+// delete routes one removal: straight out of the L0 buffer or the
+// active delta when the entry lives there, a tombstone otherwise.
+func (si *SpatialIndex) delete(r geom.Rect, id int64) {
+	si.mu.Lock()
+	switch {
+	case si.policy == WriteInPlace:
+		si.packed.Delete(r, id)
+	case si.l0Delete(id):
+		// The entry never left the L0 buffer; no tombstone needed.
+	case si.delta.Delete(r, id):
+		// The entry never left the active delta; no tombstone needed.
+	default:
+		si.tombs[id] = struct{}{}
+	}
+	si.pendingDel++
+	due := si.repackDueLocked()
+	si.mu.Unlock()
+	if due {
+		si.triggerRepack()
+	}
+}
+
+// l0Delete removes the entry with the given id from the L0 buffer,
+// reporting whether it was there. Caller holds mu exclusively.
+func (si *SpatialIndex) l0Delete(id int64) bool {
+	for i, it := range si.l0 {
+		if it.Data == id {
+			si.l0 = append(si.l0[:i], si.l0[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// repackDueLocked reports whether the write side has outgrown the
+// threshold. Caller holds mu (any mode).
+func (si *SpatialIndex) repackDueLocked() bool {
+	if si.policy != WriteDelta || !si.autoRepack {
+		return false
+	}
+	// Tombstones already being merged away (ts0) don't count as
+	// pending.
+	pendingTombs := len(si.tombs) - len(si.ts0)
+	return si.delta.Len()+len(si.l0)+pendingTombs >= si.threshold
+}
+
+// triggerAbsorb starts the background L0 absorber unless one is already
+// running. Like triggerRepack it re-checks after releasing the flag so
+// a writer racing the handoff cannot strand a full buffer.
+func (si *SpatialIndex) triggerAbsorb() {
+	if !si.absorbing.CompareAndSwap(false, true) {
+		return
+	}
+	si.awg.Add(1)
+	go func() {
+		defer si.awg.Done()
+		for si.absorbOnce() {
+		}
+		si.absorbing.Store(false)
+		si.mu.RLock()
+		again := len(si.l0) >= DefaultAbsorbTrigger
+		si.mu.RUnlock()
+		if again {
+			si.triggerAbsorb()
+		}
+	}()
+}
+
+// absorbOnce moves up to absorbBatch L0 entries into the delta R-tree
+// and reports whether the buffer still has entries. The move happens
+// under the exclusive lock, so each entry is visible in exactly one
+// tier at any instant; the batch bound keeps the lock hold short.
+func (si *SpatialIndex) absorbOnce() bool {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	n := len(si.l0)
+	if n == 0 {
+		return false
+	}
+	if n > absorbBatch {
+		n = absorbBatch
+	}
+	for _, it := range si.l0[:n] {
+		si.delta.Insert(it.Rect, it.Data)
+	}
+	if n == len(si.l0) {
+		si.l0 = nil
+	} else {
+		si.l0 = si.l0[n:]
+	}
+	return len(si.l0) > 0
+}
+
+// WaitAbsorb blocks until no background absorber is running. Pending L0
+// entries remain readable throughout; this only matters to callers that
+// want a quiescent index (benchmarks, tests).
+func (si *SpatialIndex) WaitAbsorb() {
+	for si.absorbing.Load() {
+		si.awg.Wait()
+		runtime.Gosched()
+	}
+}
+
+func (si *SpatialIndex) repackDue() bool {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	return si.repackDueLocked()
+}
+
+// triggerRepack starts the background repacker unless one is already
+// running. The repacker loops while the (re-filled) delta stays over
+// the threshold, then re-checks once after releasing the flag so a
+// writer racing the handoff cannot strand an over-threshold delta.
+func (si *SpatialIndex) triggerRepack() {
+	if !si.repacking.CompareAndSwap(false, true) {
+		return
+	}
+	si.wg.Add(1)
+	go func() {
+		defer si.wg.Done()
+		for si.repackDue() {
+			si.repackOnce()
+		}
+		si.repacking.Store(false)
+		if si.repackDue() {
+			si.triggerRepack()
+		}
+	}()
+}
+
+// WaitRepack blocks until no background repack is running. It loops
+// because a finishing repacker may immediately hand off to a successor.
+func (si *SpatialIndex) WaitRepack() {
+	for si.repacking.Load() {
+		si.wg.Wait()
+		runtime.Gosched()
+	}
+}
+
+// RepackNow synchronously merges the delta into the packed tree. With
+// stopTheWorld the whole merge+pack runs under the exclusive index lock
+// (readers and writers blocked throughout — the baseline strategy);
+// otherwise it runs one background-style repack inline (readers keep
+// going, writers only blocked during freeze and swap). Either way any
+// in-flight background repack is waited out first, so on return the
+// write side is fully absorbed.
+func (si *SpatialIndex) RepackNow(stopTheWorld bool) {
+	// Take the repacker slot so no background repack interleaves.
+	for !si.repacking.CompareAndSwap(false, true) {
+		si.wg.Wait()
+		runtime.Gosched()
+	}
+	if stopTheWorld {
+		si.repackSTW()
+	} else {
+		si.repackOnce()
+	}
+	si.repacking.Store(false)
+	if si.repackDue() {
+		si.triggerRepack()
+	}
+}
+
+// repackOnce is one background repack cycle: freeze the write side,
+// merge and pack outside the lock, swap the new root in. Caller owns
+// the repacking flag.
+func (si *SpatialIndex) repackOnce() {
+	// Freeze: the active delta and L0 buffer become immutable, fresh
+	// ones take writes, and the tombstone set is snapshotted.
+	si.mu.Lock()
+	if si.delta.Len() == 0 && len(si.l0) == 0 && len(si.tombs) == 0 {
+		si.mu.Unlock()
+		return
+	}
+	frozen := si.delta
+	frozenL0 := si.l0
+	si.delta = rtree.New(deltaParams)
+	si.l0 = nil
+	ts0 := make(map[int64]struct{}, len(si.tombs))
+	for id := range si.tombs {
+		ts0[id] = struct{}{}
+	}
+	si.frozen, si.frozenL0, si.ts0 = frozen, frozenL0, ts0
+	packed := si.packed
+	si.mu.Unlock()
+
+	// Merge + pack outside the lock: packed and the frozen write side
+	// are immutable now, so readers proceed concurrently against the
+	// merged view.
+	tree := si.packMerged(packed, frozen, frozenL0, ts0)
+	stats := tree.ComputeMetrics()
+
+	// Swap: new root in, absorbed tombstones out.
+	si.mu.Lock()
+	si.packed, si.stats = tree, stats
+	for id := range ts0 {
+		delete(si.tombs, id)
+	}
+	si.frozen, si.frozenL0, si.ts0 = nil, nil, nil
+	si.pendingIns = si.delta.Len() + len(si.l0)
+	si.pendingDel = len(si.tombs)
+	si.repacks++
+	si.mu.Unlock()
+}
+
+// repackSTW collapses packed + frozen + delta into one packed tree
+// under the exclusive lock — the stop-the-world baseline.
+func (si *SpatialIndex) repackSTW() {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	items := make([]rtree.Item, 0, si.packed.Len()+si.delta.Len()+len(si.l0))
+	for _, it := range si.packed.Items() {
+		if _, dead := si.tombs[it.Data]; !dead {
+			items = append(items, it)
+		}
+	}
+	if si.frozen != nil {
+		for _, it := range si.frozen.Items() {
+			if !si.frozenDeadLocked(it.Data) {
+				items = append(items, it)
+			}
+		}
+	}
+	for _, it := range si.frozenL0 {
+		if !si.frozenDeadLocked(it.Data) {
+			items = append(items, it)
+		}
+	}
+	items = append(items, si.delta.Items()...)
+	items = append(items, si.l0...)
+	opts := si.Opts
+	opts.TrimToMultiple = false
+	tree := pack.Tree(si.params, items, opts)
+	si.packed, si.stats = tree, tree.ComputeMetrics()
+	si.delta = rtree.New(deltaParams)
+	si.l0 = nil
+	si.frozen, si.frozenL0, si.ts0 = nil, nil, nil
+	si.tombs = make(map[int64]struct{})
+	si.pendingIns, si.pendingDel = 0, 0
+	si.repacks++
+}
+
+// packMerged packs (packed ∖ ts0) ∪ frozen ∪ frozenL0 with the index's
+// recorded options, TrimToMultiple forced off so no live item is
+// dropped.
+func (si *SpatialIndex) packMerged(packed, frozen *rtree.Tree, frozenL0 []rtree.Item, ts0 map[int64]struct{}) *rtree.Tree {
+	items := make([]rtree.Item, 0, packed.Len()+frozen.Len()+len(frozenL0))
+	for _, it := range packed.Items() {
+		if _, dead := ts0[it.Data]; !dead {
+			items = append(items, it)
+		}
+	}
+	items = append(items, frozen.Items()...)
+	items = append(items, frozenL0...)
+	opts := si.Opts
+	opts.TrimToMultiple = false
+	return pack.Tree(si.params, items, opts)
+}
+
+// rebuild replaces the whole index with a fresh pack of items (the
+// explicit RepackPicture / catalog path), clearing the write side.
+// Takes the repacker slot so no background repack interleaves.
+func (si *SpatialIndex) rebuild(items []rtree.Item, opts pack.Options) {
+	for !si.repacking.CompareAndSwap(false, true) {
+		si.wg.Wait()
+		runtime.Gosched()
+	}
+	tree := pack.Tree(si.params, items, opts)
+	stats := tree.ComputeMetrics()
+	si.mu.Lock()
+	si.Opts = opts
+	si.packed, si.stats = tree, stats
+	si.delta = rtree.New(deltaParams)
+	si.l0 = nil
+	si.frozen, si.frozenL0, si.ts0 = nil, nil, nil
+	si.tombs = make(map[int64]struct{})
+	si.pendingIns, si.pendingDel = 0, 0
+	si.repacks++
+	si.mu.Unlock()
+	si.repacking.Store(false)
+}
+
+// frozenDeadLocked reports whether a frozen-delta entry is tombstoned.
+// Only tombstones created after the freeze (tombs ∖ ts0) apply: the
+// merging repack removes exactly ts0 from packed, and an id in ts0
+// cannot name a frozen entry (its delta insert would postdate the
+// freeze and land in the active delta). Caller holds mu (any mode).
+func (si *SpatialIndex) frozenDeadLocked(id int64) bool {
+	if _, dead := si.tombs[id]; !dead {
+		return false
+	}
+	_, absorbed := si.ts0[id]
+	return !absorbed
+}
+
+// sortItemsByData orders items by ascending data pointer. TupleID's
+// int64 encoding (page<<16|slot) is order-preserving, so this is
+// canonical ascending-TupleID order.
+func sortItemsByData(items []rtree.Item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].Data < items[j].Data })
+}
+
+// query returns every live item intersecting window, merged across
+// packed + frozen + delta minus tombstones, in canonical ascending-
+// TupleID order, plus the number of R-tree nodes visited (summed over
+// the searched trees).
+func (si *SpatialIndex) query(window geom.Rect) ([]rtree.Item, int) {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	var out []rtree.Item
+	visited := si.packed.Search(window, func(it rtree.Item) bool {
+		if _, dead := si.tombs[it.Data]; !dead {
+			out = append(out, it)
+		}
+		return true
+	})
+	if si.frozen != nil && si.frozen.Len() > 0 {
+		visited += si.frozen.Search(window, func(it rtree.Item) bool {
+			if !si.frozenDeadLocked(it.Data) {
+				out = append(out, it)
+			}
+			return true
+		})
+	}
+	if si.delta.Len() > 0 {
+		visited += si.delta.Search(window, func(it rtree.Item) bool {
+			out = append(out, it)
+			return true
+		})
+	}
+	for _, it := range si.frozenL0 {
+		if it.Rect.Intersects(window) && !si.frozenDeadLocked(it.Data) {
+			out = append(out, it)
+		}
+	}
+	for _, it := range si.l0 {
+		if it.Rect.Intersects(window) {
+			out = append(out, it)
+		}
+	}
+	sortItemsByData(out)
+	return out, visited
+}
+
+// queryBatch answers many windows with up to parallelism goroutines per
+// tree, merging like query. results[i] is canonically ordered.
+func (si *SpatialIndex) queryBatch(windows []geom.Rect, parallelism int) ([][]rtree.Item, int) {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	res, visited := si.packed.QueryBatch(windows, parallelism)
+	if res == nil {
+		res = make([][]rtree.Item, len(windows))
+	}
+	if len(si.tombs) > 0 {
+		for i, items := range res {
+			live := items[:0]
+			for _, it := range items {
+				if _, dead := si.tombs[it.Data]; !dead {
+					live = append(live, it)
+				}
+			}
+			res[i] = live
+		}
+	}
+	if si.frozen != nil && si.frozen.Len() > 0 {
+		fr, v := si.frozen.QueryBatch(windows, parallelism)
+		visited += v
+		for i := range fr {
+			for _, it := range fr[i] {
+				if !si.frozenDeadLocked(it.Data) {
+					res[i] = append(res[i], it)
+				}
+			}
+		}
+	}
+	if si.delta.Len() > 0 {
+		dr, v := si.delta.QueryBatch(windows, parallelism)
+		visited += v
+		for i := range dr {
+			res[i] = append(res[i], dr[i]...)
+		}
+	}
+	if len(si.frozenL0) > 0 || len(si.l0) > 0 {
+		for i, w := range windows {
+			for _, it := range si.frozenL0 {
+				if it.Rect.Intersects(w) && !si.frozenDeadLocked(it.Data) {
+					res[i] = append(res[i], it)
+				}
+			}
+			for _, it := range si.l0 {
+				if it.Rect.Intersects(w) {
+					res[i] = append(res[i], it)
+				}
+			}
+		}
+	}
+	for i := range res {
+		sortItemsByData(res[i])
+	}
+	return res, visited
+}
+
+// items enumerates every live entry in canonical ascending-TupleID
+// order. The visit count charges every node of every searched tree —
+// what a Search over the full bounds would visit.
+func (si *SpatialIndex) items() ([]rtree.Item, int) {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	return si.itemsLocked()
+}
+
+func (si *SpatialIndex) itemsLocked() ([]rtree.Item, int) {
+	var out []rtree.Item
+	visited := si.packed.NodeCount()
+	for _, it := range si.packed.Items() {
+		if _, dead := si.tombs[it.Data]; !dead {
+			out = append(out, it)
+		}
+	}
+	if si.frozen != nil && si.frozen.Len() > 0 {
+		visited += si.frozen.NodeCount()
+		for _, it := range si.frozen.Items() {
+			if !si.frozenDeadLocked(it.Data) {
+				out = append(out, it)
+			}
+		}
+	}
+	if si.delta.Len() > 0 {
+		visited += si.delta.NodeCount()
+		out = append(out, si.delta.Items()...)
+	}
+	for _, it := range si.frozenL0 {
+		if !si.frozenDeadLocked(it.Data) {
+			out = append(out, it)
+		}
+	}
+	out = append(out, si.l0...)
+	sortItemsByData(out)
+	return out, visited
+}
+
+// sideTree is one live constituent tree of an index plus its
+// tombstone filter, for merged juxtaposition.
+type sideTree struct {
+	tree *rtree.Tree
+	dead func(id int64) bool
+}
+
+// liveTreesLocked returns the non-empty constituent trees. The L0
+// buffers are loaded into throwaway trees so the join machinery (and
+// its node-level pruning) applies to every tier uniformly. Caller holds
+// mu (any mode), and must hold it for as long as the trees are used.
+func (si *SpatialIndex) liveTreesLocked() []sideTree {
+	never := func(int64) bool { return false }
+	var out []sideTree
+	if si.packed.Len() > 0 {
+		dead := never
+		if len(si.tombs) > 0 {
+			dead = func(id int64) bool {
+				_, d := si.tombs[id]
+				return d
+			}
+		}
+		out = append(out, sideTree{tree: si.packed, dead: dead})
+	}
+	if si.frozen != nil && si.frozen.Len() > 0 {
+		out = append(out, sideTree{tree: si.frozen, dead: si.frozenDeadLocked})
+	}
+	if si.delta.Len() > 0 {
+		out = append(out, sideTree{tree: si.delta, dead: never})
+	}
+	if len(si.frozenL0) > 0 {
+		out = append(out, sideTree{tree: treeOf(si.frozenL0), dead: si.frozenDeadLocked})
+	}
+	if len(si.l0) > 0 {
+		out = append(out, sideTree{tree: treeOf(si.l0), dead: never})
+	}
+	return out
+}
+
+// treeOf loads items into a fresh delta-shaped tree (for joins over the
+// L0 buffers; the buffers are bounded by the repack threshold).
+func treeOf(items []rtree.Item) *rtree.Tree {
+	t := rtree.New(deltaParams)
+	for _, it := range items {
+		t.Insert(it.Rect, it.Data)
+	}
+	return t
+}
+
+// juxtaposeMerged joins two (possibly identical) indexes: every
+// constituent-tree pair is juxtaposed with the PR 4 parallel machinery,
+// tombstoned pairs dropped, and the union sorted canonically by
+// (A.Data, B.Data) — bit-identical to joining two hypothetical single
+// trees. Both indexes are read-locked in seq order so no lock cycle can
+// form against another join running the opposite direction.
+func juxtaposeMerged(si, sj *SpatialIndex, pred func(a, b geom.Rect) bool, workers int) ([]rtree.JoinPair, int) {
+	if si == sj {
+		si.mu.RLock()
+		defer si.mu.RUnlock()
+	} else if si.seq < sj.seq {
+		si.mu.RLock()
+		defer si.mu.RUnlock()
+		sj.mu.RLock()
+		defer sj.mu.RUnlock()
+	} else {
+		sj.mu.RLock()
+		defer sj.mu.RUnlock()
+		si.mu.RLock()
+		defer si.mu.RUnlock()
+	}
+	aTrees := si.liveTreesLocked()
+	bTrees := sj.liveTreesLocked()
+	var pairs []rtree.JoinPair
+	visited := 0
+	for _, ta := range aTrees {
+		for _, tb := range bTrees {
+			ps, v := rtree.Juxtapose(ta.tree, tb.tree, pred, workers)
+			visited += v
+			for _, p := range ps {
+				if ta.dead(p.A.Data) || tb.dead(p.B.Data) {
+					continue
+				}
+				pairs = append(pairs, p)
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A.Data != pairs[j].A.Data {
+			return pairs[i].A.Data < pairs[j].A.Data
+		}
+		return pairs[i].B.Data < pairs[j].B.Data
+	})
+	return pairs, visited
+}
+
+// checkInvariants validates every constituent tree plus the LSM
+// bookkeeping invariants.
+func (si *SpatialIndex) checkInvariants() error {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	if err := si.packed.CheckInvariants(); err != nil {
+		return fmt.Errorf("packed: %w", err)
+	}
+	if err := si.delta.CheckInvariants(); err != nil {
+		return fmt.Errorf("delta: %w", err)
+	}
+	if si.frozen != nil {
+		if err := si.frozen.CheckInvariants(); err != nil {
+			return fmt.Errorf("frozen delta: %w", err)
+		}
+	}
+	for id := range si.ts0 {
+		if _, ok := si.tombs[id]; !ok {
+			return fmt.Errorf("tombstone snapshot id %d missing from live set", id)
+		}
+	}
+	if si.ts0 != nil && si.frozen == nil {
+		return fmt.Errorf("tombstone snapshot present without frozen delta")
+	}
+	if len(si.frozenL0) > 0 && si.frozen == nil {
+		return fmt.Errorf("frozen L0 buffer present without frozen delta")
+	}
+	// Note: an L0/delta entry may share its id with a tombstone — ids
+	// are reused once their tombstoned slot is reclaimed, and the
+	// tombstone then names only the packed/frozen incarnation.
+	return nil
+}

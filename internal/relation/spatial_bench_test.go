@@ -1,0 +1,104 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pack"
+	"repro/internal/pager"
+	"repro/internal/picture"
+	"repro/internal/storage"
+)
+
+// benchFixture builds a cities relation with nPacked tuples in the
+// packed tree and nDelta tuples absorbed by the write side (L0 buffer
+// plus delta tree), with every 10th delta-era op deleting a packed
+// tuple so tombstone filtering is on the measured path.
+func benchFixture(b *testing.B, nPacked, nDelta int) (*Relation, *SpatialIndex) {
+	b.Helper()
+	p := pager.OpenMem(4096)
+	b.Cleanup(func() { p.Close() })
+	rel, err := New(p, "cities", citySchema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pic := picture.New("us-map", geom.R(0, 0, 1000, 1000))
+	rng := rand.New(rand.NewSource(1985))
+	for i := 0; i < nPacked; i++ {
+		addBenchCity(b, rel, pic, fmt.Sprintf("p%d", i), rng.Float64()*1000, rng.Float64()*1000)
+	}
+	if err := rel.AttachPicture(pic, pack.Options{Method: pack.MethodSTR}); err != nil {
+		b.Fatal(err)
+	}
+	si := rel.Spatial("us-map")
+	si.SetAutoRepack(false)
+	for i := 0; i < nDelta; i++ {
+		id := addBenchCity(b, rel, pic, fmt.Sprintf("d%d", i), rng.Float64()*1000, rng.Float64()*1000)
+		if i%10 == 9 {
+			if err := rel.Delete(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	si.WaitAbsorb()
+	return rel, si
+}
+
+func addBenchCity(b *testing.B, rel *Relation, pic *picture.Picture, name string, x, y float64) storage.TupleID {
+	b.Helper()
+	oid := pic.AddPoint(name, geom.Pt(x, y))
+	id, err := rel.Insert(Tuple{S(name), S("ST"), I(0), L(pic.Name(), oid)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return id
+}
+
+// BenchmarkDeltaMergedSearch measures the two-tier merged window read
+// (packed + delta + L0 minus tombstones, canonically ordered) that
+// every query pays while writes are pending — the read-amplification
+// side of the LSM trade. Run via `make benchcheck`.
+func BenchmarkDeltaMergedSearch(b *testing.B) {
+	rel, si := benchFixture(b, 5000, 1000)
+	if si.DeltaLen() == 0 {
+		b.Fatal("fixture has no pending delta")
+	}
+	windows := make([]geom.Rect, 64)
+	rng := rand.New(rand.NewSource(7))
+	for i := range windows {
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		windows[i] = geom.R(cx-25, cy-25, cx+25, cy+25)
+	}
+	pred := func(obj, win geom.Rect) bool { return true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rel.SearchArea("us-map", windows[i%len(windows)], pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPackedOnlySearch is the same workload with the write side
+// fully repacked — the baseline the merged read is compared against.
+func BenchmarkPackedOnlySearch(b *testing.B) {
+	rel, si := benchFixture(b, 5000, 1000)
+	si.RepackNow(true)
+	if si.DeltaLen() != 0 || si.TombstoneCount() != 0 {
+		b.Fatal("repack left pending write side")
+	}
+	windows := make([]geom.Rect, 64)
+	rng := rand.New(rand.NewSource(7))
+	for i := range windows {
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		windows[i] = geom.R(cx-25, cy-25, cx+25, cy+25)
+	}
+	pred := func(obj, win geom.Rect) bool { return true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rel.SearchArea("us-map", windows[i%len(windows)], pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"sort"
+	"time"
+)
+
+// LatencySummary condenses a set of per-operation latency samples into
+// the percentiles the benchmark CLIs report under concurrent load.
+type LatencySummary struct {
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+}
+
+// Percentile returns the p-th percentile (0..100) of samples by the
+// nearest-rank method. samples need not be sorted; it is not modified.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Summarize computes the standard percentile summary from raw
+// latency samples. samples is not modified.
+func Summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return LatencySummary{
+		Count: len(sorted),
+		P50:   percentileSorted(sorted, 50),
+		P95:   percentileSorted(sorted, 95),
+		P99:   percentileSorted(sorted, 99),
+		Max:   sorted[len(sorted)-1],
+		Mean:  sum / time.Duration(len(sorted)),
+	}
+}

@@ -75,6 +75,22 @@ type (
 	PackOptions = pack.Options
 	// RTreeParams configures R-tree branching.
 	RTreeParams = rtree.Params
+	// SpatialWritePolicy selects where spatial-index writes land.
+	SpatialWritePolicy = relation.WritePolicy
+	// SpatialCostSnapshot is the planner's consistent view of a spatial
+	// index.
+	SpatialCostSnapshot = relation.CostSnapshot
+)
+
+// Spatial write policy re-exports.
+const (
+	// WriteDelta absorbs writes into each index's in-memory delta
+	// R-tree (the default); a background repacker restores packed
+	// quality.
+	WriteDelta = relation.WriteDelta
+	// WriteInPlace is the paper's per-tuple Guttman maintenance,
+	// mutating the packed tree directly.
+	WriteInPlace = relation.WriteInPlace
 )
 
 // Value constructors, re-exported.
@@ -206,9 +222,30 @@ func openRelation(db *Database, name string, schema Schema, first pager.PageID) 
 	return relation.Open(db.pager, name, schema, first)
 }
 
-// Close flushes (with the ordered commit barrier) and closes the
-// underlying storage.
-func (db *Database) Close() error { return db.pager.Close() }
+// Close drains in-flight background spatial repacks, then flushes
+// (with the ordered commit barrier) and closes the underlying storage.
+func (db *Database) Close() error {
+	db.WaitRepacks()
+	return db.pager.Close()
+}
+
+// WaitRepacks blocks until no spatial index in any relation has a
+// background repack in flight — the quiesce point tests and
+// checkpoints use before inspecting index structure.
+func (db *Database) WaitRepacks() {
+	for _, rel := range db.relations {
+		rel.WaitRepacks()
+	}
+}
+
+// SetSpatialWritePolicy sets the write policy on every spatial index
+// of every relation (and future indexes of existing relations):
+// WriteDelta (default) or WriteInPlace.
+func (db *Database) SetSpatialWritePolicy(p SpatialWritePolicy) {
+	for _, rel := range db.relations {
+		rel.SetSpatialWritePolicy(p)
+	}
+}
 
 // Commit flushes every dirty page, syncs them, and only then writes
 // and syncs the file header — the explicit durability barrier. Data
