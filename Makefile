@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build test race vet bench benchcheck faults fuzz psqlbench ingestbench table1 parbench joinbench clean
+.PHONY: check build test race vet bench benchcheck faults walfaults fuzz psqlbench ingestbench commitbench table1 parbench joinbench clean
 
 # The gate: everything must vet, build, pass under the race detector
 # (the concurrent read path and parallel PACK are exercised by
 # dedicated -race stress tests), and survive the fault-injection and
-# crash-point suites.
-check: vet build race faults
+# crash-point suites, including the WAL crash-recovery matrix.
+check: vet build race faults walfaults
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ benchcheck:
 faults:
 	$(GO) test -race -run 'Fault|Crash|Torn|Checksum|Corrupt|Truncated|Degrad|V1Compat|Check' ./internal/pager/ ./cmd/pictdbcheck/ .
 
+# Write-ahead-log durability matrix: group-commit batching, snapshot
+# isolation under concurrent writers, append-region fault injection at
+# the log tail, and the coordinated (page file, WAL) crash-point sweep
+# with recovery verified from every captured image.
+walfaults:
+	$(GO) test -race -run 'WAL|Snapshot|Append' ./internal/pager/ ./cmd/pictdbcheck/ .
+
 # Short deterministic fuzz pass over the tuple decoder.
 fuzz:
 	$(GO) test -fuzz FuzzDecodeTuple -fuzztime 30s ./internal/relation/
@@ -56,6 +63,11 @@ psqlbench:
 # Records the acceptance numbers in BENCH_pr6.json.
 ingestbench:
 	$(GO) run ./cmd/ingestbench -out BENCH_pr6.json
+
+# Durable-commit throughput: serial ordered commit vs WAL group commit
+# at 1/4/16 writers. Records the acceptance numbers in BENCH_pr7.json.
+commitbench:
+	$(GO) run ./cmd/commitbench -out BENCH_pr7.json
 
 # Paper reproduction targets.
 table1:

@@ -1,0 +1,261 @@
+// Command commitbench measures durable-commit throughput under
+// concurrent writers, comparing the two disciplines the pager offers:
+//
+//   - serial: the ordered-commit baseline — every commit flushes its
+//     dirty pages, fsyncs the page file, writes the header slot, and
+//     fsyncs again. Commits are fully serialized; N writers queue
+//     behind one another and each pays the full sync cost.
+//   - group: the write-ahead-log path — concurrent committers enqueue,
+//     one leader appends the whole batch's frames to the log and
+//     fsyncs once, and every member is acknowledged together. The
+//     fsync cost is amortized across the batch.
+//
+// Each writer owns one page, bumps a counter in it, and commits, so
+// the workload is pure commit overhead with no page contention. The
+// report gives commits/sec and client-observed commit latency
+// percentiles at 1, 4, and 16 writers for both modes, plus the
+// headline ratio: group commit at 16 writers over the serial
+// single-writer baseline.
+//
+// Usage:
+//
+//	commitbench [-commits n] [-pool n] [-dir d] [-json] [-out file]
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/pager"
+	"repro/internal/workload"
+)
+
+var writerCounts = []int{1, 4, 16}
+
+type result struct {
+	Mode          string                  `json:"mode"`
+	Writers       int                     `json:"writers"`
+	Commits       int                     `json:"commits"`
+	Seconds       float64                 `json:"seconds"`
+	CommitsPerSec float64                 `json:"commits_per_sec"`
+	Batches       uint64                  `json:"wal_batches,omitempty"`
+	Syncs         uint64                  `json:"wal_syncs,omitempty"`
+	Latency       workload.LatencySummary `json:"commit_latency"`
+}
+
+type report struct {
+	GOOS             string   `json:"goos"`
+	GOARCH           string   `json:"goarch"`
+	CommitsPerWriter int      `json:"commits_per_writer"`
+	Pool             int      `json:"pool_pages"`
+	Serial           []result `json:"serial"`
+	Group            []result `json:"group"`
+	// SpeedupAt16 is group commit at 16 writers over the serial
+	// single-writer baseline — the issue's headline number.
+	SpeedupAt16 float64 `json:"group16_over_serial1"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("commitbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	commits := fs.Int("commits", 300, "commits per writer per configuration")
+	pool := fs.Int("pool", 256, "buffer pool size in pages")
+	dir := fs.String("dir", "", "directory for the benchmark files (default: a temp dir)")
+	jsonOut := fs.Bool("json", false, "emit the full report as JSON on stdout")
+	outPath := fs.String("out", "", "also write the JSON report to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	workDir := *dir
+	if workDir == "" {
+		td, err := os.MkdirTemp("", "commitbench")
+		if err != nil {
+			fmt.Fprintf(stderr, "commitbench: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(td)
+		workDir = td
+	}
+
+	rep := report{
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		CommitsPerWriter: *commits,
+		Pool:             *pool,
+	}
+	for _, mode := range []string{"serial", "group"} {
+		for _, writers := range writerCounts {
+			path := filepath.Join(workDir, fmt.Sprintf("%s-%d.db", mode, writers))
+			res, err := runConfig(mode, writers, *commits, *pool, path)
+			if err != nil {
+				fmt.Fprintf(stderr, "commitbench: %s/%d writers: %v\n", mode, writers, err)
+				return 1
+			}
+			if mode == "serial" {
+				rep.Serial = append(rep.Serial, res)
+			} else {
+				rep.Group = append(rep.Group, res)
+			}
+			if !*jsonOut {
+				fmt.Fprintf(stdout, "%-6s %2d writer(s): %9.0f commits/sec  p50 %8s  p99 %8s",
+					mode, writers, res.CommitsPerSec, res.Latency.P50, res.Latency.P99)
+				if mode == "group" {
+					fmt.Fprintf(stdout, "  (%d commits in %d batches, %d syncs)",
+						res.Commits, res.Batches, res.Syncs)
+				}
+				fmt.Fprintln(stdout)
+			}
+		}
+	}
+	rep.SpeedupAt16 = rep.Group[len(rep.Group)-1].CommitsPerSec / rep.Serial[0].CommitsPerSec
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "group@16 over serial@1: %.2fx\n", rep.SpeedupAt16)
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "commitbench: %v\n", err)
+		return 1
+	}
+	if *jsonOut {
+		fmt.Fprintln(stdout, string(blob))
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "commitbench: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runConfig measures one (mode, writers) cell on a fresh file-backed
+// pager. Every writer owns a distinct page; a commit is one counter
+// bump made durable.
+func runConfig(mode string, writers, commits, pool int, path string) (result, error) {
+	p, err := pager.Open(path, pool)
+	if err != nil {
+		return result{}, err
+	}
+	defer p.Close()
+	if mode == "group" {
+		if err := p.EnableWAL(); err != nil {
+			return result{}, err
+		}
+	}
+
+	// One page per writer, committed before timing starts.
+	pages := make([]pager.PageID, writers)
+	for i := range pages {
+		pg, err := p.Allocate()
+		if err != nil {
+			return result{}, err
+		}
+		pages[i] = pg.ID
+		pg.MarkDirty()
+		p.Unpin(pg)
+	}
+	if err := p.Commit(); err != nil {
+		return result{}, err
+	}
+	statsBefore := p.WALStats()
+
+	// In serial mode commits are mutually exclusive by discipline: the
+	// ordered-commit protocol flushes ALL dirty pages, so overlapping
+	// mutations from other writers must not be in flight. The bench
+	// serializes mutate+commit with one lock, which is exactly the
+	// schedule the baseline forces on clients.
+	var serialMu sync.Mutex
+
+	latencies := make([][]time.Duration, writers)
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			samples := make([]time.Duration, 0, commits)
+			id := pages[w]
+			for i := 0; i < commits; i++ {
+				t0 := time.Now()
+				var err error
+				if mode == "serial" {
+					serialMu.Lock()
+					err = bumpAndCommit(p, id, uint64(i+1))
+					serialMu.Unlock()
+				} else {
+					p.BeginWrite()
+					err = bump(p, id, uint64(i+1))
+					p.EndWrite()
+					if err == nil {
+						err = p.Commit()
+					}
+				}
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				samples = append(samples, time.Since(t0))
+			}
+			latencies[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return result{}, err
+		}
+	}
+	statsAfter := p.WALStats()
+
+	all := make([]time.Duration, 0, writers*commits)
+	for _, s := range latencies {
+		all = append(all, s...)
+	}
+	total := writers * commits
+	res := result{
+		Mode:          mode,
+		Writers:       writers,
+		Commits:       total,
+		Seconds:       elapsed.Seconds(),
+		CommitsPerSec: float64(total) / elapsed.Seconds(),
+		Latency:       workload.Summarize(all),
+	}
+	if mode == "group" {
+		res.Batches = statsAfter.Batches - statsBefore.Batches
+		res.Syncs = statsAfter.Syncs - statsBefore.Syncs
+	}
+	return res, nil
+}
+
+func bump(p *pager.Pager, id pager.PageID, v uint64) error {
+	pg, err := p.Fetch(id)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(pg.Data[0:8], v)
+	pg.MarkDirty()
+	p.Unpin(pg)
+	return nil
+}
+
+func bumpAndCommit(p *pager.Pager, id pager.PageID, v uint64) error {
+	if err := bump(p, id, v); err != nil {
+		return err
+	}
+	return p.Commit()
+}

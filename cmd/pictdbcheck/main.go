@@ -19,6 +19,7 @@ import (
 	"os"
 
 	pictdb "repro"
+	"repro/internal/pager"
 )
 
 func main() {
@@ -49,6 +50,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// Inspect the write-ahead log sidecar before opening: opening runs
+	// recovery, which replays and truncates the log, destroying the
+	// evidence a checker should report. A torn tail after the last
+	// commit is a tolerated crash artifact; a corrupt record BEFORE a
+	// later commit means acknowledged data is damaged, and the file
+	// must not be opened (recovery would silently replay a prefix).
+	wal, err := pager.InspectWALFile(pager.WALPath(path))
+	if err != nil {
+		fmt.Fprintf(stderr, "pictdbcheck: %s: %v\n", pager.WALPath(path), err)
+		return 1
+	}
+	walLine := describeWAL(wal)
+	if !wal.OK() {
+		fmt.Fprintf(stdout, "%s: wal: %s\n", path, walLine)
+		for _, p := range wal.Problems {
+			fmt.Fprintf(stdout, "  %s\n", p)
+		}
+		fmt.Fprintln(stderr, "pictdbcheck: write-ahead log is corrupt before its last commit; committed data would be lost on recovery")
+		return 1
+	}
+
 	db, report, err := pictdb.OpenChecked(path, *pool)
 	if err != nil {
 		fmt.Fprintf(stderr, "pictdbcheck: %v\n", err)
@@ -60,6 +82,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		path, report.Pages, report.FreePages, report.Relations, report.Leaked)
 	if report.OK() {
 		fmt.Fprintf(stdout, "%s: OK\n", summary)
+		if *verbose || !wal.Empty {
+			fmt.Fprintf(stdout, "wal: %s\n", walLine)
+		}
 		if *verbose {
 			fmt.Fprintln(stdout, "all page checksums, free-list links, and index invariants verified")
 		}
@@ -71,4 +96,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stderr, "pictdbcheck: database is corrupt; it was opened in read-only degraded mode")
 	return 1
+}
+
+// describeWAL renders one operator-facing line about the sidecar log's
+// pre-recovery state: how many CRC-validated records and commits it
+// holds, the last durable generation, and whether a torn tail (from a
+// crash mid-append) will be discarded on the next open.
+func describeWAL(r *pager.WALReport) string {
+	if r.Empty && !r.TornTail {
+		return "empty (fresh or fully checkpointed)"
+	}
+	s := fmt.Sprintf("%d record(s), %d commit(s), last durable generation %d, checksums OK",
+		r.Records, r.Commits, r.LastGen)
+	if r.CorruptBefore {
+		s = fmt.Sprintf("%d record(s), %d commit(s), CORRUPT record at offset %d before the last commit",
+			r.Records, r.Commits, r.TornAt)
+	} else if r.TornTail {
+		s += fmt.Sprintf("; torn tail at offset %d will be discarded by recovery", r.TornAt)
+	}
+	return s
 }

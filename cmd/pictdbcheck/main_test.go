@@ -139,3 +139,123 @@ func TestCheckUsage(t *testing.T) {
 		t.Fatalf("exit %d with no args (want 2)", code)
 	}
 }
+
+// snapshotLiveDB builds a database and copies both halves — page file
+// and WAL sidecar — while it is still open, after two checkpoints.
+// Group commit syncs the log before acknowledging, so the copied pair
+// is a crash-consistent image whose WAL still holds committed frames.
+func snapshotLiveDB(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "live.db")
+	db, err := pictdb.Open(orig, 64)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rel, err := db.CreateRelation("cities", pictdb.MustSchema("city:string", "pop:int"))
+	if err != nil {
+		t.Fatalf("CreateRelation: %v", err)
+	}
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 50; i++ {
+			if _, err := rel.Insert(pictdb.Tuple{pictdb.S("c"), pictdb.I(int64(i))}); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+	}
+	mainBytes, err := os.ReadFile(orig)
+	if err != nil {
+		t.Fatalf("ReadFile main: %v", err)
+	}
+	walBytes, err := os.ReadFile(pager.WALPath(orig))
+	if err != nil {
+		t.Fatalf("ReadFile wal: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	cp := filepath.Join(dir, "copy.db")
+	if err := os.WriteFile(cp, mainBytes, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := os.WriteFile(pager.WALPath(cp), walBytes, 0o644); err != nil {
+		t.Fatalf("WriteFile wal: %v", err)
+	}
+	return cp
+}
+
+// TestCheckReportsWALState: a healthy file with a populated log gets a
+// wal summary line — record count, commits, last durable generation.
+func TestCheckReportsWALState(t *testing.T) {
+	path := snapshotLiveDB(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on healthy pair; stdout=%q stderr=%q", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "wal:") || !strings.Contains(out.String(), "commit(s)") {
+		t.Fatalf("expected wal summary line, got %q", out.String())
+	}
+	if !strings.Contains(out.String(), "last durable generation") {
+		t.Fatalf("expected durable generation in wal line, got %q", out.String())
+	}
+}
+
+// TestCheckToleratesTornWALTail: garbage after the last commit is a
+// crash artifact recovery discards — the checker reports it and still
+// exits 0.
+func TestCheckToleratesTornWALTail(t *testing.T) {
+	path := snapshotLiveDB(t)
+	f, err := os.OpenFile(pager.WALPath(path), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write(bytes.Repeat([]byte{0xAB}, 100)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	f.Close()
+
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on torn tail (want 0); stdout=%q stderr=%q", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "torn tail") {
+		t.Fatalf("expected torn-tail note, got %q", out.String())
+	}
+}
+
+// TestCheckRejectsCorruptWALRecord: a damaged record BEFORE a later
+// valid commit means acknowledged data is unrecoverable — the checker
+// must refuse before opening (opening would replay a silent prefix).
+func TestCheckRejectsCorruptWALRecord(t *testing.T) {
+	path := snapshotLiveDB(t)
+	f, err := os.OpenFile(pager.WALPath(path), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	// One byte inside the first frame's page payload (frames start
+	// after the 16-byte file header and a 24-byte frame header).
+	off := int64(16 + 24 + 10)
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	buf[0] ^= 0xFF
+	if _, err := f.WriteAt(buf, off); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	f.Close()
+
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on corrupt wal record (want 1); stdout=%q stderr=%q", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "CORRUPT") {
+		t.Fatalf("expected CORRUPT wal line, got %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "write-ahead log is corrupt") {
+		t.Fatalf("expected refusal on stderr, got %q", errb.String())
+	}
+}

@@ -48,6 +48,24 @@ type FaultConfig struct {
 	// TornWriteProb tears each write with this probability (seeded by
 	// Seed), independent of the ordinal triggers.
 	TornWriteProb float64
+
+	// Append-region triggers target WAL-style writes — any WriteAt whose
+	// offset or length is not page-aligned (log records, unlike page
+	// write-back, land at arbitrary byte offsets). Ordinals count only
+	// such writes: FailAppend=2 fails the second append-region write.
+	//
+	// FailAppend fails the Nth append-region write with ErrInjected.
+	FailAppend int
+	// ShortAppend persists only a prefix of the Nth append-region write
+	// and reports ErrInjected with the short count.
+	ShortAppend int
+	// TornAppend persists only a prefix of the Nth append-region write
+	// while reporting success — a power-cut mid-record; the tail is
+	// discovered (and truncated) by WAL recovery.
+	TornAppend int
+	// TornAppendProb tears each append-region write with this
+	// probability (seeded by Seed).
+	TornAppendProb float64
 }
 
 // FaultBackend wraps a Backend with deterministic fault injection.
@@ -55,11 +73,12 @@ type FaultBackend struct {
 	inner Backend
 	cfg   FaultConfig
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	reads  int
-	writes int
-	syncs  int
+	mu      sync.Mutex
+	rng     *rand.Rand
+	reads   int
+	writes  int
+	appends int
+	syncs   int
 	// Faults lists the injected faults in order, for test diagnostics.
 	faults []string
 }
@@ -84,6 +103,14 @@ func (f *FaultBackend) Ops() (reads, writes, syncs int) {
 	return f.reads, f.writes, f.syncs
 }
 
+// AppendOps returns how many append-region (non-page-aligned) writes
+// have been seen, for sizing the append-fault ordinals.
+func (f *FaultBackend) AppendOps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appends
+}
+
 func (f *FaultBackend) ReadAt(p []byte, off int64) (int, error) {
 	f.mu.Lock()
 	f.reads++
@@ -99,12 +126,36 @@ func (f *FaultBackend) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (f *FaultBackend) WriteAt(p []byte, off int64) (int, error) {
+	// Append-region writes (log records) are unaligned; page write-back
+	// is always whole page-multiples at page-multiple offsets.
+	appendRegion := off%PageSize != 0 || len(p)%PageSize != 0
 	f.mu.Lock()
 	f.writes++
 	n := f.writes
 	torn := n == f.cfg.TornWrite || (f.cfg.TornWriteProb > 0 && f.rng.Float64() < f.cfg.TornWriteProb)
 	short := n == f.cfg.ShortWrite
 	fail := n == f.cfg.FailWrite
+	// keep counts the bytes persisted by a torn/short write: half for
+	// the page-aligned triggers (the classic half-page tear), two thirds
+	// for append-region triggers so the tear lands mid-record even when
+	// a batch ends with a small commit frame.
+	keep := len(p) / 2
+	if appendRegion {
+		f.appends++
+		a := f.appends
+		if a == f.cfg.FailAppend {
+			fail = true
+		}
+		if a == f.cfg.ShortAppend {
+			short = true
+		}
+		if a == f.cfg.TornAppend || (f.cfg.TornAppendProb > 0 && f.rng.Float64() < f.cfg.TornAppendProb) {
+			torn = true
+		}
+		if fail || short || torn {
+			keep = len(p) * 2 / 3
+		}
+	}
 	switch {
 	case fail:
 		f.faults = append(f.faults, fmt.Sprintf("write %d@%d: EIO", n, off))
@@ -118,17 +169,15 @@ func (f *FaultBackend) WriteAt(p []byte, off int64) (int, error) {
 	case fail:
 		return 0, fmt.Errorf("write at %d: %w", off, ErrInjected)
 	case short:
-		half := len(p) / 2
-		wrote, err := f.inner.WriteAt(p[:half], off)
+		wrote, err := f.inner.WriteAt(p[:keep], off)
 		if err != nil {
 			return wrote, err
 		}
 		return wrote, fmt.Errorf("write at %d: wrote %d of %d: %w", off, wrote, len(p), ErrInjected)
 	case torn:
-		// Persist the first half only, but report full success: the
-		// medium lied, and only checksums can tell.
-		half := len(p) / 2
-		if _, err := f.inner.WriteAt(p[:half], off); err != nil {
+		// Persist a prefix only, but report full success: the medium
+		// lied, and only checksums can tell.
+		if _, err := f.inner.WriteAt(p[:keep], off); err != nil {
 			return 0, err
 		}
 		return len(p), nil
@@ -186,4 +235,80 @@ func (s *SnapshotBackend) Snapshots() [][]byte {
 		out[i] = append([]byte(nil), b...)
 	}
 	return out
+}
+
+// CrashImage is one coordinated crash point of a WAL-mode database:
+// the page file and WAL sidecar bytes captured at the same instant.
+type CrashImage struct {
+	Main []byte
+	WAL  []byte
+}
+
+// CrashPair is the WAL-mode crash-point harness: two in-memory stores
+// (the page file and its WAL sidecar) whose Syncs each capture a
+// consistent image of *both* under one mutex — the state a crash at
+// that barrier could leave behind. The OnSync hook fires with each
+// image's index while the pair's mutex is held, letting tests record
+// exactly which commits had been acknowledged when the image was
+// taken (e.g. "image 7 was captured after ack #42").
+type CrashPair struct {
+	mu     sync.Mutex
+	main   *MemBackend
+	wal    *MemBackend
+	images []CrashImage
+
+	// OnSync, when set before any Sync, observes each captured image.
+	OnSync func(index int, img CrashImage)
+}
+
+// NewCrashPair creates an empty coordinated main+WAL crash harness.
+func NewCrashPair() *CrashPair {
+	return &CrashPair{main: NewMemBackend(nil), wal: NewMemBackend(nil)}
+}
+
+// Main returns the page-file half of the pair.
+func (c *CrashPair) Main() Backend { return &crashHalf{c: c, b: c.main} }
+
+// WAL returns the log half of the pair.
+func (c *CrashPair) WAL() Backend { return &crashHalf{c: c, b: c.wal} }
+
+// Images returns copies of every coordinated crash image so far.
+func (c *CrashPair) Images() []CrashImage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CrashImage, len(c.images))
+	for i, img := range c.images {
+		out[i] = CrashImage{
+			Main: append([]byte(nil), img.Main...),
+			WAL:  append([]byte(nil), img.WAL...),
+		}
+	}
+	return out
+}
+
+func (c *CrashPair) capture() {
+	c.mu.Lock()
+	img := CrashImage{Main: c.main.Bytes(), WAL: c.wal.Bytes()}
+	c.images = append(c.images, img)
+	if c.OnSync != nil {
+		c.OnSync(len(c.images)-1, img)
+	}
+	c.mu.Unlock()
+}
+
+// crashHalf adapts one MemBackend of a CrashPair, routing Sync through
+// the pair-wide capture.
+type crashHalf struct {
+	c *CrashPair
+	b *MemBackend
+}
+
+func (h *crashHalf) ReadAt(p []byte, off int64) (int, error)  { return h.b.ReadAt(p, off) }
+func (h *crashHalf) WriteAt(p []byte, off int64) (int, error) { return h.b.WriteAt(p, off) }
+func (h *crashHalf) Truncate(size int64) error                { return h.b.Truncate(size) }
+func (h *crashHalf) Close() error                             { return nil }
+
+func (h *crashHalf) Sync() error {
+	h.c.capture()
+	return nil
 }

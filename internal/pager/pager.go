@@ -301,6 +301,16 @@ type Pager struct {
 	retired  []*mapping
 	verified atomic.Pointer[verifiedSet]
 	mmapPins atomic.Uint64
+
+	// Write-ahead log (wal.go): non-nil once EnableWAL/EnableWALBackend
+	// attached a log. Commit then routes through group commit, eviction
+	// never steals dirty pages into the page file, and reads prefer the
+	// newest WAL frame over the (possibly stale) page file. writeGate's
+	// shared side brackets multi-page mutations (BeginWrite/EndWrite);
+	// the commit leader captures page images under the exclusive side so
+	// a batch never contains half a mutation.
+	wal       atomic.Pointer[walState]
+	writeGate sync.RWMutex
 }
 
 // Open opens (or creates) a page file at path with a buffer pool of
@@ -690,11 +700,31 @@ func (p *Pager) install(id PageID, read bool) (*Page, error) {
 }
 
 // installShard evicts as needed and installs page id, reading its
-// contents from the backend (and verifying its trailer) when read is
-// true. Caller holds sh.mu.
+// contents from the newest WAL frame or the backend (verifying frame
+// CRC or page trailer respectively) when read is true. Caller holds
+// sh.mu.
 func (p *Pager) installShard(sh *shard, id PageID, read bool) (*Page, error) {
+	w := p.wal.Load()
 	for len(sh.pages) >= sh.capacity {
 		victim := sh.lruTail
+		if w != nil {
+			// No-steal: in WAL mode a dirty page must never reach the page
+			// file outside a checkpoint, so eviction skips dirty victims.
+			// A clean victim's newest image is already durable (WAL frame
+			// or page file), so it is dropped without a write.
+			for victim != nil && victim.dirty {
+				victim = victim.prev
+			}
+			if victim == nil {
+				// Every unpinned page is dirty: overcommit the shard until
+				// the next commit captures them into the WAL.
+				break
+			}
+			sh.lruRemove(victim)
+			delete(sh.pages, victim.ID)
+			sh.stats.Evictions++
+			continue
+		}
 		if victim == nil {
 			return nil, fmt.Errorf("pager: pool shard exhausted (%d pages, all pinned)", sh.capacity)
 		}
@@ -707,6 +737,28 @@ func (p *Pager) installShard(sh *shard, id PageID, read bool) (*Page, error) {
 	}
 	pg := &Page{ID: id, pins: 1}
 	if read {
+		for w != nil {
+			f, ok := w.latestFrame(id, ^uint64(0))
+			if !ok {
+				break // no frame: the page file holds the newest image
+			}
+			// The newest image lives in the WAL, not the page file. The
+			// frame CRC vouches for it; the verified-bitmap only tracks
+			// page-file images, so leave it untouched.
+			err := w.readFrameImage(f, id, pg.Data[:])
+			if err == nil {
+				sh.pages[id] = pg
+				return pg, nil
+			}
+			// A checkpoint may have retired the index and truncated the
+			// log between our index lookup and the read; if the frame is
+			// gone, the backfilled page file now holds the image — retry
+			// against the index. A stable frame that still fails is
+			// genuine corruption.
+			if f2, ok2 := w.latestFrame(id, ^uint64(0)); ok2 && f2 == f {
+				return nil, err
+			}
+		}
 		n, err := p.backend.ReadAt(pg.Data[:], int64(id)*PageSize)
 		switch {
 		case err == io.EOF || err == io.ErrUnexpectedEOF:
@@ -841,10 +893,16 @@ func (p *Pager) commit() error {
 
 // Commit flushes all dirty pages, syncs them, and only then writes and
 // syncs the header — the explicit durability barrier callers place at
-// the end of bulk builds and checkpoints.
+// the end of bulk builds and checkpoints. With a WAL enabled, Commit
+// instead appends the dirty pages and a commit record to the log with
+// a single (group) fsync; the page file is updated later, by a
+// checkpoint.
 func (p *Pager) Commit() error {
 	if p.closed.Load() {
 		return ErrClosed
+	}
+	if w := p.wal.Load(); w != nil {
+		return p.commitWAL(w)
 	}
 	return p.commit()
 }
@@ -864,8 +922,35 @@ func (p *Pager) Close() error {
 	if err := p.closeMapping(); err != nil {
 		return err
 	}
+	if w := p.wal.Load(); w != nil && !p.readOnly.Load() {
+		// The final checkpoint below rewrites the page file; refuse while
+		// snapshots still pin old generations (before marking closed, so
+		// the pager stays usable and the caller can release them).
+		w.imu.RLock()
+		snaps := w.snapshots
+		w.imu.RUnlock()
+		if snaps > 0 {
+			return fmt.Errorf("pager: close: %w: %d snapshot(s)", ErrSnapshotsActive, snaps)
+		}
+	}
 	if p.closed.Swap(true) {
 		return nil
+	}
+	if w := p.wal.Load(); w != nil {
+		if p.readOnly.Load() {
+			err := w.backend.Close()
+			if cerr := p.backend.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
+		// Final commit + checkpoint: the page file is left carrying the
+		// full committed state and the WAL truncated, so the database
+		// stands alone (and stays readable by WAL-less opens).
+		if err := p.closeWAL(w); err != nil {
+			return err
+		}
+		return p.backend.Close()
 	}
 	if p.readOnly.Load() {
 		return p.backend.Close()

@@ -208,6 +208,16 @@ func (p *Pager) Pin(id PageID) (View, error) {
 	if id == InvalidPage || uint32(id) >= p.numPages.Load() {
 		return View{}, fmt.Errorf("%w: %d", ErrPageRange, id)
 	}
+	if w := p.wal.Load(); w != nil && w.hasFrame(id) {
+		// The newest image of this page lives in a WAL frame, so the
+		// bytes under the mapping are stale: serve it through the pool,
+		// whose read path resolves WAL frames.
+		pg, err := p.fetchShard(id)
+		if err != nil {
+			return View{}, err
+		}
+		return View{id: id, data: pg.Data[:], pg: pg, p: p}, nil
+	}
 	if m := p.mapping.Load(); m != nil && uint32(id) < m.pages {
 		// Pool first: a resident page may be dirty, i.e. newer than the
 		// bytes under the mapping.

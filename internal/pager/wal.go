@@ -1,0 +1,1061 @@
+package pager
+
+// Write-ahead log with group commit and snapshot-isolated reads.
+//
+// With a WAL enabled (EnableWAL / EnableWALBackend), Commit no longer
+// rewrites the page file in place. Instead the commit leader captures
+// every dirty pool page as a CRC-32C-framed, generation-stamped record
+// appended to the WAL sidecar, follows them with a commit record
+// carrying the header state (page count, free-list head), and fsyncs
+// once for the whole batch. Concurrent committers enqueue; whichever
+// arrives first becomes the leader, drains the queue, and acknowledges
+// every batched writer after the single sync — group commit. The page
+// file itself is only rewritten by checkpoints (and by recovery), so a
+// torn in-place page write can no longer destroy committed data.
+//
+// Reads consult the WAL first: a page whose latest image lives in a
+// committed-or-captured WAL frame is served from the frame (frame CRC
+// verified), everything else from the page file. Dirty pages are never
+// stolen to the page file — eviction skips them — so the page file
+// always holds exactly the last checkpointed state.
+//
+// Snapshot reads: BeginSnapshot pins the last durably committed
+// generation and returns a read-only Backend view that resolves every
+// page to its newest frame at or below that generation (falling back
+// to the page file) and synthesizes a page-0 header describing exactly
+// that generation's page count and free list. Readers therefore never
+// observe a torn root or an in-progress write, and never block
+// writers; checkpoints defer while snapshots are pinned so the page
+// file cannot advance beneath them.
+//
+// Recovery: on open, committed WAL records are replayed into the v2
+// page format (ordered: data, sync, header, sync) and the WAL is
+// truncated. A torn tail — any bytes past the last record whose CRC
+// validates through a commit record — is discarded; InspectWAL
+// distinguishes that tolerated tail from corruption *before* the last
+// commit point, which is data loss and reported as such.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// WAL file format constants.
+const (
+	walHeaderSize   = 16
+	frameHeaderSize = 24
+	frameTrailer    = 4 // CRC-32C over header+payload
+
+	frameKindPage   = 1
+	frameKindCommit = 2
+
+	// commitPayloadSize is the commit record payload: page count and
+	// free-list head of the committed header state.
+	commitPayloadSize = 8
+)
+
+// frameMagic opens every WAL record, letting InspectWAL resynchronize
+// past a corrupt region to find later records.
+const frameMagic uint32 = 0x57414C46 // "FLAW" little-endian, reads "WALF"
+
+var walMagic = [8]byte{'P', 'I', 'C', 'T', 'W', 'A', 'L', '1'}
+
+// ErrNoWAL is returned by WAL-only operations on a pager without one.
+var ErrNoWAL = errors.New("pager: no write-ahead log enabled")
+
+// ErrSnapshotsActive is returned when an operation (checkpoint, close)
+// requires the WAL to quiesce but snapshots still pin old generations.
+var ErrSnapshotsActive = errors.New("pager: snapshots still active")
+
+// walFrame locates one page image inside the WAL.
+type walFrame struct {
+	gen uint64
+	off int64 // offset of the frame header
+}
+
+// walState is the runtime state of an enabled WAL.
+type walState struct {
+	backend Backend
+	path    string // for error messages
+
+	// commitMu serializes batch leaders, checkpoints, and recovery: at
+	// most one of them touches the WAL tail at a time.
+	commitMu sync.Mutex
+
+	// qmu guards the group-commit queue and the leader flag.
+	qmu    sync.Mutex
+	queue  []chan error
+	leader bool
+
+	// imu guards the frame index, append offset, committed header
+	// state, snapshot count, and counters. Readers (snapshot pins,
+	// WAL-aware fetches) take it shared and briefly.
+	imu       sync.RWMutex
+	index     map[PageID][]walFrame // frames per page, ascending gen
+	size      int64                 // append offset (next frame lands here)
+	snapshots int
+
+	committedGen      uint64
+	committedNumPages uint32
+	committedFreeHead PageID
+
+	stats WALStats
+
+	// checkpointEvery triggers an automatic checkpoint once the WAL
+	// grows past this many bytes (0 disables automatic checkpoints).
+	checkpointEvery int64
+}
+
+// WALStats reports write-ahead log activity.
+type WALStats struct {
+	Commits     uint64 // Commit calls acknowledged through the WAL
+	Batches     uint64 // fsync batches (group commit: Commits/Batches writers per sync)
+	Frames      uint64 // page records appended
+	Syncs       uint64 // WAL fsyncs issued
+	Checkpoints uint64 // backfills of the page file
+	Size        int64  // current WAL size in bytes
+	LastGen     uint64 // last durably committed generation
+}
+
+// defaultWALCheckpointBytes is the automatic checkpoint threshold.
+const defaultWALCheckpointBytes = 4 << 20
+
+// WALPath returns the sidecar path of the write-ahead log for a page
+// file at path.
+func WALPath(path string) string { return path + ".wal" }
+
+// EnableWAL opens (or creates) the WAL sidecar next to a file-backed
+// pager, recovers any committed records it holds into the page file,
+// and switches Commit to the group-commit write-ahead discipline. Call
+// it immediately after Open, before mutations.
+func (p *Pager) EnableWAL() error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	if _, ok := p.backend.(*os.File); !ok {
+		return fmt.Errorf("pager: EnableWAL: backend %T is not a file (use EnableWALBackend)", p.backend)
+	}
+	f, err := os.OpenFile(WALPath(p.path), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("pager: open wal: %w", err)
+	}
+	if err := p.enableWAL(f, WALPath(p.path)); err != nil {
+		f.Close()
+		return err
+	}
+	return nil
+}
+
+// EnableWALBackend attaches a write-ahead log stored in b — the seam
+// the fault-injection and crash-point harnesses use to run the WAL
+// over torn, failing, or snapshotted storage. Existing committed
+// records in b are recovered into the page file first.
+func (p *Pager) EnableWALBackend(b Backend) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	return p.enableWAL(b, "(wal backend)")
+}
+
+func (p *Pager) enableWAL(b Backend, path string) error {
+	if p.wal.Load() != nil {
+		return fmt.Errorf("pager: WAL already enabled")
+	}
+	w := &walState{
+		backend:         b,
+		path:            path,
+		index:           make(map[PageID][]walFrame),
+		checkpointEvery: defaultWALCheckpointBytes,
+	}
+	if err := p.recoverWAL(w); err != nil {
+		return err
+	}
+	// The page file is now the recovered, committed state; seed the
+	// committed marks from it so snapshots taken before the first WAL
+	// commit see it.
+	p.hmu.Lock()
+	w.committedGen = p.gen
+	w.committedNumPages = p.numPages.Load()
+	w.committedFreeHead = p.freeHead
+	p.hmu.Unlock()
+	p.wal.Store(w)
+	return nil
+}
+
+// WALEnabled reports whether commits go through a write-ahead log.
+func (p *Pager) WALEnabled() bool { return p.wal.Load() != nil }
+
+// WALStats returns a snapshot of the WAL counters. The zero value is
+// returned when no WAL is enabled.
+func (p *Pager) WALStats() WALStats {
+	w := p.wal.Load()
+	if w == nil {
+		return WALStats{}
+	}
+	w.imu.RLock()
+	defer w.imu.RUnlock()
+	s := w.stats
+	s.Size = w.size
+	s.LastGen = w.committedGen
+	return s
+}
+
+// SetWALCheckpointThreshold sets the WAL size, in bytes, past which a
+// commit triggers an automatic checkpoint (backfill into the page file
+// and WAL truncation). Zero disables automatic checkpoints.
+func (p *Pager) SetWALCheckpointThreshold(bytes int64) {
+	if w := p.wal.Load(); w != nil {
+		w.imu.Lock()
+		w.checkpointEvery = bytes
+		w.imu.Unlock()
+	}
+}
+
+// BeginWrite brackets the start of a multi-page logical mutation
+// (shared side of the write gate). The WAL commit leader captures page
+// images under the exclusive side, so a batch can never contain a
+// half-applied mutation. Callers performing concurrent mutations must
+// hold the gate for the full mutation and release it before Commit;
+// single-goroutine callers need no gate (their own Commit orders after
+// their mutations).
+func (p *Pager) BeginWrite() { p.writeGate.RLock() }
+
+// EndWrite releases the bracket taken by BeginWrite.
+func (p *Pager) EndWrite() { p.writeGate.RUnlock() }
+
+// --- frame encoding ---------------------------------------------------
+
+// appendFrame appends one framed record to buf:
+//
+//	bytes 0..3   frame magic "WALF"
+//	byte  4      kind (1 page, 2 commit)
+//	bytes 5..7   reserved (zero)
+//	bytes 8..15  generation
+//	bytes 16..19 page id (page frames) / page-frame count (commit frames)
+//	bytes 20..23 payload length
+//	payload
+//	4 bytes      CRC-32C over header and payload
+func appendFrame(buf []byte, kind byte, gen uint64, ref uint32, payload []byte) []byte {
+	start := len(buf)
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
+	hdr[4] = kind
+	binary.LittleEndian.PutUint64(hdr[8:16], gen)
+	binary.LittleEndian.PutUint32(hdr[16:20], ref)
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(payload)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	sum := crc32.Checksum(buf[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+func frameSize(payloadLen int) int64 {
+	return int64(frameHeaderSize + payloadLen + frameTrailer)
+}
+
+// readFrameAt parses the frame at off, verifying magic and CRC.
+func readFrameAt(r io.ReaderAt, off int64) (kind byte, gen uint64, ref uint32, payload []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := r.ReadAt(hdr[:], off); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != frameMagic {
+		return 0, 0, 0, nil, fmt.Errorf("%w: wal record at %d: bad frame magic", ErrChecksum, off)
+	}
+	plen := binary.LittleEndian.Uint32(hdr[20:24])
+	if plen > PageSize {
+		return 0, 0, 0, nil, fmt.Errorf("%w: wal record at %d: payload length %d", ErrChecksum, off, plen)
+	}
+	body := make([]byte, int(plen)+frameTrailer)
+	if _, err := r.ReadAt(body, off+frameHeaderSize); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	payload = body[:plen]
+	want := binary.LittleEndian.Uint32(body[plen:])
+	sum := crc32.Checksum(hdr[:], castagnoli)
+	sum = crc32.Update(sum, castagnoli, payload)
+	if sum != want {
+		return 0, 0, 0, nil, fmt.Errorf("%w: wal record at %d: stored %#08x, computed %#08x", ErrChecksum, off, want, sum)
+	}
+	return hdr[4], binary.LittleEndian.Uint64(hdr[8:16]), binary.LittleEndian.Uint32(hdr[16:20]), payload, nil
+}
+
+// writeWALHeader initializes an empty WAL: magic, version, CRC.
+func writeWALHeader(b Backend) error {
+	var hdr [walHeaderSize]byte
+	copy(hdr[0:8], walMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], 1)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(hdr[:12], castagnoli))
+	if _, err := b.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("pager: write wal header: %w", err)
+	}
+	return nil
+}
+
+// --- group commit -----------------------------------------------------
+
+// commitWAL is Commit in WAL mode: enqueue, and either wait for a
+// leader's batch to cover this request or become the leader and drain
+// the queue, one fsync per batch.
+func (p *Pager) commitWAL(w *walState) error {
+	ch := make(chan error, 1)
+	w.qmu.Lock()
+	w.queue = append(w.queue, ch)
+	if w.leader {
+		w.qmu.Unlock()
+		return <-ch
+	}
+	w.leader = true
+	w.qmu.Unlock()
+	for {
+		w.qmu.Lock()
+		batch := w.queue
+		w.queue = nil
+		if len(batch) == 0 {
+			w.leader = false
+			w.qmu.Unlock()
+			return <-ch
+		}
+		w.qmu.Unlock()
+		err := p.walCommitBatch(w, len(batch))
+		for _, c := range batch {
+			c <- err
+		}
+	}
+}
+
+// walCommitBatch appends one generation — every dirty pool page plus a
+// commit record — and fsyncs it. Page images are captured under the
+// exclusive write gate, so no in-flight mutation can be half-captured;
+// the fsync happens outside the gate, so writers resume mutating while
+// the batch hardens.
+func (p *Pager) walCommitBatch(w *walState, writers int) error {
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
+	if p.readOnly.Load() {
+		return ErrReadOnly
+	}
+	// First commit of an upgraded v1 file: subsequent captures stamp
+	// trailers, exactly like the in-place upgrade path.
+	p.version.CompareAndSwap(1, 2)
+
+	p.writeGate.Lock()
+	p.hmu.Lock()
+	p.gen++
+	gen := p.gen
+	numPages := p.numPages.Load()
+	freeHead := p.freeHead
+	p.hmu.Unlock()
+
+	// Capture every dirty page, in page order for reproducible logs.
+	type captured struct {
+		pg *Page
+		sh *shard
+	}
+	var caps []captured
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, pg := range sh.pages {
+			if pg.dirty {
+				caps = append(caps, captured{pg, sh})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].pg.ID < caps[j].pg.ID })
+
+	buf := make([]byte, 0, len(caps)*(frameHeaderSize+PageSize+frameTrailer)+frameHeaderSize+commitPayloadSize+frameTrailer)
+	offs := make([]int64, len(caps))
+	w.imu.RLock()
+	base := w.size
+	w.imu.RUnlock()
+	for i, c := range caps {
+		pg := c.pg
+		if p.version.Load() == 2 && (pg.fresh || trailerMarker(pg.Data[:]) == pageMarker) {
+			stampTrailer(pg.Data[:])
+		}
+		offs[i] = base + int64(len(buf))
+		buf = appendFrame(buf, frameKindPage, gen, uint32(pg.ID), pg.Data[:])
+	}
+	var commitPayload [commitPayloadSize]byte
+	binary.LittleEndian.PutUint32(commitPayload[0:4], numPages)
+	binary.LittleEndian.PutUint32(commitPayload[4:8], uint32(freeHead))
+	buf = appendFrame(buf, frameKindCommit, gen, uint32(len(caps)), commitPayload[:])
+
+	if _, err := w.backend.WriteAt(buf, base); err != nil {
+		p.writeGate.Unlock()
+		return fmt.Errorf("pager: wal append: %w", err)
+	}
+	// The records are in the WAL (though not yet durable): publish the
+	// frame index so evicted pages re-read their newest image, and mark
+	// the captured pages clean — nothing re-dirties them while the gate
+	// is held.
+	w.imu.Lock()
+	for i, c := range caps {
+		id := c.pg.ID
+		w.index[id] = append(w.index[id], walFrame{gen: gen, off: offs[i]})
+	}
+	w.size = base + int64(len(buf))
+	w.stats.Frames += uint64(len(caps))
+	w.imu.Unlock()
+	for _, c := range caps {
+		c.sh.mu.Lock()
+		c.pg.dirty = false
+		c.sh.mu.Unlock()
+	}
+	p.writeGate.Unlock()
+
+	if err := w.backend.Sync(); err != nil {
+		return fmt.Errorf("pager: wal sync: %w", err)
+	}
+	w.imu.Lock()
+	w.committedGen = gen
+	w.committedNumPages = numPages
+	w.committedFreeHead = freeHead
+	w.stats.Commits += uint64(writers)
+	w.stats.Batches++
+	w.stats.Syncs++
+	auto := w.checkpointEvery > 0 && w.size >= walHeaderSize+w.checkpointEvery
+	w.imu.Unlock()
+	if auto {
+		// Best-effort (still under commitMu): skipped while snapshots or
+		// mmap views pin old page images; the WAL keeps growing until
+		// they release.
+		_ = p.checkpointWALLocked(w, false)
+	}
+	return nil
+}
+
+// latestFrame returns the newest WAL frame for id at or below gen
+// (math.MaxUint64 for "current state").
+func (w *walState) latestFrame(id PageID, gen uint64) (walFrame, bool) {
+	w.imu.RLock()
+	defer w.imu.RUnlock()
+	frames := w.index[id]
+	// Frames are appended in ascending generation order.
+	for i := len(frames) - 1; i >= 0; i-- {
+		if frames[i].gen <= gen {
+			return frames[i], true
+		}
+	}
+	return walFrame{}, false
+}
+
+// hasFrame reports whether any WAL frame exists for id — when true,
+// the page file image of id may be stale and reads must go through the
+// WAL-aware pool path instead of the mmap.
+func (w *walState) hasFrame(id PageID) bool {
+	w.imu.RLock()
+	defer w.imu.RUnlock()
+	return len(w.index[id]) > 0
+}
+
+// readFrameImage reads the page image of frame f into dst (PageSize
+// bytes), verifying the frame CRC.
+func (w *walState) readFrameImage(f walFrame, id PageID, dst []byte) error {
+	kind, gen, ref, payload, err := readFrameAt(w.backend, f.off)
+	if err != nil {
+		return fmt.Errorf("pager: wal frame for page %d: %w", id, err)
+	}
+	if kind != frameKindPage || gen != f.gen || PageID(ref) != id || len(payload) != PageSize {
+		return fmt.Errorf("%w: wal frame at %d does not describe page %d gen %d", ErrChecksum, f.off, id, f.gen)
+	}
+	copy(dst, payload)
+	return nil
+}
+
+// --- checkpoint -------------------------------------------------------
+
+// CheckpointWAL backfills every committed WAL page image into the page
+// file with the ordered-commit barrier and truncates the WAL. It fails
+// with ErrSnapshotsActive while snapshots pin old generations (the
+// backfill would advance the page file beneath them) and defers,
+// without error, while zero-copy mmap views are pinned.
+func (p *Pager) CheckpointWAL() error {
+	w := p.wal.Load()
+	if w == nil {
+		return ErrNoWAL
+	}
+	return p.checkpointWAL(w, true)
+}
+
+func (p *Pager) checkpointWAL(w *walState, must bool) error {
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
+	return p.checkpointWALLocked(w, must)
+}
+
+func (p *Pager) checkpointWALLocked(w *walState, must bool) error {
+	w.imu.RLock()
+	snaps := w.snapshots
+	gen := w.committedGen
+	numPages := w.committedNumPages
+	freeHead := w.committedFreeHead
+	empty := w.size <= walHeaderSize
+	w.imu.RUnlock()
+	if empty {
+		return nil
+	}
+	if snaps > 0 {
+		if must {
+			return fmt.Errorf("%w: %d snapshot(s)", ErrSnapshotsActive, snaps)
+		}
+		return nil
+	}
+	// A backfill rewrites page-file bytes that pinned mmap views may be
+	// reading; defer until they release.
+	if pins := p.mmapViewPins(); pins > 0 {
+		if must {
+			return fmt.Errorf("pager: checkpoint with %d pinned mmap view(s)", pins)
+		}
+		return nil
+	}
+
+	// Latest committed frame per page. No leader runs concurrently
+	// (commitMu), so the index is stable.
+	w.imu.RLock()
+	latest := make(map[PageID]walFrame, len(w.index))
+	for id, frames := range w.index {
+		for i := len(frames) - 1; i >= 0; i-- {
+			if frames[i].gen <= gen {
+				latest[id] = frames[i]
+				break
+			}
+		}
+	}
+	w.imu.RUnlock()
+
+	img := make([]byte, PageSize)
+	for id, f := range latest {
+		if err := w.readFrameImage(f, id, img); err != nil {
+			return err
+		}
+		if _, err := p.backend.WriteAt(img, int64(id)*PageSize); err != nil {
+			return fmt.Errorf("pager: checkpoint page %d: %w", id, err)
+		}
+		p.clearVerified(id)
+	}
+	if err := p.backend.Sync(); err != nil {
+		return err
+	}
+	if err := p.writeHeaderState(numPages, freeHead); err != nil {
+		return err
+	}
+	if err := p.backend.Sync(); err != nil {
+		return err
+	}
+	// The page file now carries generation gen in full; drop the log.
+	// The page file now carries generation gen in full. Retire the
+	// index BEFORE truncating the log bytes: concurrent readers (pool
+	// misses, snapshots pinned at gen) that consult the index after this
+	// point resolve to the freshly backfilled page file; readers that
+	// resolved a frame just before retirement and lose the race to the
+	// truncate retry against the index (see latestFrame callers). A
+	// crash before the truncate only means recovery replays the same
+	// images again.
+	w.imu.Lock()
+	w.index = make(map[PageID][]walFrame)
+	w.size = walHeaderSize
+	w.stats.Checkpoints++
+	w.stats.Syncs++
+	w.imu.Unlock()
+	if err := w.backend.Truncate(walHeaderSize); err != nil {
+		return fmt.Errorf("pager: truncate wal: %w", err)
+	}
+	if err := writeWALHeader(w.backend); err != nil {
+		return err
+	}
+	if err := w.backend.Sync(); err != nil {
+		return err
+	}
+	p.tryRemap()
+	return nil
+}
+
+// mmapViewPins counts currently pinned zero-copy views across the
+// active and retired mappings.
+func (p *Pager) mmapViewPins() int64 {
+	var pins int64
+	if m := p.mapping.Load(); m != nil {
+		pins += m.pins.Load()
+	}
+	p.hmu.Lock()
+	for _, m := range p.retired {
+		pins += m.pins.Load()
+	}
+	p.hmu.Unlock()
+	return pins
+}
+
+// closeWAL commits outstanding dirty pages, checkpoints, and closes
+// the WAL backend. Called by Close with the pager still open.
+func (p *Pager) closeWAL(w *walState) error {
+	if !p.readOnly.Load() {
+		if err := p.commitWAL(w); err != nil {
+			return err
+		}
+		if err := p.checkpointWAL(w, true); err != nil {
+			return err
+		}
+	}
+	return w.backend.Close()
+}
+
+// --- recovery ---------------------------------------------------------
+
+// recoverWAL replays the committed records of w into the page file and
+// truncates the log. The tail past the last record that validates
+// through a commit record is discarded: those writes never reached a
+// durable commit, so no acknowledged writer is lost with them.
+func (p *Pager) recoverWAL(w *walState) error {
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
+
+	var hdr [walHeaderSize]byte
+	n, err := w.backend.ReadAt(hdr[:], 0)
+	switch {
+	case (err == io.EOF || err == io.ErrUnexpectedEOF) && n < walHeaderSize:
+		// Empty or header-torn WAL: nothing was ever durably committed
+		// through it (the header is written and synced before the first
+		// record); initialize it fresh.
+		if err := writeWALHeader(w.backend); err != nil {
+			return err
+		}
+		if err := w.backend.Sync(); err != nil {
+			return err
+		}
+		w.size = walHeaderSize
+		return nil
+	case err != nil && err != io.EOF && err != io.ErrUnexpectedEOF:
+		return fmt.Errorf("pager: read wal header: %w", err)
+	}
+	if [8]byte(hdr[0:8]) != walMagic {
+		return fmt.Errorf("pager: wal %s: %w: got %q", w.path, ErrBadMagic, hdr[0:8])
+	}
+	if crc32.Checksum(hdr[:12], castagnoli) != binary.LittleEndian.Uint32(hdr[12:16]) {
+		return fmt.Errorf("pager: wal %s: header: %w", w.path, ErrChecksum)
+	}
+
+	// Scan records, applying page images only when their batch reaches
+	// a valid commit record.
+	latest := make(map[PageID][]byte)
+	pending := make(map[PageID][]byte)
+	var pendingCount uint32
+	var lastGen uint64
+	var lastNumPages uint32
+	var lastFreeHead PageID
+	committed := false
+	off := int64(walHeaderSize)
+	for {
+		kind, gen, ref, payload, err := readFrameAt(w.backend, off)
+		if err != nil {
+			// Torn tail: everything from off on is discarded.
+			break
+		}
+		switch kind {
+		case frameKindPage:
+			if len(payload) != PageSize {
+				err = fmt.Errorf("bad page frame")
+			} else {
+				img := make([]byte, PageSize)
+				copy(img, payload)
+				pending[PageID(ref)] = img
+				pendingCount++
+			}
+		case frameKindCommit:
+			if len(payload) != commitPayloadSize || ref != pendingCount {
+				err = fmt.Errorf("bad commit frame")
+			} else {
+				for id, img := range pending {
+					latest[id] = img
+				}
+				pending = make(map[PageID][]byte)
+				pendingCount = 0
+				lastGen = gen
+				lastNumPages = binary.LittleEndian.Uint32(payload[0:4])
+				lastFreeHead = PageID(binary.LittleEndian.Uint32(payload[4:8]))
+				committed = true
+			}
+		default:
+			err = fmt.Errorf("unknown frame kind %d", kind)
+		}
+		if err != nil {
+			break
+		}
+		off += frameSize(len(payload))
+	}
+
+	if committed {
+		// Replay: data pages first, sync, then the header, then sync —
+		// the same ordered barrier as a normal commit, so a crash
+		// mid-recovery just recovers again.
+		for id, img := range latest {
+			if uint32(id) >= lastNumPages {
+				return fmt.Errorf("pager: wal %s: %w: committed frame for page %d beyond page count %d",
+					w.path, ErrChecksum, id, lastNumPages)
+			}
+			if _, err := p.backend.WriteAt(img, int64(id)*PageSize); err != nil {
+				return fmt.Errorf("pager: wal replay page %d: %w", id, err)
+			}
+			p.clearVerified(id)
+		}
+		if err := p.backend.Sync(); err != nil {
+			return err
+		}
+		p.hmu.Lock()
+		p.numPages.Store(lastNumPages)
+		p.freeHead = lastFreeHead
+		if lastGen > p.gen {
+			p.gen = lastGen
+		}
+		p.hmu.Unlock()
+		p.growVerified(lastNumPages)
+		if err := p.writeHeaderState(lastNumPages, lastFreeHead); err != nil {
+			return err
+		}
+		if err := p.backend.Sync(); err != nil {
+			return err
+		}
+		w.stats.Frames = 0
+	}
+	// Drop the replayed (and any torn) records.
+	if err := w.backend.Truncate(walHeaderSize); err != nil {
+		return fmt.Errorf("pager: truncate wal: %w", err)
+	}
+	if err := writeWALHeader(w.backend); err != nil {
+		return err
+	}
+	if err := w.backend.Sync(); err != nil {
+		return err
+	}
+	w.size = walHeaderSize
+	return nil
+}
+
+// writeHeaderState is writeHeader with explicit page count and free
+// head — checkpoints and recovery persist the *committed* values, not
+// whatever uncommitted allocations are in flight.
+func (p *Pager) writeHeaderState(numPages uint32, freeHead PageID) error {
+	p.hmu.Lock()
+	defer p.hmu.Unlock()
+	slot := 1 - p.hdrSlot
+	var buf [headerSlotSize]byte
+	copy(buf[0:8], magicV2[:])
+	binary.LittleEndian.PutUint32(buf[8:12], numPages)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(freeHead))
+	if p.fullSums {
+		buf[16] = flagFullSums
+	}
+	binary.LittleEndian.PutUint64(buf[20:28], p.gen+1)
+	binary.LittleEndian.PutUint32(buf[28:32], crc32.Checksum(buf[:28], castagnoli))
+	if _, err := p.backend.WriteAt(buf[:], int64(slot)*headerSlotSize); err != nil {
+		return fmt.Errorf("pager: write header: %w", err)
+	}
+	p.gen++
+	p.hdrSlot = slot
+	return nil
+}
+
+// --- snapshots --------------------------------------------------------
+
+// Snapshot pins one durably committed generation of the database: a
+// consistent, immutable page-level view served from WAL frames at or
+// below the pinned generation and the page file beneath them. Active
+// snapshots defer checkpoints, so Release promptly.
+type Snapshot struct {
+	p        *Pager
+	w        *walState
+	gen      uint64
+	numPages uint32
+	header   []byte // synthesized page 0 describing exactly this generation
+	released bool
+	relMu    sync.Mutex
+}
+
+// BeginSnapshot pins the last committed generation. It fails with
+// ErrNoWAL when no write-ahead log is enabled (without one, in-place
+// page write-back could tear the view).
+func (p *Pager) BeginSnapshot() (*Snapshot, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	w := p.wal.Load()
+	if w == nil {
+		return nil, ErrNoWAL
+	}
+	w.imu.Lock()
+	s := &Snapshot{
+		p:        p,
+		w:        w,
+		gen:      w.committedGen,
+		numPages: w.committedNumPages,
+	}
+	w.snapshots++
+	freeHead := w.committedFreeHead
+	w.imu.Unlock()
+
+	hdr := make([]byte, PageSize)
+	copy(hdr[0:8], magicV2[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], s.numPages)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(freeHead))
+	if p.fullSums {
+		hdr[16] = flagFullSums
+	}
+	binary.LittleEndian.PutUint64(hdr[20:28], s.gen)
+	binary.LittleEndian.PutUint32(hdr[28:32], crc32.Checksum(hdr[:28], castagnoli))
+	s.header = hdr
+	return s, nil
+}
+
+// Gen returns the committed generation the snapshot pins.
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// NumPages returns the page count of the pinned generation.
+func (s *Snapshot) NumPages() int { return int(s.numPages) }
+
+// Release unpins the snapshot, re-enabling checkpoints. Idempotent.
+func (s *Snapshot) Release() {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
+	if s.released {
+		return
+	}
+	s.released = true
+	s.w.imu.Lock()
+	s.w.snapshots--
+	s.w.imu.Unlock()
+}
+
+// Backend returns a read-only Backend serving the snapshot's pages —
+// open a second Pager over it (OpenBackend) to run the full read stack
+// against the pinned generation. Closing the backend releases the
+// snapshot.
+func (s *Snapshot) Backend() Backend { return &snapshotBackend{s: s} }
+
+// pageBytes copies the snapshot's image of page id into dst.
+func (s *Snapshot) pageBytes(id PageID, dst []byte) error {
+	if id == 0 {
+		copy(dst, s.header)
+		return nil
+	}
+	for {
+		f, ok := s.w.latestFrame(id, s.gen)
+		if !ok {
+			break
+		}
+		err := s.w.readFrameImage(f, id, dst)
+		if err == nil {
+			return nil
+		}
+		// A checkpoint that started before this snapshot was pinned may
+		// retire the index under us; the backfilled page file then holds
+		// the image. A stable frame that still fails is corruption.
+		if f2, ok2 := s.w.latestFrame(id, s.gen); ok2 && f2 == f {
+			return err
+		}
+	}
+	// No committed frame at or below the pinned generation: the page
+	// file holds the newest image ≤ gen (checkpoints defer while the
+	// snapshot is pinned, so it cannot advance beneath us).
+	n, err := s.p.backend.ReadAt(dst, int64(id)*PageSize)
+	switch {
+	case err == io.EOF || err == io.ErrUnexpectedEOF || (err == nil && n < PageSize):
+		return fmt.Errorf("pager: snapshot read page %d: %w", id, ErrTruncated)
+	case err != nil:
+		return fmt.Errorf("pager: snapshot read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// snapshotBackend adapts a Snapshot to the Backend interface:
+// arbitrary-offset reads resolved page by page, writes refused.
+type snapshotBackend struct {
+	s       *Snapshot
+	pageBuf [PageSize]byte
+	mu      sync.Mutex
+}
+
+func (b *snapshotBackend) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pager: snapshot read at negative offset %d", off)
+	}
+	total := int64(b.s.numPages) * PageSize
+	n := 0
+	for n < len(p) {
+		o := off + int64(n)
+		if o >= total {
+			if n == 0 {
+				return 0, io.EOF
+			}
+			return n, io.ErrUnexpectedEOF
+		}
+		id := PageID(o / PageSize)
+		po := int(o % PageSize)
+		chunk := len(p) - n
+		if chunk > PageSize-po {
+			chunk = PageSize - po
+		}
+		b.mu.Lock()
+		err := b.s.pageBytes(id, b.pageBuf[:])
+		if err != nil {
+			b.mu.Unlock()
+			return n, err
+		}
+		copy(p[n:n+chunk], b.pageBuf[po:po+chunk])
+		b.mu.Unlock()
+		n += chunk
+	}
+	return n, nil
+}
+
+func (b *snapshotBackend) WriteAt(p []byte, off int64) (int, error) { return 0, ErrReadOnly }
+func (b *snapshotBackend) Truncate(size int64) error                { return ErrReadOnly }
+func (b *snapshotBackend) Sync() error                              { return nil }
+func (b *snapshotBackend) Close() error {
+	b.s.Release()
+	return nil
+}
+
+// --- inspection -------------------------------------------------------
+
+// WALReport summarizes a read-only scan of a write-ahead log.
+type WALReport struct {
+	Empty         bool   // no records (fresh or fully checkpointed)
+	Records       int    // records whose CRC validated
+	Commits       int    // commit records among them
+	LastGen       uint64 // generation of the last valid commit record
+	LastCommit    int64  // byte offset just past the last valid commit record
+	TornTail      bool   // invalid bytes after the last commit point (tolerated: discarded by recovery)
+	TornAt        int64  // offset of the first invalid byte region, when TornTail or CorruptBefore
+	CorruptBefore bool   // a corrupt record precedes a later valid commit record: committed data is damaged
+	Problems      []string
+}
+
+// OK reports whether the log would recover without losing committed
+// data: either wholly valid, or torn only after the last commit point.
+func (r *WALReport) OK() bool { return !r.CorruptBefore }
+
+// InspectWAL scans a write-ahead log without mutating it, validating
+// every record CRC. Unlike recovery — which stops at the first invalid
+// record — it resynchronizes on the frame magic past corrupt regions,
+// so a valid commit record *after* a corrupt one is detected and
+// reported as CorruptBefore: recovery would silently truncate data
+// that a writer was told is durable.
+func InspectWAL(r io.ReaderAt) (*WALReport, error) {
+	rep := &WALReport{}
+	var hdr [walHeaderSize]byte
+	n, err := r.ReadAt(hdr[:], 0)
+	switch {
+	case (err == io.EOF || err == io.ErrUnexpectedEOF) && n < walHeaderSize:
+		rep.Empty = true
+		return rep, nil
+	case err != nil && err != io.EOF && err != io.ErrUnexpectedEOF:
+		return nil, err
+	}
+	if [8]byte(hdr[0:8]) != walMagic {
+		return nil, fmt.Errorf("pager: wal: %w: got %q", ErrBadMagic, hdr[0:8])
+	}
+	if crc32.Checksum(hdr[:12], castagnoli) != binary.LittleEndian.Uint32(hdr[12:16]) {
+		return nil, fmt.Errorf("pager: wal header: %w", ErrChecksum)
+	}
+
+	off := int64(walHeaderSize)
+	sawAny := false
+	torn := int64(-1)
+	for {
+		kind, gen, _, payload, err := readFrameAt(r, off)
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				if torn < 0 && !frameStartsAt(r, off) {
+					// Clean end of log (no partial record bytes).
+					break
+				}
+			}
+			if torn < 0 {
+				torn = off
+				rep.Problems = append(rep.Problems, fmt.Sprintf("invalid record at byte %d: %v", off, err))
+			}
+			// Resynchronize: hunt for the next frame magic.
+			next, ok := nextFrameMagic(r, off+1)
+			if !ok {
+				break
+			}
+			off = next
+			continue
+		}
+		sawAny = true
+		rep.Records++
+		if kind == frameKindCommit {
+			rep.Commits++
+			rep.LastGen = gen
+			rep.LastCommit = off + frameSize(len(payload))
+			if torn >= 0 && torn < off {
+				rep.CorruptBefore = true
+			}
+		}
+		off += frameSize(len(payload))
+	}
+	if torn >= 0 {
+		rep.TornAt = torn
+		if !rep.CorruptBefore {
+			rep.TornTail = true
+		}
+	}
+	rep.Empty = !sawAny && torn < 0
+	return rep, nil
+}
+
+// frameStartsAt reports whether any bytes exist at off — used to
+// distinguish a clean end of log from a partial trailing record.
+func frameStartsAt(r io.ReaderAt, off int64) bool {
+	var b [1]byte
+	n, _ := r.ReadAt(b[:], off)
+	return n > 0
+}
+
+// nextFrameMagic scans forward from off for the little-endian frame
+// magic, returning the offset of its first byte.
+func nextFrameMagic(r io.ReaderAt, off int64) (int64, bool) {
+	var buf [4096]byte
+	var carry [3]byte
+	carryLen := 0
+	for {
+		n, err := r.ReadAt(buf[:], off)
+		if n == 0 {
+			return 0, false
+		}
+		// Check the boundary spanning the previous block.
+		window := append(append([]byte(nil), carry[:carryLen]...), buf[:n]...)
+		for i := 0; i+4 <= len(window); i++ {
+			if binary.LittleEndian.Uint32(window[i:]) == frameMagic {
+				return off - int64(carryLen) + int64(i), true
+			}
+		}
+		if err != nil {
+			return 0, false
+		}
+		carryLen = copy(carry[:], window[len(window)-3:])
+		off += int64(n)
+	}
+}
+
+// InspectWALFile is InspectWAL over the sidecar file at path. A
+// missing file reports an empty log.
+func InspectWALFile(path string) (*WALReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &WALReport{Empty: true}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return InspectWAL(f)
+}

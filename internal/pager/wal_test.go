@@ -1,0 +1,725 @@
+package pager
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newWALPager builds a pager over fresh memory backends with a WAL
+// attached, returning both halves for crash simulation.
+func newWALPager(t *testing.T, pool int) (*Pager, *MemBackend, *MemBackend) {
+	t.Helper()
+	main := NewMemBackend(nil)
+	wal := NewMemBackend(nil)
+	p, err := OpenBackend(main, pool)
+	if err != nil {
+		t.Fatalf("OpenBackend: %v", err)
+	}
+	if err := p.EnableWALBackend(wal); err != nil {
+		t.Fatalf("EnableWALBackend: %v", err)
+	}
+	return p, main, wal
+}
+
+// reopenWAL opens a fresh pager over crash images of the two halves,
+// running WAL recovery.
+func reopenWAL(t *testing.T, mainImg, walImg []byte, pool int) *Pager {
+	t.Helper()
+	p, err := OpenBackend(NewMemBackend(mainImg), pool)
+	if err != nil {
+		t.Fatalf("reopen: OpenBackend: %v", err)
+	}
+	if err := p.EnableWALBackend(NewMemBackend(walImg)); err != nil {
+		t.Fatalf("reopen: EnableWALBackend: %v", err)
+	}
+	return p
+}
+
+// writeCounter stamps value into page id's payload and commits.
+func writeCounter(t *testing.T, p *Pager, id PageID, value uint64) {
+	t.Helper()
+	p.BeginWrite()
+	pg, err := p.Fetch(id)
+	if err != nil {
+		p.EndWrite()
+		t.Fatalf("Fetch(%d): %v", id, err)
+	}
+	binary.LittleEndian.PutUint64(pg.Data[0:8], value)
+	pg.MarkDirty()
+	p.Unpin(pg)
+	p.EndWrite()
+	if err := p.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func readCounter(t *testing.T, p *Pager, id PageID) uint64 {
+	t.Helper()
+	pg, err := p.Fetch(id)
+	if err != nil {
+		t.Fatalf("Fetch(%d): %v", id, err)
+	}
+	v := binary.LittleEndian.Uint64(pg.Data[0:8])
+	p.Unpin(pg)
+	return v
+}
+
+func allocPage(t *testing.T, p *Pager) PageID {
+	t.Helper()
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	id := pg.ID
+	p.Unpin(pg)
+	return id
+}
+
+func TestWALCommitRecoverReopen(t *testing.T) {
+	p, main, wal := newWALPager(t, 64)
+	id := allocPage(t, p)
+	writeCounter(t, p, id, 41)
+	writeCounter(t, p, id, 42)
+
+	if s := p.WALStats(); s.Commits != 2 || s.LastGen == 0 {
+		t.Fatalf("WALStats = %+v, want 2 commits and nonzero gen", s)
+	}
+
+	// Crash (no Close): reopen from the current images. Recovery must
+	// replay the committed records into the page file.
+	rp := reopenWAL(t, main.Bytes(), wal.Bytes(), 64)
+	if got := readCounter(t, rp, id); got != 42 {
+		t.Fatalf("recovered counter = %d, want 42", got)
+	}
+	if np := rp.NumPages(); np != p.NumPages() {
+		t.Fatalf("recovered NumPages = %d, want %d", np, p.NumPages())
+	}
+	// Recovery truncates the log.
+	if s := rp.WALStats(); s.Size != walHeaderSize {
+		t.Fatalf("recovered WAL size = %d, want %d", s.Size, walHeaderSize)
+	}
+}
+
+func TestWALNoStealUntilCheckpoint(t *testing.T) {
+	p, main, _ := newWALPager(t, 4) // tiny pool: forces eviction pressure
+	var ids []PageID
+	for i := 0; i < 12; i++ {
+		ids = append(ids, allocPage(t, p))
+	}
+	before := main.Bytes()
+	for i, id := range ids {
+		writeCounter(t, p, id, uint64(100+i))
+	}
+	// Commits went to the WAL only: the page file must be untouched.
+	if !bytes.Equal(main.Bytes(), before) {
+		t.Fatal("page file changed before checkpoint (dirty page stolen)")
+	}
+	// Evicted pages must still read back their newest image (from WAL).
+	for i, id := range ids {
+		if got := readCounter(t, p, id); got != uint64(100+i) {
+			t.Fatalf("page %d = %d, want %d", id, got, 100+i)
+		}
+	}
+	if err := p.CheckpointWAL(); err != nil {
+		t.Fatalf("CheckpointWAL: %v", err)
+	}
+	if bytes.Equal(main.Bytes(), before) {
+		t.Fatal("page file unchanged after checkpoint")
+	}
+	if s := p.WALStats(); s.Size != walHeaderSize || s.Checkpoints != 1 {
+		t.Fatalf("after checkpoint WALStats = %+v", s)
+	}
+	// And the page file alone (no WAL) now carries everything.
+	solo, err := OpenBackend(NewMemBackend(main.Bytes()), 64)
+	if err != nil {
+		t.Fatalf("solo open: %v", err)
+	}
+	for i, id := range ids {
+		if got := readCounter(t, solo, id); got != uint64(100+i) {
+			t.Fatalf("solo page %d = %d, want %d", id, got, 100+i)
+		}
+	}
+}
+
+// slowSyncBackend delays Sync so concurrent committers pile up behind
+// the leader and group.
+type slowSyncBackend struct {
+	*MemBackend
+	d     time.Duration
+	syncs atomic.Int64
+}
+
+func (s *slowSyncBackend) Sync() error {
+	s.syncs.Add(1)
+	time.Sleep(s.d)
+	return s.MemBackend.Sync()
+}
+
+func TestWALGroupCommitBatchesWriters(t *testing.T) {
+	main := NewMemBackend(nil)
+	wal := &slowSyncBackend{MemBackend: NewMemBackend(nil), d: 2 * time.Millisecond}
+	p, err := OpenBackend(main, 256)
+	if err != nil {
+		t.Fatalf("OpenBackend: %v", err)
+	}
+	if err := p.EnableWALBackend(wal); err != nil {
+		t.Fatalf("EnableWALBackend: %v", err)
+	}
+
+	const writers = 8
+	const commitsPer = 10
+	ids := make([]PageID, writers)
+	for i := range ids {
+		ids[i] = allocPage(t, p)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for n := 1; n <= commitsPer; n++ {
+				p.BeginWrite()
+				pg, err := p.Fetch(ids[wi])
+				if err != nil {
+					p.EndWrite()
+					errs[wi] = err
+					return
+				}
+				binary.LittleEndian.PutUint64(pg.Data[0:8], uint64(n))
+				pg.MarkDirty()
+				p.Unpin(pg)
+				p.EndWrite()
+				if err := p.Commit(); err != nil {
+					errs[wi] = err
+					return
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for wi, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", wi, err)
+		}
+	}
+	s := p.WALStats()
+	if s.Commits != writers*commitsPer+1 { // +1: the setup commit above
+		t.Fatalf("Commits = %d, want %d", s.Commits, writers*commitsPer+1)
+	}
+	if s.Batches >= s.Commits {
+		t.Fatalf("no grouping: %d batches for %d commits", s.Batches, s.Commits)
+	}
+	// Every writer's final value is durable.
+	rp := reopenWAL(t, main.Bytes(), wal.MemBackend.Bytes(), 256)
+	for wi := range ids {
+		if got := readCounter(t, rp, ids[wi]); got != commitsPer {
+			t.Fatalf("writer %d recovered %d, want %d", wi, got, commitsPer)
+		}
+	}
+}
+
+func TestWALRecoveryTruncatesTornTail(t *testing.T) {
+	p, main, wal := newWALPager(t, 64)
+	id := allocPage(t, p)
+	writeCounter(t, p, id, 7)
+	committedWAL := wal.Bytes()
+	writeCounter(t, p, id, 8)
+
+	full := wal.Bytes()
+	// Crash mid-append of the second commit: cut the last record short.
+	for _, cut := range []int{1, frameTrailer, frameHeaderSize + 100} {
+		torn := append([]byte(nil), full[:len(full)-cut]...)
+		rp := reopenWAL(t, main.Bytes(), torn, 64)
+		if got := readCounter(t, rp, id); got != 7 {
+			t.Fatalf("cut %d: recovered %d, want 7 (second commit torn)", cut, got)
+		}
+	}
+	// Garbage appended after the last durable commit is likewise
+	// discarded.
+	garbled := append(append([]byte(nil), committedWAL...), 0xDE, 0xAD, 0xBE, 0xEF)
+	rp := reopenWAL(t, main.Bytes(), garbled, 64)
+	if got := readCounter(t, rp, id); got != 7 {
+		t.Fatalf("garbage tail: recovered %d, want 7", got)
+	}
+	// The intact log recovers the newest commit.
+	rp = reopenWAL(t, main.Bytes(), full, 64)
+	if got := readCounter(t, rp, id); got != 8 {
+		t.Fatalf("intact: recovered %d, want 8", got)
+	}
+}
+
+func TestWALRecoveryRejectsBadMagic(t *testing.T) {
+	mainP, err := OpenBackend(NewMemBackend(nil), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := NewMemBackend([]byte("NOTAWAL0randomgarbagebytes"))
+	if err := mainP.EnableWALBackend(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("EnableWALBackend over garbage = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestWALSnapshotPinsExactGeneration(t *testing.T) {
+	p, _, _ := newWALPager(t, 256)
+	// K pages that are always committed with identical values — a
+	// reader observing two different values has seen a torn generation.
+	const K = 8
+	ids := make([]PageID, K)
+	for i := range ids {
+		ids[i] = allocPage(t, p)
+	}
+	for _, id := range ids {
+		writeCounter(t, p, id, 1)
+	}
+
+	stop := make(chan struct{})
+	var writerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := uint64(2); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.BeginWrite()
+			for _, id := range ids {
+				pg, err := p.Fetch(id)
+				if err != nil {
+					writerErr = err
+					p.EndWrite()
+					return
+				}
+				binary.LittleEndian.PutUint64(pg.Data[0:8], v)
+				pg.MarkDirty()
+				p.Unpin(pg)
+			}
+			p.EndWrite()
+			if err := p.Commit(); err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				snap, err := p.BeginSnapshot()
+				if err != nil {
+					t.Errorf("BeginSnapshot: %v", err)
+					return
+				}
+				b := snap.Backend()
+				var want uint64
+				for k, id := range ids {
+					var buf [8]byte
+					if _, err := b.ReadAt(buf[:], int64(id)*PageSize); err != nil {
+						t.Errorf("snapshot read: %v", err)
+						b.Close()
+						return
+					}
+					v := binary.LittleEndian.Uint64(buf[:])
+					if k == 0 {
+						want = v
+					} else if v != want {
+						t.Errorf("snapshot gen %d: page %d has %d, page %d has %d — torn generation",
+							snap.Gen(), ids[0], want, id, v)
+						b.Close()
+						return
+					}
+				}
+				b.Close()
+			}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if writerErr != nil {
+		t.Fatalf("writer: %v", writerErr)
+	}
+}
+
+func TestWALSnapshotBlocksCheckpointAndClose(t *testing.T) {
+	p, _, _ := newWALPager(t, 64)
+	id := allocPage(t, p)
+	writeCounter(t, p, id, 1)
+	snap, err := p.BeginSnapshot()
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	if err := p.CheckpointWAL(); !errors.Is(err, ErrSnapshotsActive) {
+		t.Fatalf("CheckpointWAL with snapshot = %v, want ErrSnapshotsActive", err)
+	}
+	if err := p.Close(); !errors.Is(err, ErrSnapshotsActive) {
+		t.Fatalf("Close with snapshot = %v, want ErrSnapshotsActive", err)
+	}
+	// The snapshot keeps serving its pinned generation while newer
+	// commits land.
+	writeCounter(t, p, id, 2)
+	b := snap.Backend()
+	var buf [8]byte
+	if _, err := b.ReadAt(buf[:], int64(id)*PageSize); err != nil {
+		t.Fatalf("snapshot read: %v", err)
+	}
+	if v := binary.LittleEndian.Uint64(buf[:]); v != 1 {
+		t.Fatalf("snapshot sees %d, want pinned 1", v)
+	}
+	if _, err := b.WriteAt(buf[:], 0); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("snapshot write = %v, want ErrReadOnly", err)
+	}
+	b.Close()
+	if err := p.CheckpointWAL(); err != nil {
+		t.Fatalf("CheckpointWAL after release: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close after release: %v", err)
+	}
+}
+
+func TestWALSnapshotBackendReadSemantics(t *testing.T) {
+	p, _, _ := newWALPager(t, 64)
+	id := allocPage(t, p)
+	writeCounter(t, p, id, 9)
+	snap, err := p.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	b := snap.Backend()
+	defer b.Close()
+	total := int64(snap.NumPages()) * PageSize
+	// Read past the end: EOF at the boundary, ErrUnexpectedEOF across.
+	var one [1]byte
+	if _, err := b.ReadAt(one[:], total); err == nil {
+		t.Fatal("read at EOF succeeded")
+	}
+	span := make([]byte, PageSize)
+	if n, err := b.ReadAt(span, total-4); err == nil || n != 4 {
+		t.Fatalf("read across EOF = (%d, %v), want (4, error)", n, err)
+	}
+	// A cross-page read matches two single-page reads.
+	cross := make([]byte, PageSize)
+	if _, err := b.ReadAt(cross, PageSize/2); err != nil {
+		t.Fatalf("cross-page read: %v", err)
+	}
+	a := make([]byte, PageSize)
+	c := make([]byte, PageSize)
+	if _, err := b.ReadAt(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadAt(c, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte(nil), a[PageSize/2:]...), c[:PageSize/2]...)
+	if !bytes.Equal(cross, want) {
+		t.Fatal("cross-page read differs from per-page reads")
+	}
+}
+
+func TestInspectWALClassifiesCorruption(t *testing.T) {
+	p, _, wal := newWALPager(t, 64)
+	id := allocPage(t, p)
+	writeCounter(t, p, id, 1)
+	afterFirst := wal.Bytes()
+	writeCounter(t, p, id, 2)
+	full := wal.Bytes()
+
+	// Intact log: all records valid, no tears.
+	rep, err := InspectWAL(NewMemBackend(full))
+	if err != nil {
+		t.Fatalf("InspectWAL: %v", err)
+	}
+	if !rep.OK() || rep.TornTail || rep.Commits != 2 || rep.Records < 4 {
+		t.Fatalf("intact report = %+v", rep)
+	}
+
+	// Torn tail after the last commit: tolerated.
+	torn := append([]byte(nil), full[:len(full)-3]...)
+	rep, err = InspectWAL(NewMemBackend(torn))
+	if err != nil {
+		t.Fatalf("InspectWAL torn: %v", err)
+	}
+	if !rep.OK() || !rep.TornTail || rep.Commits != 1 {
+		t.Fatalf("torn-tail report = %+v", rep)
+	}
+
+	// A corrupt byte inside the *first* commit's records, with a valid
+	// commit after it: committed data is damaged — not OK.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(afterFirst)/2] ^= 0xFF
+	rep, err = InspectWAL(NewMemBackend(corrupt))
+	if err != nil {
+		t.Fatalf("InspectWAL corrupt: %v", err)
+	}
+	if rep.OK() || !rep.CorruptBefore {
+		t.Fatalf("corrupt-before-commit report = %+v", rep)
+	}
+
+	// Empty log.
+	rep, err = InspectWAL(NewMemBackend(nil))
+	if err != nil {
+		t.Fatalf("InspectWAL empty: %v", err)
+	}
+	if !rep.Empty || !rep.OK() {
+		t.Fatalf("empty report = %+v", rep)
+	}
+}
+
+func TestWALAppendFaults(t *testing.T) {
+	t.Run("torn append surfaces at recovery", func(t *testing.T) {
+		main := NewMemBackend(nil)
+		walMem := NewMemBackend(nil)
+		p, err := OpenBackend(main, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := NewFaultBackend(walMem, FaultConfig{TornAppend: 3})
+		if err := p.EnableWALBackend(fb); err != nil {
+			t.Fatalf("EnableWALBackend: %v", err)
+		}
+		id := allocPage(t, p)
+		writeCounter(t, p, id, 1)
+		writeCounter(t, p, id, 2) // this append tears, but "succeeds"
+		if len(fb.Faults()) == 0 {
+			t.Fatal("no fault injected; ordinal misses the schedule")
+		}
+		// The medium lied; recovery discovers the tear and falls back to
+		// the last intact commit.
+		rp := reopenWAL(t, main.Bytes(), walMem.Bytes(), 64)
+		if got := readCounter(t, rp, id); got != 1 {
+			t.Fatalf("recovered %d, want 1 (torn commit discarded)", got)
+		}
+	})
+
+	t.Run("failed append keeps pages dirty and retries", func(t *testing.T) {
+		main := NewMemBackend(nil)
+		walMem := NewMemBackend(nil)
+		p, err := OpenBackend(main, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Append-region writes: #1 the WAL header at enable, #2 the
+		// first commit's batch, #3 the second commit's batch (fails).
+		fb := NewFaultBackend(walMem, FaultConfig{FailAppend: 3})
+		if err := p.EnableWALBackend(fb); err != nil {
+			t.Fatal(err)
+		}
+		id := allocPage(t, p)
+		writeCounter(t, p, id, 1)
+		p.BeginWrite()
+		pg, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint64(pg.Data[0:8], 2)
+		pg.MarkDirty()
+		p.Unpin(pg)
+		p.EndWrite()
+		if err := p.Commit(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Commit over failing append = %v, want ErrInjected", err)
+		}
+		// The batch failed before acknowledging anything; a retry must
+		// still carry the mutation.
+		if err := p.Commit(); err != nil {
+			t.Fatalf("retry Commit: %v", err)
+		}
+		rp := reopenWAL(t, main.Bytes(), walMem.Bytes(), 64)
+		if got := readCounter(t, rp, id); got != 2 {
+			t.Fatalf("recovered %d, want 2 (retried commit)", got)
+		}
+	})
+
+	t.Run("failed wal sync fails the commit", func(t *testing.T) {
+		main := NewMemBackend(nil)
+		walMem := NewMemBackend(nil)
+		p, err := OpenBackend(main, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// WAL syncs: #1 the header at enable, #2 the first commit,
+		// #3 the second commit (fails), #4 the retry.
+		fb := NewFaultBackend(walMem, FaultConfig{FailSync: 3})
+		if err := p.EnableWALBackend(fb); err != nil {
+			t.Fatal(err)
+		}
+		id := allocPage(t, p)
+		if err := p.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		p.BeginWrite()
+		pg, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint64(pg.Data[0:8], 9)
+		pg.MarkDirty()
+		p.Unpin(pg)
+		p.EndWrite()
+		if err := p.Commit(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Commit over failing sync = %v, want ErrInjected", err)
+		}
+		// The records reached the log; only the fsync failed. A retry
+		// makes them durable.
+		if err := p.Commit(); err != nil {
+			t.Fatalf("retry Commit: %v", err)
+		}
+		rp := reopenWAL(t, main.Bytes(), walMem.Bytes(), 64)
+		if got := readCounter(t, rp, id); got != 9 {
+			t.Fatalf("recovered %d, want 9 (retried sync)", got)
+		}
+	})
+}
+
+func TestWALCrashPointSweep(t *testing.T) {
+	pair := NewCrashPair()
+	var acked atomic.Uint64
+	ackedAt := make(map[int]uint64)
+	var ackedAtMu sync.Mutex
+	pair.OnSync = func(i int, img CrashImage) {
+		ackedAtMu.Lock()
+		ackedAt[i] = acked.Load()
+		ackedAtMu.Unlock()
+	}
+
+	p, err := OpenBackend(pair.Main(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableWALBackend(pair.WAL()); err != nil {
+		t.Fatal(err)
+	}
+	id := allocPage(t, p)
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	const commits = 25
+	for n := uint64(1); n <= commits; n++ {
+		writeCounter(t, p, id, n)
+		acked.Store(n)
+		if n%8 == 0 {
+			if err := p.CheckpointWAL(); err != nil {
+				t.Fatalf("checkpoint at %d: %v", n, err)
+			}
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	images := pair.Images()
+	if len(images) < commits {
+		t.Fatalf("only %d crash images for %d commits", len(images), commits)
+	}
+	for i, img := range images {
+		rp := reopenWAL(t, img.Main, img.WAL, 32)
+		var got uint64
+		if rp.NumPages() > int(id) {
+			got = readCounter(t, rp, id)
+		}
+		ackedAtMu.Lock()
+		floor := ackedAt[i]
+		ackedAtMu.Unlock()
+		if got < floor {
+			t.Fatalf("image %d: recovered counter %d < %d acked commits — acked commit lost", i, got, floor)
+		}
+		if got > commits {
+			t.Fatalf("image %d: recovered counter %d exceeds %d commits ever made", i, got, commits)
+		}
+	}
+}
+
+func TestWALFileBackedReopenAndMmap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.pages")
+	p, err := Open(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableWAL(); err != nil {
+		t.Fatalf("EnableWAL: %v", err)
+	}
+	id := allocPage(t, p)
+	writeCounter(t, p, id, 5)
+	if err := p.EnableMmap(); err != nil && !errors.Is(err, ErrMmapUnsupported) {
+		t.Fatalf("EnableMmap: %v", err)
+	}
+	// The mapping's bytes for id are stale (the newest image is in the
+	// WAL); Pin must route through the pool.
+	writeCounter(t, p, id, 6)
+	v, err := p.Pin(id)
+	if err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	if got := binary.LittleEndian.Uint64(v.Data()[0:8]); got != 6 {
+		t.Fatalf("pinned view sees %d, want 6", got)
+	}
+	v.Unpin()
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close checkpointed: the sidecar is truncated to its bare header
+	// and the page file stands alone.
+	if fi, err := os.Stat(WALPath(path)); err != nil || fi.Size() != walHeaderSize {
+		t.Fatalf("wal sidecar after close: size=%v err=%v, want %d", fi, err, walHeaderSize)
+	}
+	rp, err := Open(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.EnableWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCounter(t, rp, id); got != 5+1 {
+		t.Fatalf("reopened counter = %d, want 6", got)
+	}
+	if err := rp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALAutoCheckpoint(t *testing.T) {
+	p, _, _ := newWALPager(t, 256)
+	p.SetWALCheckpointThreshold(16 * PageSize)
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		ids = append(ids, allocPage(t, p))
+	}
+	for round := 0; round < 10; round++ {
+		for _, id := range ids {
+			writeCounter(t, p, id, uint64(round))
+		}
+	}
+	if s := p.WALStats(); s.Checkpoints == 0 {
+		t.Fatalf("no automatic checkpoint despite %d bytes threshold: %+v", 16*PageSize, s)
+	}
+}
+
+func TestWALStatsString(t *testing.T) {
+	// Exercise the fmt path used by pictdbcheck's summary line.
+	p, _, _ := newWALPager(t, 16)
+	id := allocPage(t, p)
+	writeCounter(t, p, id, 1)
+	s := p.WALStats()
+	if out := fmt.Sprintf("records=%d gen=%d", s.Frames, s.LastGen); out == "" {
+		t.Fatal("unreachable")
+	}
+}
