@@ -1,18 +1,29 @@
 GO ?= go
 
-.PHONY: check build test race vet bench benchcheck faults walfaults fuzz psqlbench ingestbench commitbench table1 parbench joinbench clean
+.PHONY: check build test race vet lint bench benchcheck faults walfaults fuzz psqlbench ingestbench commitbench table1 parbench joinbench clean
 
-# The gate: everything must vet, build, pass under the race detector
-# (the concurrent read path and parallel PACK are exercised by
-# dedicated -race stress tests), and survive the fault-injection and
-# crash-point suites, including the WAL crash-recovery matrix.
-check: vet build race faults walfaults
+# The gate: everything must vet, lint clean (the pictdblint analyzer
+# suite, DESIGN.md §14), build, pass under the race detector (the
+# concurrent read path and parallel PACK are exercised by dedicated
+# -race stress tests), and survive the fault-injection and crash-point
+# suites, including the WAL crash-recovery matrix.
+check: vet lint build race faults walfaults
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The engine's own go/analysis suite: pinlifetime, locksync,
+# corruptwrap, benchguard (DESIGN.md §14). The binary drives
+# `go vet -vettool=` itself, so analyzer results are cached per package
+# by the build cache like any vet run.
+lint: bin/pictdblint
+	./bin/pictdblint ./...
+
+bin/pictdblint: $(shell find cmd/pictdblint internal/lint -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
+	$(GO) build -o bin/pictdblint ./cmd/pictdblint
 
 test:
 	$(GO) test ./...

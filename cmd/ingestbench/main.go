@@ -414,7 +414,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ingestbench: -cpuprofile: %v\n", err)
 			os.Exit(1)
 		}
-		defer func() { pprof.StopCPUProfile(); f.Close() }()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ingestbench: -cpuprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	methods := map[string]pack.Method{

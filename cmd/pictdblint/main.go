@@ -1,0 +1,68 @@
+// Command pictdblint runs the engine's go/analysis suite (pinlifetime,
+// locksync, corruptwrap, benchguard — see DESIGN.md §14) over Go
+// packages.
+//
+// Usage:
+//
+//	pictdblint ./...          # lint packages (drives go vet -vettool)
+//	go vet -vettool=$(which pictdblint) ./...
+//
+// The binary speaks the x/tools unitchecker protocol, so `go vet
+// -vettool=` gives every analyzer full type information from the build
+// cache with no extra loader. When invoked with package patterns
+// instead of a vet config, it re-executes itself through `go vet` for
+// convenience — `make lint` uses exactly that path.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		unitchecker.Main(lint.Analyzers()...) // never returns
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pictdblint: cannot locate own binary: %v\n", err)
+		os.Exit(2)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "pictdblint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// vetProtocol reports whether the arguments look like an invocation by
+// `go vet` (unitchecker protocol). The vet driver probes the tool with
+// flag arguments (-V=full, -flags, per-analyzer flags) and finally
+// hands it a *.cfg unit file, so ANY dash-prefixed argument or .cfg
+// path must be answered by unitchecker — re-executing `go vet` on one
+// would recurse forever. Only bare package patterns (./..., repro/...)
+// take the convenience path.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

@@ -186,7 +186,10 @@ func startCPUProfile(path string) func() {
 	}
 	return func() {
 		pprof.StopCPUProfile()
-		f.Close()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rtreebench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -200,9 +203,12 @@ func writeHeapProfile(path string) {
 		fmt.Fprintf(os.Stderr, "rtreebench: -memprofile: %v\n", err)
 		os.Exit(1)
 	}
-	defer f.Close()
 	runtime.GC() // materialize the final live set
 	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "rtreebench: -memprofile: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "rtreebench: -memprofile: %v\n", err)
 		os.Exit(1)
 	}

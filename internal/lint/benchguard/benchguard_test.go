@@ -1,0 +1,12 @@
+package benchguard_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/benchguard"
+	"repro/internal/lint/linttest"
+)
+
+func TestBenchGuard(t *testing.T) {
+	linttest.Run(t, "testdata", benchguard.Analyzer, "cmd/loadbench", "internal/render")
+}

@@ -1,0 +1,144 @@
+// Fixture for the benchguard analyzer. The package path
+// (cmd/loadbench) matches the default -pkgs gate, so all three rules
+// apply here; the sibling internal/render fixture proves the gate
+// keeps non-bench code out of scope.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime/pprof"
+	"time"
+)
+
+func main() {}
+
+// --- rule 1: seeded randomness -----------------------------------------
+
+// cleanSeeded draws from an explicitly seeded generator.
+func cleanSeeded(seed int64, n int) []int {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(1000)
+	}
+	return out
+}
+
+// badGlobalRand uses process-global state: not reproducible.
+func badGlobalRand(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rand.Intn(1000) // want `rand.Intn uses math/rand global state`
+	}
+	return out
+}
+
+// badShuffle is global state through another entry point.
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses math/rand global state`
+}
+
+// --- rule 2: timing idiom ----------------------------------------------
+
+// cleanRecorder is the sanctioned per-op idiom: t0/time.Since.
+func cleanRecorder(n int) []time.Duration {
+	lat := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		work()
+		lat[i] = time.Since(t0)
+	}
+	return lat
+}
+
+// cleanSubIdiom measures with end.Sub(start).
+func cleanSubIdiom(n int) time.Duration {
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		work()
+		end := time.Now()
+		total += end.Sub(start)
+	}
+	return total
+}
+
+// cleanHoisted reads the clock once, outside the loop.
+func cleanHoisted(n int) time.Duration {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		work()
+	}
+	return time.Since(start)
+}
+
+// badStrayClock reads the clock in the loop without measuring.
+func badStrayClock(n int) {
+	for i := 0; i < n; i++ {
+		fmt.Println(time.Now()) // want `time.Now inside a measured loop`
+		work()
+	}
+}
+
+// badBoundUnmeasured binds the stamp but never feeds Since/Sub.
+func badBoundUnmeasured(n int) []time.Time {
+	stamps := make([]time.Time, 0, n)
+	for i := 0; i < n; i++ {
+		t := time.Now() // want `time.Now inside a measured loop`
+		stamps = append(stamps, t)
+		work()
+	}
+	return stamps
+}
+
+// --- rule 3: persistence errors ----------------------------------------
+
+// cleanPersist checks every error on the persistence surface.
+func cleanPersist(path string, rep any) error {
+	data, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(path + ".prof")
+	if err != nil {
+		return err
+	}
+	werr := pprof.WriteHeapProfile(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// badDrops loses errors four different ways.
+func badDrops(path string, f *os.File, rep any) {
+	defer f.Close()                            // want `\(File\)\.Close error dropped \(deferred without checking\)`
+	_ = os.WriteFile(path, []byte("x"), 0o644) // want `os\.WriteFile error dropped \(assigned to _\)`
+	enc := json.NewEncoder(os.Stdout)
+	enc.Encode(rep)           // want `\(Encoder\)\.Encode error dropped \(call result unused\)`
+	pprof.WriteHeapProfile(f) // want `pprof\.WriteHeapProfile error dropped \(call result unused\)`
+}
+
+// badStopFunc is the regression shape fixed in rtreebench's
+// startCPUProfile: the returned stop closure dropped the Close error.
+func badStopFunc(f *os.File) func() {
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close() // want `\(File\)\.Close error dropped \(call result unused\)`
+	}
+}
+
+// suppressed demonstrates the directive escape hatch.
+func suppressed(f *os.File) {
+	//lint:ignore benchguard fixture: best-effort close on the crash path
+	f.Close()
+}
+
+func work() {}

@@ -1,0 +1,25 @@
+// Package render is outside the benchguard -pkgs gate: the same
+// patterns that are violations in cmd/loadbench produce no
+// diagnostics here (and the test fails on any unexpected diagnostic).
+package render
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Jitter(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rand.Intn(1000)
+	}
+	return out
+}
+
+func Stamp(f *os.File, n int) {
+	for i := 0; i < n; i++ {
+		_ = time.Now()
+	}
+	defer f.Close()
+}

@@ -1,0 +1,12 @@
+package corruptwrap_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/corruptwrap"
+	"repro/internal/lint/linttest"
+)
+
+func TestCorruptWrap(t *testing.T) {
+	linttest.Run(t, "testdata", corruptwrap.Analyzer, "wrapfixture")
+}

@@ -1,0 +1,96 @@
+// Fixture for the corruptwrap analyzer: corruption sentinels must be
+// wrapped with %w and matched with errors.Is. Sentinels are recognized
+// by name as package-level error variables, so this package declares
+// its own (exactly how pager/storage/rtree declare theirs).
+package wrapfixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrChecksum  = errors.New("page checksum mismatch")
+	ErrCorrupt   = errors.New("structural corruption")
+	ErrTruncated = errors.New("file truncated")
+	ErrBadMagic  = errors.New("bad magic")
+
+	// ErrOther is not a corruption sentinel: no diagnostics for it.
+	ErrOther = errors.New("other")
+)
+
+// --- clean idioms ------------------------------------------------------
+
+// cleanWrap wraps the sentinel with %w: errors.Is keeps matching.
+func cleanWrap(page int) error {
+	return fmt.Errorf("page %d: %w", page, ErrChecksum)
+}
+
+// cleanIs matches through the chain.
+func cleanIs(err error) bool {
+	return errors.Is(err, ErrCorrupt)
+}
+
+// cleanNilCheck compares an error against nil, not a sentinel.
+func cleanNilCheck(err error) bool {
+	return err != nil
+}
+
+// cleanFlattened explicitly flattens with err.Error(): the intent is
+// visible, no diagnostic.
+func cleanFlattened(err error) string {
+	return fmt.Sprintf("warning: %v", err) // Sprintf is not Errorf: out of scope
+}
+
+// cleanErrorString formats the string form inside Errorf.
+func cleanErrorString(page int, err error) error {
+	return fmt.Errorf("page %d failed (%s); continuing", page, err.Error())
+}
+
+// --- violations --------------------------------------------------------
+
+// badVerbV flattens the sentinel to text.
+func badVerbV(page int) error {
+	return fmt.Errorf("page %d: %v", page, ErrChecksum) // want `corruption sentinel ErrChecksum formatted with %v`
+}
+
+// badVerbS severs the chain with %s.
+func badVerbS() error {
+	return fmt.Errorf("load: %s", ErrTruncated) // want `corruption sentinel ErrTruncated formatted with %s`
+}
+
+// badRewrap formats an arbitrary error with %v: if it carries a
+// sentinel the chain is severed.
+func badRewrap(err error) error {
+	return fmt.Errorf("while scanning: %v", err) // want `error formatted with %v in fmt.Errorf`
+}
+
+// badCompareEq matches by identity: wrapped sentinels never compare
+// equal.
+func badCompareEq(err error) bool {
+	return err == ErrBadMagic // want `ErrBadMagic compared with ==`
+}
+
+// badCompareNeq is the inverted form.
+func badCompareNeq(err error) bool {
+	return err != ErrCorrupt // want `ErrCorrupt compared with !=`
+}
+
+// badMidFormat: the sentinel is found under the right verb even with
+// trailing text after it.
+func badMidFormat() error {
+	return fmt.Errorf("verify: %v (data unsafe)", ErrChecksum) // want `corruption sentinel ErrChecksum formatted with %v`
+}
+
+// suppressed demonstrates the directive escape hatch.
+func suppressed(err error) bool {
+	//lint:ignore corruptwrap fixture: comparing against the just-created local, not a wrapped chain
+	return err == ErrChecksum
+}
+
+// otherSentinelUnflagged: ErrOther is not in the sentinel set and an
+// equality check against it is allowed (though errors.Is is still
+// better style).
+func otherSentinelUnflagged(err error) bool {
+	return err == ErrOther
+}

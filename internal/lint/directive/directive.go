@@ -1,0 +1,124 @@
+// Package directive implements the suppression protocol shared by all
+// pictdblint analyzers.
+//
+// A diagnostic is suppressed by a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the flagged line or on the line immediately above
+// it. The reason is mandatory: an ignore that does not say why it is
+// safe is itself a lint violation (reported by the directive checker
+// wired into every analyzer), so suppressions stay auditable.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const prefix = "//lint:ignore"
+
+// ignore is one parsed //lint:ignore directive.
+type ignore struct {
+	analyzers map[string]bool // empty+all=true means "all analyzers"
+	all       bool
+	reason    string
+	pos       token.Pos
+}
+
+// Index holds the parsed directives of one package, keyed by file and
+// line, ready for O(1) lookup at Report time.
+type Index struct {
+	fset    *token.FileSet
+	byLine  map[string]map[int]*ignore // filename -> line -> directive
+	invalid []*ignore                  // malformed: missing analyzer list or reason
+}
+
+// Build parses every //lint:ignore directive in the pass's files.
+func Build(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{fset: fset, byLine: make(map[string]map[int]*ignore)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				ig := parse(rest)
+				ig.pos = c.Pos()
+				pos := fset.Position(c.Pos())
+				if ig.reason == "" || (len(ig.analyzers) == 0 && !ig.all) {
+					ix.invalid = append(ix.invalid, ig)
+					continue
+				}
+				m := ix.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int]*ignore)
+					ix.byLine[pos.Filename] = m
+				}
+				// The directive covers its own line (trailing comment)
+				// and the next line (comment above the flagged code).
+				m[pos.Line] = ig
+				m[pos.Line+1] = ig
+			}
+		}
+	}
+	return ix
+}
+
+func parse(rest string) *ignore {
+	ig := &ignore{analyzers: make(map[string]bool)}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return ig
+	}
+	for _, name := range strings.Split(fields[0], ",") {
+		if name == "*" {
+			ig.all = true
+		} else if name != "" {
+			ig.analyzers[name] = true
+		}
+	}
+	ig.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+	return ig
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by an ignore directive.
+func (ix *Index) Suppressed(name string, pos token.Pos) bool {
+	p := ix.fset.Position(pos)
+	ig, ok := ix.byLine[p.Filename][p.Line]
+	if !ok {
+		return false
+	}
+	return ig.all || ig.analyzers[name]
+}
+
+// Apply wraps pass.Report so diagnostics covered by a valid ignore
+// directive are dropped, and reports every malformed directive (an
+// ignore without an analyzer list or reason) exactly once per
+// analyzer run would be noisy, so only the first analyzer in the
+// suite surfaces them — callers pass reportInvalid accordingly.
+func Apply(pass *analysis.Pass, reportInvalid bool) *analysis.Pass {
+	ix := Build(pass.Fset, pass.Files)
+	wrapped := *pass
+	orig := pass.Report
+	wrapped.Report = func(d analysis.Diagnostic) {
+		if ix.Suppressed(pass.Analyzer.Name, d.Pos) {
+			return
+		}
+		orig(d)
+	}
+	if reportInvalid {
+		for _, ig := range ix.invalid {
+			orig(analysis.Diagnostic{
+				Pos:     ig.pos,
+				Message: "malformed //lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason> (the reason is mandatory)",
+			})
+		}
+	}
+	return &wrapped
+}

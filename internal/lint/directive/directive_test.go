@@ -1,0 +1,92 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const src = `package p
+
+func f() {
+	//lint:ignore pinlifetime the pin is handed to the caller via the iterator
+	a()
+	b() //lint:ignore locksync,corruptwrap bootstrap path, single-threaded
+	//lint:ignore * everything is fine here, trust me
+	c()
+	//lint:ignore benchguard
+	d()
+	//lint:ignore
+	e()
+}
+
+func a() {}
+func b() {}
+func c() {}
+func d() {}
+func e() {}
+`
+
+func parseSrc(t *testing.T) (*token.FileSet, *Index) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, Build(fset, []*ast.File{f})
+}
+
+func TestSuppressed(t *testing.T) {
+	fset, ix := parseSrc(t)
+	pos := func(line int) token.Pos {
+		return fset.File(token.Pos(1)).LineStart(line)
+	}
+	cases := []struct {
+		name string
+		line int
+		want bool
+	}{
+		{"pinlifetime", 5, true},   // directive on line above
+		{"locksync", 5, false},     // names another analyzer
+		{"locksync", 6, true},      // trailing directive, first listed
+		{"corruptwrap", 6, true},   // trailing directive, second listed
+		{"pinlifetime", 6, false},  // not listed
+		{"benchguard", 8, true},    // wildcard covers every analyzer
+		{"benchguard", 10, false},  // malformed: missing reason
+		{"pinlifetime", 12, false}, // malformed: no analyzer, no reason
+		{"pinlifetime", 15, false}, // no directive at all
+	}
+	for _, c := range cases {
+		if got := ix.Suppressed(c.name, pos(c.line)); got != c.want {
+			t.Errorf("Suppressed(%q, line %d) = %v, want %v", c.name, c.line, got, c.want)
+		}
+	}
+}
+
+func TestApplyReportsInvalidOnce(t *testing.T) {
+	fset, _ := parseSrc(t)
+	f, err := parser.ParseFile(fset, "q.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: &analysis.Analyzer{Name: "pinlifetime"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	Apply(pass, true)
+	if len(got) != 2 {
+		t.Fatalf("reportInvalid=true produced %d diagnostics, want 2 (the two malformed directives): %v", len(got), got)
+	}
+	got = nil
+	Apply(pass, false)
+	if len(got) != 0 {
+		t.Fatalf("reportInvalid=false produced %d diagnostics, want 0", len(got))
+	}
+}

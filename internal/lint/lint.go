@@ -1,0 +1,35 @@
+// Package lint assembles pictdblint, the engine's own go/analysis
+// suite. Each analyzer machine-checks one safety invariant that the
+// paper's direct-search advantage rests on (see DESIGN.md §14):
+//
+//	pinlifetime — DESIGN.md §10 pin lifetime rules
+//	locksync    — DESIGN.md §13 WAL/pool locking protocol
+//	corruptwrap — PR 2 typed-corruption-error discipline
+//	benchguard  — reproducible, error-checked benchmark tooling
+//
+// False positives are suppressed in place with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on (or immediately above) the flagged line; the reason is mandatory
+// and malformed directives are themselves diagnosed.
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/benchguard"
+	"repro/internal/lint/corruptwrap"
+	"repro/internal/lint/locksync"
+	"repro/internal/lint/pinlifetime"
+)
+
+// Analyzers returns the full pictdblint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		pinlifetime.Analyzer,
+		locksync.Analyzer,
+		corruptwrap.Analyzer,
+		benchguard.Analyzer,
+	}
+}

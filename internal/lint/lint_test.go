@@ -1,0 +1,66 @@
+package lint_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRegistry pins the analyzer roster: the Makefile, CI, and
+// DESIGN.md §14 all promise exactly these four run on every build.
+func TestRegistry(t *testing.T) {
+	want := []string{"pinlifetime", "locksync", "corruptwrap", "benchguard"}
+	as := lint.Analyzers()
+	if len(as) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(as), len(want))
+	}
+	for i, a := range as {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+}
+
+// TestTreeIsLintClean builds the pictdblint multichecker and drives it
+// over the whole module through `go vet -vettool`, exactly as `make
+// lint` does. A clean tree is the regression test for every invariant
+// the suite encodes — and for the driver's vet integration itself.
+func TestTreeIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole module")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "pictdblint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/pictdblint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pictdblint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("tree is not lint-clean: %v\n%s", err, out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not in a module")
+	}
+	return filepath.Dir(gomod)
+}

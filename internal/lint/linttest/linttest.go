@@ -1,0 +1,272 @@
+// Package linttest is a self-contained analysistest-style harness for
+// the pictdblint analyzers. It loads fixture packages from
+// testdata/src/<pkg>, typechecks them against the standard library
+// (and against sibling fixture packages, so a fixture can declare a
+// minimal "pager" and import it), runs an analyzer plus its Requires
+// closure, and compares the diagnostics against `// want "regexp"`
+// comments exactly like golang.org/x/tools/go/analysis/analysistest.
+//
+// The upstream analysistest depends on go/packages, which needs a
+// module loader; this harness uses only the standard library
+// typechecker so the suite runs hermetically (no network, no module
+// resolution) — the fixture convention is identical, so fixtures
+// port verbatim if the repo ever vendors the full x/tools.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each named fixture package from dir/src/<pkg>, runs the
+// analyzer, and checks diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			ld := &loader{
+				root:     filepath.Join(dir, "src"),
+				fset:     token.NewFileSet(),
+				packages: make(map[string]*loaded),
+			}
+			l, err := ld.load(pkg)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", pkg, err)
+			}
+			diags := runAnalyzer(t, a, ld.fset, l)
+			checkWants(t, ld.fset, l.files, diags)
+		})
+	}
+}
+
+// loaded is one typechecked fixture package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	root     string
+	fset     *token.FileSet
+	packages map[string]*loaded
+}
+
+// Import implements types.Importer: fixture-local packages win,
+// everything else (the standard library) resolves through the
+// compiler's export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if l, ok := ld.packages[path]; ok {
+		return l.pkg, nil
+	}
+	if fi, err := os.Stat(filepath.Join(ld.root, path)); err == nil && fi.IsDir() {
+		l, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return l.pkg, nil
+	}
+	return importer.Default().Import(path)
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if l, ok := ld.packages[path]; ok {
+		return l, nil
+	}
+	dir := filepath.Join(ld.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	l := &loaded{pkg: pkg, files: files, info: info}
+	ld.packages[path] = l
+	return l, nil
+}
+
+// runAnalyzer executes a and its Requires closure over the package,
+// returning a's diagnostics.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, l *loaded) []analysis.Diagnostic {
+	t.Helper()
+	results := make(map[*analysis.Analyzer]interface{})
+	var diags []analysis.Diagnostic
+
+	var run func(a *analysis.Analyzer, collect bool)
+	run = func(a *analysis.Analyzer, collect bool) {
+		if _, done := results[a]; done {
+			return
+		}
+		for _, dep := range a.Requires {
+			run(dep, false)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      l.files,
+			Pkg:        l.pkg,
+			TypesInfo:  l.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if collect {
+					diags = append(diags, d)
+				}
+			},
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+		results[a] = res
+	}
+	run(a, true)
+	return diags
+}
+
+// wantRe matches the expectation comment: // want "rx" `rx` ...
+// The payload must start with a quote so prose that merely mentions
+// "want" (doc comments describing the convention) is not parsed.
+var wantRe = regexp.MustCompile("//\\s*want\\s+([\"`].*)$")
+
+// expectation is one // want pattern on one line.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, m[1]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns tokenizes the payload of a want comment: a sequence of
+// double- or back-quoted Go strings.
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var q byte = s[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("%s: want payload must be quoted patterns, got %q", pos, s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == q && (q == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s: unterminated pattern in want comment: %q", pos, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad pattern %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	byLine := make(map[[2]interface{}][]*expectation)
+	key := func(file string, line int) [2]interface{} { return [2]interface{}{file, line} }
+	for _, w := range wants {
+		k := key(w.file, w.line)
+		byLine[k] = append(byLine[k], w)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range byLine[key(pos.Filename, pos.Line)] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}

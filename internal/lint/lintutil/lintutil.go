@@ -1,0 +1,123 @@
+// Package lintutil holds the small type-matching helpers the
+// pictdblint analyzers share.
+//
+// The analyzers match the engine's types structurally — by package
+// base name, type name, and method/field name — rather than by full
+// import path, so the analysistest-style fixture packages (which
+// re-declare a minimal pager, storage, …) exercise exactly the same
+// matching code as the real tree.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PkgBase returns the last path element of a package path ("repro/internal/pager" -> "pager").
+func PkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// NamedType resolves t (through pointers and aliases) to its named
+// type, or nil.
+func NamedType(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		case *types.Alias:
+			t = types.Unalias(tt)
+		default:
+			return nil
+		}
+	}
+}
+
+// IsNamed reports whether t resolves to a named type with the given
+// type name declared in a package whose base name matches pkgBase.
+func IsNamed(t types.Type, pkgBase, name string) bool {
+	n := NamedType(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	if n.Obj().Name() != name {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && PkgBase(pkg.Path()) == pkgBase
+}
+
+// MethodCall reports whether call is a method call named name and, if
+// so, returns its receiver expression and static receiver type.
+func MethodCall(info *types.Info, call *ast.CallExpr, name string) (recv ast.Expr, recvType types.Type, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != name {
+		return nil, nil, false
+	}
+	selInfo, isSelInfo := info.Selections[sel]
+	if !isSelInfo || selInfo.Kind() != types.MethodVal {
+		return nil, nil, false
+	}
+	return sel.X, selInfo.Recv(), true
+}
+
+// PkgFunc reports whether call invokes the package-level function
+// pkg.name (matched by package base name, so both "math/rand" and a
+// fixture's "rand" match pkgBase "rand").
+func PkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath || PkgBase(fn.Pkg().Path()) == PkgBase(pkgPath)
+}
+
+// ObjOf returns the object denoted by an identifier expression, or nil.
+func ObjOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// Unparen strips parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// IsErrorType reports whether t implements the error interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, types.Universe.Lookup("error").Type().Underlying().(*types.Interface))
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. The analyzers skip test files by default: the invariants they
+// enforce protect the production read/commit paths, and test bodies
+// routinely hold pins or clocks in ways the fixtures cover separately.
+func IsTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}

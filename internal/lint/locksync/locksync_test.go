@@ -1,0 +1,12 @@
+package locksync_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/locksync"
+)
+
+func TestLockSync(t *testing.T) {
+	linttest.Run(t, "testdata", locksync.Analyzer, "lockfixture")
+}

@@ -1,0 +1,12 @@
+package pinlifetime_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/pinlifetime"
+)
+
+func TestPinLifetime(t *testing.T) {
+	linttest.Run(t, "testdata", pinlifetime.Analyzer, "pinfixture")
+}
