@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet lint bench benchcheck faults walfaults fuzz psqlbench ingestbench commitbench table1 parbench joinbench clean
+.PHONY: check build test race vet lint bench benchcheck faults walfaults fuzz psqlbench ingestbench commitbench shardbench table1 parbench joinbench clean
 
 # The gate: everything must vet, lint clean (the pictdblint analyzer
 # suite, DESIGN.md §14), build, pass under the race detector (the
@@ -43,6 +43,7 @@ benchcheck:
 	$(GO) test -run xxx -bench 'PSQL' -benchtime 10x -benchmem .
 	$(GO) test -run xxx -bench 'Pin|Fetch' -benchtime 100x -benchmem ./internal/pager/
 	$(GO) test -run xxx -bench 'DeltaMergedSearch|PackedOnlySearch' -benchtime 20x -benchmem ./internal/relation/
+	$(GO) test -run xxx -bench 'ShardedSearch|UnshardedSearch' -benchtime 20x -benchmem ./internal/relation/
 	$(GO) test -run 'ZeroAllocs|PreallocAllocs' ./internal/rtree/
 	$(GO) run ./cmd/psqlbench -iters 20 -json > /dev/null
 	$(GO) run ./cmd/ingestbench -n 5000 -inserts 2000 -deletes 200 -threshold 512 -queries 200 -windows 64 -json > /dev/null
@@ -79,6 +80,13 @@ ingestbench:
 # at 1/4/16 writers. Records the acceptance numbers in BENCH_pr7.json.
 commitbench:
 	$(GO) run ./cmd/commitbench -out BENCH_pr7.json
+
+# Hilbert-range sharding scaling sweep: the same mixed ingest load and
+# warm clustered-window workload at 1/2/4/8 shards against the
+# unsharded baseline. Records the acceptance numbers in BENCH_pr9.json.
+shardbench:
+	$(GO) run ./cmd/ingestbench -n 100000 -inserts 40000 -deletes 4000 \
+		-queries 2000 -radius 50 -shards 1,2,4,8 -out BENCH_pr9.json
 
 # Paper reproduction targets.
 table1:

@@ -39,6 +39,7 @@ const (
 	catPicture  = 'P'
 	catObject   = 'O'
 	catRelation = 'R'
+	catSharded  = 'S'
 )
 
 // ensureSuperblock creates or validates the superblock page.
@@ -134,6 +135,13 @@ func (db *Database) Checkpoint() error {
 	if db.readOnly {
 		return fmt.Errorf("pictdb: checkpoint: %w", pager.ErrReadOnly)
 	}
+	// Shard files first: the snapshot written below names shard heap
+	// pages, and the main file's Flush is itself a durable commit in
+	// WAL mode — committing every shard now guarantees the catalog
+	// never names a shard page that is not yet durable.
+	if err := db.commitShards(); err != nil {
+		return err
+	}
 	old, err := db.readSnapshotPage()
 	if err != nil {
 		return err
@@ -190,9 +198,25 @@ func (db *Database) Checkpoint() error {
 	sort.Strings(relNames)
 	for _, name := range relNames {
 		rel := db.relations[name]
-		rec := []byte{catRelation}
-		rec = appendString(rec, name)
-		rec = binary.LittleEndian.AppendUint32(rec, uint32(rel.HeapFirstPage()))
+		var rec []byte
+		if rel.Sharded() {
+			// Sharded relations persist one heap handle per shard; the
+			// shard count is implied by the handle count. The shard
+			// pages themselves become durable at Commit — shards commit
+			// before the main file, so this record never names a shard
+			// page that is not yet durable.
+			rec = []byte{catSharded}
+			rec = appendString(rec, name)
+			firsts := rel.ShardHeapFirstPages()
+			rec = binary.AppendUvarint(rec, uint64(len(firsts)))
+			for _, f := range firsts {
+				rec = binary.LittleEndian.AppendUint32(rec, uint32(f))
+			}
+		} else {
+			rec = []byte{catRelation}
+			rec = appendString(rec, name)
+			rec = binary.LittleEndian.AppendUint32(rec, uint32(rel.HeapFirstPage()))
+		}
 		schema := rel.Schema()
 		rec = binary.AppendUvarint(rec, uint64(schema.Arity()))
 		for _, col := range schema.Columns {
@@ -209,10 +233,13 @@ func (db *Database) Checkpoint() error {
 		sort.Strings(pics)
 		rec = binary.AppendUvarint(rec, uint64(len(pics)))
 		for _, pn := range pics {
-			si := rel.Spatial(pn)
+			// SpatialOpts is the mode-agnostic accessor: a sharded
+			// relation has one index per shard (all built with the same
+			// options), an unsharded one exactly one.
+			opts, _ := rel.SpatialOpts(pn)
 			rec = appendString(rec, pn)
-			rec = append(rec, byte(si.Opts.Method))
-			if si.Opts.TrimToMultiple {
+			rec = append(rec, byte(opts.Method))
+			if opts.TrimToMultiple {
 				rec = append(rec, 1)
 			} else {
 				rec = append(rec, 0)
@@ -309,7 +336,7 @@ func (db *Database) loadCatalog() error {
 				scanErr = err
 				return false
 			}
-		case catRelation:
+		case catRelation, catSharded:
 			def, err := decodeRelDef(rec)
 			if err != nil {
 				scanErr = err
@@ -331,7 +358,12 @@ func (db *Database) loadCatalog() error {
 
 	// Relations last: their index rebuilds resolve pictures.
 	for _, def := range rels {
-		rel, err := openRelation(db, def.name, def.schema, def.heapFirst)
+		var rel *Relation
+		if len(def.shardFirsts) > 0 {
+			rel, err = db.openShardedRelation(def.name, def.schema, def.shardFirsts)
+		} else {
+			rel, err = openRelation(db, def.name, def.schema, def.heapFirst)
+		}
 		if err != nil {
 			return err
 		}
@@ -354,13 +386,16 @@ func (db *Database) loadCatalog() error {
 	return nil
 }
 
-// decodedRel mirrors the persisted relation definition.
+// decodedRel mirrors the persisted relation definition. Exactly one of
+// heapFirst (unsharded) and shardFirsts (sharded, one heap handle per
+// shard) is meaningful.
 type decodedRel struct {
-	name      string
-	heapFirst pager.PageID
-	schema    Schema
-	indexed   []string
-	assocs    []struct {
+	name        string
+	heapFirst   pager.PageID
+	shardFirsts []pager.PageID
+	schema      Schema
+	indexed     []string
+	assocs      []struct {
 		pic  string
 		opts pack.Options
 	}
@@ -373,11 +408,27 @@ func decodeRelDef(rec []byte) (decodedRel, error) {
 		return def, err
 	}
 	def.name = name
-	if pos+4 > len(rec) {
-		return def, fmt.Errorf("pictdb: truncated relation heap page")
+	if rec[0] == catSharded {
+		n, w := binary.Uvarint(rec[pos:])
+		if w <= 0 || n == 0 || n > 1<<16 {
+			return def, fmt.Errorf("pictdb: truncated shard count")
+		}
+		pos += w
+		if pos+4*int(n) > len(rec) {
+			return def, fmt.Errorf("pictdb: truncated shard heap pages")
+		}
+		def.shardFirsts = make([]pager.PageID, n)
+		for i := range def.shardFirsts {
+			def.shardFirsts[i] = pager.PageID(binary.LittleEndian.Uint32(rec[pos:]))
+			pos += 4
+		}
+	} else {
+		if pos+4 > len(rec) {
+			return def, fmt.Errorf("pictdb: truncated relation heap page")
+		}
+		def.heapFirst = pager.PageID(binary.LittleEndian.Uint32(rec[pos:]))
+		pos += 4
 	}
-	def.heapFirst = pager.PageID(binary.LittleEndian.Uint32(rec[pos:]))
-	pos += 4
 
 	arity, w := binary.Uvarint(rec[pos:])
 	if w <= 0 {

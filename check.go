@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/pager"
+	"repro/internal/relation"
 	"repro/internal/rtree"
 	"repro/internal/storage"
 )
@@ -28,7 +30,7 @@ var ErrCorrupt = errors.New("pictdb: corrupt database")
 // was detected on (0 when no single page is implicated).
 type CheckProblem struct {
 	Page      pager.PageID
-	Component string // "page", "free-list", "superblock", "catalog", "relation:<name>", "ownership"
+	Component string // "page", "free-list", "superblock", "catalog", "relation:<name>", "relation:<name>:shard:<i>", "ownership"
 	Err       error
 }
 
@@ -80,8 +82,16 @@ func IsCorruption(err error) bool {
 }
 
 // Check verifies the whole database and returns a report with
-// per-page diagnostics. It never mutates the file.
-func (db *Database) Check() *CheckReport {
+// per-page diagnostics. It never mutates the file. Shard files of
+// sharded relations are verified too (serially; CheckParallel fans
+// them out).
+func (db *Database) Check() *CheckReport { return db.CheckParallel(1) }
+
+// CheckParallel is Check with up to par shard files verified
+// concurrently — per-shard verification is independent (each shard is
+// its own page file), so `pictdbcheck -parallel` overlaps their page
+// scans. The report is identical at every par; par <= 1 is serial.
+func (db *Database) CheckParallel(par int) *CheckReport {
 	r := &CheckReport{Pages: db.pager.NumPages()}
 	add := func(page pager.PageID, component string, err error) {
 		r.Problems = append(r.Problems, CheckProblem{Page: page, Component: component, Err: err})
@@ -159,6 +169,17 @@ func (db *Database) Check() *CheckReport {
 	for _, name := range names {
 		rel := db.relations[name]
 		component := "relation:" + name
+		if rel.Sharded() {
+			// Logical invariants (route table, per-shard heaps and
+			// spatial indexes) check per-shard in parallel, then each
+			// shard's page file gets the same raw-page / free-list /
+			// ownership pass the main file gets above.
+			if err := rel.CheckShards(par); err != nil {
+				add(pager.InvalidPage, component, err)
+			}
+			db.checkShardFiles(rel, component, par, r)
+			continue
+		}
 		if err := rel.Check(); err != nil {
 			add(pager.InvalidPage, component, err)
 		}
@@ -180,4 +201,94 @@ func (db *Database) Check() *CheckReport {
 		}
 	}
 	return r
+}
+
+// checkShardFiles runs the file-level verification pass — raw page
+// scan, free list, heap-page ownership, leak accounting — over every
+// shard file of a sharded relation, up to par shards concurrently.
+// Findings land under component "<component>:shard:<i>" with
+// shard-file-local page ids, appended in shard order so the report is
+// deterministic at every par.
+func (db *Database) checkShardFiles(rel *relation.Relation, component string, par int, r *CheckReport) {
+	n := rel.ShardCount()
+	type shardResult struct {
+		pages    int
+		free     int
+		leaked   int
+		problems []CheckProblem
+	}
+	results := make([]shardResult, n)
+	checkOne := func(s int) {
+		res := &results[s]
+		comp := fmt.Sprintf("%s:shard:%d", component, s)
+		add := func(page pager.PageID, err error) {
+			res.problems = append(res.problems, CheckProblem{Page: page, Component: comp, Err: err})
+		}
+		sp := rel.ShardPager(s)
+		res.pages = sp.NumPages()
+
+		// Raw page scan: valid trailer on every page.
+		for id := pager.PageID(1); int(id) < sp.NumPages(); id++ {
+			pg, err := sp.Fetch(id)
+			if err != nil {
+				add(id, err)
+				continue
+			}
+			sp.Unpin(pg)
+		}
+
+		// Free list + ownership, scoped to this shard's file.
+		owners := make(map[pager.PageID]string)
+		claim := func(id pager.PageID, owner string) {
+			if prev, dup := owners[id]; dup {
+				add(id, fmt.Errorf("%w: page claimed by both %s and %s", ErrCorrupt, prev, owner))
+				return
+			}
+			owners[id] = owner
+		}
+		free, err := sp.FreePages()
+		if err != nil {
+			add(pager.InvalidPage, err)
+		}
+		res.free = len(free)
+		for _, id := range free {
+			claim(id, "free-list")
+		}
+		if pages, err := rel.ShardHeapPages(s); err != nil {
+			add(pager.InvalidPage, err)
+		} else {
+			for _, id := range pages {
+				claim(id, "heap")
+			}
+		}
+		for id := 1; id < sp.NumPages(); id++ {
+			if _, ok := owners[pager.PageID(id)]; !ok {
+				res.leaked++
+			}
+		}
+	}
+	if par <= 1 || n <= 1 {
+		for s := 0; s < n; s++ {
+			checkOne(s)
+		}
+	} else {
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for s := 0; s < n; s++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(s int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				checkOne(s)
+			}(s)
+		}
+		wg.Wait()
+	}
+	for s := range results {
+		r.Pages += results[s].pages
+		r.FreePages += results[s].free
+		r.Leaked += results[s].leaked
+		r.Problems = append(r.Problems, results[s].problems...)
+	}
 }

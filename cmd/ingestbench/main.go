@@ -18,10 +18,20 @@
 // read amplification. A freshly packed reference over the same final
 // data ("fresh-pack") anchors the query-latency comparison.
 //
+// With -shards "1,2,4,8" the strategy comparison is replaced by the
+// sharding scaling sweep: the same ingest and warm-query cycle runs
+// over an unsharded baseline and then over a Hilbert-range sharded
+// relation at each listed shard count. Each shard owns an independent
+// page file, write side, and repack schedule, so ingest throughput
+// scales with the per-shard repack work reduction while scatter-gather
+// keeps clustered-window query latency near the single-tree baseline.
+// `make shardbench` records this sweep as BENCH_pr9.json.
+//
 // Usage:
 //
 //	ingestbench [-n items] [-inserts n] [-deletes n] [-threshold n]
-//	            [-queries n] [-windows n] [-seed s] [-json] [-out file]
+//	            [-queries n] [-windows n] [-seed s] [-shards list]
+//	            [-json] [-out file]
 package main
 
 import (
@@ -31,6 +41,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -90,12 +102,191 @@ type report struct {
 	// reference (read amplification in wall-clock form).
 	LSMIngestSpeedup  float64 `json:"lsm_ingest_speedup_vs_guttman"`
 	LSMWarmQueryRatio float64 `json:"lsm_warm_query_p50_ratio_vs_fresh"`
+
+	// Sharding sweep (-shards): the scaling curve plus its two
+	// acceptance ratios — aggregate ingest throughput at the highest
+	// shard count over one shard, and clustered-window query p50 at the
+	// highest shard count over the unsharded baseline.
+	ShardTier          []shardResult `json:"shard_tier,omitempty"`
+	ShardIngestSpeedup float64       `json:"shard_ingest_speedup_max_vs_1,omitempty"`
+	ShardQueryP50Ratio float64       `json:"shard_query_p50_ratio_vs_unsharded,omitempty"`
 }
 
 type config struct {
 	n, inserts, deletes, threshold, queries, nWindows int
+	radius                                            float64
 	seed                                              int64
 	method                                            pack.Method
+}
+
+// shardResult is one point on the sharding scaling curve: the full
+// ingest-then-query cycle over a relation split across Shards page
+// files (Shards == 0 is the unsharded baseline).
+type shardResult struct {
+	Shards        int                     `json:"shards"`
+	IngestOps     int                     `json:"ingest_ops"`
+	IngestSeconds float64                 `json:"ingest_seconds"`
+	OpsPerSec     float64                 `json:"inserts_per_sec"`
+	Repacks       int                     `json:"repacks"`
+	Query         workload.LatencySummary `json:"query_latency"`
+	AvgVisited    float64                 `json:"avg_nodes_visited"`
+	RowsLast      int                     `json:"rows_last"`
+}
+
+// buildShardedFixture builds the cities relation over k shard page
+// files (k == 0: the plain single-file relation, packed directly). For
+// sharded builds the picture attaches before the load so placement is
+// Hilbert routing; the untimed load then collapses into per-shard
+// packed trees before the measured ingest begins.
+func buildShardedFixture(cfg config, k int) (func(), *relation.Relation, *picture.Picture, error) {
+	if k == 0 {
+		p, rel, pic, err := buildFixture(cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return func() { p.Close() }, rel, pic, nil
+	}
+	pagers := make([]*pager.Pager, k)
+	for i := range pagers {
+		pagers[i] = pager.OpenMem(4096)
+	}
+	closer := func() {
+		for _, p := range pagers {
+			p.Close()
+		}
+	}
+	rel, err := relation.NewSharded(pagers, "cities", relation.MustSchema("name:string", "loc:loc"))
+	if err != nil {
+		closer()
+		return nil, nil, nil, err
+	}
+	pic := picture.New("map", geom.R(0, 0, 1000, 1000))
+	if err := rel.AttachPicture(pic, pack.Options{Method: cfg.method}); err != nil {
+		closer()
+		return nil, nil, nil, err
+	}
+	// Hold the write sides open for the whole load, then pack once.
+	for _, si := range rel.Spatials("map") {
+		si.SetDeltaThreshold(cfg.n + cfg.inserts + 1)
+	}
+	for i, pt := range workload.UniformPoints(cfg.n, cfg.seed) {
+		oid := pic.AddPoint(fmt.Sprintf("c%d", i), pt)
+		if _, err := rel.Insert(relation.Tuple{relation.S(fmt.Sprintf("c%d", i)), relation.L("map", oid)}); err != nil {
+			closer()
+			return nil, nil, nil, err
+		}
+	}
+	if err := rel.RepackPicture("map", pack.Options{Method: cfg.method}); err != nil {
+		closer()
+		return nil, nil, nil, err
+	}
+	for _, si := range rel.Spatials("map") {
+		si.SetDeltaThreshold(cfg.threshold)
+	}
+	return closer, rel, pic, nil
+}
+
+// shardIngest drives the mixed load with the deterministic repack
+// discipline: auto-repack off, and any shard whose write side crosses
+// the threshold repacks synchronously — the repack cost lands on the
+// writer, so throughput directly reflects index-maintenance work. An
+// unsharded relation repacks its one O(n) tree every threshold writes;
+// a k-sharded relation repacks an O(n/k) tree at the same per-shard
+// cadence, which is the aggregate write-bandwidth scaling the sharding
+// layer exists to buy.
+func shardIngest(rel *relation.Relation, pic *picture.Picture, cfg config) (int, float64, error) {
+	sis := rel.Spatials("map")
+	for _, si := range sis {
+		si.SetAutoRepack(false)
+	}
+	var ids []storage.TupleID
+	if err := rel.Scan(func(id storage.TupleID, _ relation.Tuple) bool {
+		ids = append(ids, id)
+		return true
+	}); err != nil {
+		return 0, 0, err
+	}
+	deleteEvery := 0
+	if cfg.deletes > 0 {
+		deleteEvery = cfg.inserts / cfg.deletes
+	}
+	pts := workload.UniformPoints(cfg.inserts, cfg.seed+100)
+	ops := 0
+	start := time.Now()
+	for i, pt := range pts {
+		oid := pic.AddPoint(fmt.Sprintf("n%d", i), pt)
+		id, err := rel.Insert(relation.Tuple{relation.S(fmt.Sprintf("n%d", i)), relation.L("map", oid)})
+		if err != nil {
+			return 0, 0, err
+		}
+		ids = append(ids, id)
+		ops++
+		if deleteEvery > 0 && i%deleteEvery == deleteEvery-1 && len(ids) > 0 {
+			if err := rel.Delete(ids[0]); err != nil {
+				return 0, 0, err
+			}
+			ids = ids[1:]
+			ops++
+		}
+		if ops%64 == 0 {
+			for _, si := range sis {
+				if si.DeltaLen()+si.TombstoneCount() >= cfg.threshold {
+					si.RepackNow(true)
+				}
+			}
+		}
+	}
+	return ops, time.Since(start).Seconds(), nil
+}
+
+// runShardSweep measures the ingest-and-query cycle at every shard
+// count: the per-shard write sides absorb the same mixed load under the
+// synchronous repack discipline, then the write sides collapse and the
+// warm clustered-window workload runs through the scatter-gather read
+// path.
+func runShardSweep(cfg config, counts []int) ([]shardResult, error) {
+	var out []shardResult
+	for _, k := range append([]int{0}, counts...) {
+		closer, rel, pic, err := buildShardedFixture(cfg, k)
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d: %w", k, err)
+		}
+		for _, si := range rel.Spatials("map") {
+			si.SetDeltaThreshold(cfg.threshold)
+		}
+		ops, ingestSec, err := shardIngest(rel, pic, cfg)
+		if err != nil {
+			closer()
+			return nil, fmt.Errorf("shards=%d: %w", k, err)
+		}
+		repacks := 0
+		for _, si := range rel.Spatials("map") {
+			repacks += si.Repacks()
+		}
+		// Collapse residual write sides so every count's query phase
+		// reads freshly packed trees — the latency comparison isolates
+		// scatter-gather overhead, not leftover delta state.
+		for _, si := range rel.Spatials("map") {
+			si.RepackNow(true)
+		}
+		lat, avgVisited, rows, err := queryPhase(rel, cfg)
+		if err != nil {
+			closer()
+			return nil, fmt.Errorf("shards=%d: %w", k, err)
+		}
+		closer()
+		out = append(out, shardResult{
+			Shards:        k,
+			IngestOps:     ops,
+			IngestSeconds: ingestSec,
+			OpsPerSec:     float64(ops) / ingestSec,
+			Repacks:       repacks,
+			Query:         lat,
+			AvgVisited:    avgVisited,
+			RowsLast:      rows,
+		})
+	}
+	return out, nil
 }
 
 // runIndexTier measures the bare index write path — no heap, no
@@ -308,7 +499,7 @@ func ingest(rel *relation.Relation, pic *picture.Picture, cfg config, stw bool) 
 // queryPhase runs the warm window workload against the index as the
 // ingest left it, returning per-op latency and mean visited nodes.
 func queryPhase(rel *relation.Relation, cfg config) (workload.LatencySummary, float64, int, error) {
-	windows := workload.QueryWindows(cfg.nWindows, 25, cfg.seed+1)
+	windows := workload.QueryWindows(cfg.nWindows, cfg.radius, cfg.seed+1)
 	always := func(obj, win geom.Rect) bool { return true }
 	samples := make([]time.Duration, 0, cfg.queries)
 	totalVisited := 0
@@ -390,6 +581,31 @@ func runStrategy(name string, cfg config, fresh bool) (strategyResult, error) {
 	}, nil
 }
 
+// emitReport writes the JSON report to outPath when set, then either
+// encodes it on stdout (jsonOut) or renders the human table.
+func emitReport(rep report, outPath string, jsonOut bool, table func()) {
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingestbench: -out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "ingestbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	table()
+}
+
 func main() {
 	n := flag.Int("n", 100000, "initial packed items")
 	inserts := flag.Int("inserts", 20000, "tuples inserted during ingest")
@@ -397,8 +613,10 @@ func main() {
 	threshold := flag.Int("threshold", 4096, "delta size that triggers a repack")
 	queries := flag.Int("queries", 2000, "warm window queries per strategy")
 	nWindows := flag.Int("windows", 256, "distinct query windows")
+	radius := flag.Float64("radius", 25, "maximum half-extent of the query windows")
 	seed := flag.Int64("seed", 1985, "workload seed")
 	method := flag.String("method", "str", "packing method for build and repack: str, hilbert, lowx, nn")
+	shardsFlag := flag.String("shards", "", "comma-separated shard counts (e.g. 1,2,4,8): run the sharding scaling sweep instead of the strategy comparison")
 	jsonOut := flag.Bool("json", false, "emit the JSON report on stdout instead of the table")
 	out := flag.String("out", "", "also write the JSON report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -435,12 +653,61 @@ func main() {
 
 	cfg := config{
 		n: *n, inserts: *inserts, deletes: *deletes, threshold: *threshold,
-		queries: *queries, nWindows: *nWindows, seed: *seed, method: m,
+		queries: *queries, nWindows: *nWindows, radius: *radius, seed: *seed, method: m,
 	}
 	rep := report{
 		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		Items: cfg.n, Inserts: cfg.inserts, Deletes: cfg.deletes,
 		Threshold: cfg.threshold, Queries: cfg.queries,
+	}
+
+	if *shardsFlag != "" {
+		var counts []int
+		for _, f := range strings.Split(*shardsFlag, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || k < 1 {
+				fmt.Fprintf(os.Stderr, "ingestbench: bad -shards entry %q\n", f)
+				os.Exit(2)
+			}
+			counts = append(counts, k)
+		}
+		tier, err := runShardSweep(cfg, counts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingestbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.ShardTier = tier
+		byShards := map[int]shardResult{}
+		maxK := 0
+		for _, r := range tier {
+			byShards[r.Shards] = r
+			if r.Shards > maxK {
+				maxK = r.Shards
+			}
+		}
+		if one, ok := byShards[1]; ok && one.OpsPerSec > 0 {
+			rep.ShardIngestSpeedup = byShards[maxK].OpsPerSec / one.OpsPerSec
+		}
+		if un := byShards[0]; un.Query.P50 > 0 {
+			rep.ShardQueryP50Ratio = float64(byShards[maxK].Query.P50) / float64(un.Query.P50)
+		}
+		emitReport(rep, *out, *jsonOut, func() {
+			fmt.Printf("Shard sweep: %d packed items + %d inserts / %d deletes, threshold %d per shard, %d warm queries\n\n",
+				cfg.n, cfg.inserts, cfg.deletes, cfg.threshold, cfg.queries)
+			fmt.Printf("%-8s %12s %8s %10s %10s %10s %10s\n",
+				"shards", "inserts/sec", "repacks", "p50", "p95", "p99", "visited")
+			for _, r := range rep.ShardTier {
+				label := fmt.Sprintf("%d", r.Shards)
+				if r.Shards == 0 {
+					label = "unshard"
+				}
+				fmt.Printf("%-8s %12.0f %8d %10s %10s %10s %10.1f\n",
+					label, r.OpsPerSec, r.Repacks, r.Query.P50, r.Query.P95, r.Query.P99, r.AvgVisited)
+			}
+			fmt.Printf("\ningest speedup %d shards vs 1: %.2fx\n", maxK, rep.ShardIngestSpeedup)
+			fmt.Printf("query p50 %d shards vs unsharded: %.2fx\n", maxK, rep.ShardQueryP50Ratio)
+		})
+		return
 	}
 
 	rep.IndexTier = runIndexTier(cfg)
@@ -474,40 +741,23 @@ func main() {
 		rep.LSMWarmQueryRatio = float64(l.Query.P50) / float64(f.Query.P50)
 	}
 
-	if *out != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*out, append(data, '\n'), 0o644)
+	emitReport(rep, *out, *jsonOut, func() {
+		fmt.Printf("Ingest: %d packed items + %d inserts / %d deletes, threshold %d, %d warm queries\n\n",
+			cfg.n, cfg.inserts, cfg.deletes, cfg.threshold, cfg.queries)
+		fmt.Printf("index tier (rtree write path only):\n")
+		fmt.Printf("%-10s %12s %8s\n", "strategy", "inserts/sec", "merges")
+		for _, r := range rep.IndexTier {
+			fmt.Printf("%-10s %12.0f %8d\n", r.Strategy, r.OpsPerSec, r.Merges)
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ingestbench: -out: %v\n", err)
-			os.Exit(1)
+		fmt.Printf("\nrelation tier (end to end):\n")
+		fmt.Printf("%-10s %12s %8s %10s %10s %10s %10s %8s %8s\n",
+			"strategy", "inserts/sec", "repacks", "p50", "p95", "p99", "visited", "delta", "tombs")
+		for _, r := range rep.Strategies {
+			fmt.Printf("%-10s %12.0f %8d %10s %10s %10s %10.1f %8d %8d\n",
+				r.Strategy, r.OpsPerSec, r.Repacks, r.Query.P50, r.Query.P95, r.Query.P99,
+				r.AvgVisited, r.DeltaAtQuery, r.TombsAtQuery)
 		}
-	}
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintf(os.Stderr, "ingestbench: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	fmt.Printf("Ingest: %d packed items + %d inserts / %d deletes, threshold %d, %d warm queries\n\n",
-		cfg.n, cfg.inserts, cfg.deletes, cfg.threshold, cfg.queries)
-	fmt.Printf("index tier (rtree write path only):\n")
-	fmt.Printf("%-10s %12s %8s\n", "strategy", "inserts/sec", "merges")
-	for _, r := range rep.IndexTier {
-		fmt.Printf("%-10s %12.0f %8d\n", r.Strategy, r.OpsPerSec, r.Merges)
-	}
-	fmt.Printf("\nrelation tier (end to end):\n")
-	fmt.Printf("%-10s %12s %8s %10s %10s %10s %10s %8s %8s\n",
-		"strategy", "inserts/sec", "repacks", "p50", "p95", "p99", "visited", "delta", "tombs")
-	for _, r := range rep.Strategies {
-		fmt.Printf("%-10s %12.0f %8d %10s %10s %10s %10.1f %8d %8d\n",
-			r.Strategy, r.OpsPerSec, r.Repacks, r.Query.P50, r.Query.P95, r.Query.P99,
-			r.AvgVisited, r.DeltaAtQuery, r.TombsAtQuery)
-	}
-	fmt.Printf("\nlsm ingest speedup vs guttman: %.2fx\n", rep.LSMIngestSpeedup)
-	fmt.Printf("lsm warm query p50 vs fresh pack: %.2fx\n", rep.LSMWarmQueryRatio)
+		fmt.Printf("\nlsm ingest speedup vs guttman: %.2fx\n", rep.LSMIngestSpeedup)
+		fmt.Printf("lsm warm query p50 vs fresh pack: %.2fx\n", rep.LSMWarmQueryRatio)
+	})
 }

@@ -6,6 +6,12 @@
 //	$ pictdbcheck us.db
 //	us.db: 412 pages, 3 free, 5 relations, 0 leaked: OK
 //
+// Sharded relations keep their tuples in sidecar page files
+// (file.db.<relation>.s<N>), each with its own write-ahead log; the
+// checker inspects every shard WAL before opening and verifies every
+// shard file. With -parallel N the per-shard verification fans out over
+// N workers — the report is identical at any parallelism.
+//
 // Exit status is 0 for a healthy file, 1 when verification finds
 // problems or the file cannot be opened, 2 for usage errors. Each
 // problem prints as one line with the implicated page, the component
@@ -17,6 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	pictdb "repro"
 	"repro/internal/pager"
@@ -30,9 +39,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pictdbcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	pool := fs.Int("pool", 256, "buffer pool size in pages")
+	parallel := fs.Int("parallel", 1, "verification workers (shard files are checked concurrently)")
 	verbose := fs.Bool("v", false, "print per-component summary even when healthy")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: pictdbcheck [-pool N] [-v] file.db")
+		fmt.Fprintln(stderr, "usage: pictdbcheck [-pool N] [-parallel N] [-v] file.db")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -43,6 +53,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	path := fs.Arg(0)
+	if *parallel < 1 {
+		fmt.Fprintln(stderr, "pictdbcheck: -parallel must be at least 1")
+		return 2
+	}
 
 	// Opening a pictdb file creates it when absent; a checker must not.
 	if _, err := os.Stat(path); err != nil {
@@ -50,28 +64,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	// Inspect the write-ahead log sidecar before opening: opening runs
-	// recovery, which replays and truncates the log, destroying the
+	// Inspect every write-ahead log sidecar before opening: opening runs
+	// recovery, which replays and truncates the logs, destroying the
 	// evidence a checker should report. A torn tail after the last
 	// commit is a tolerated crash artifact; a corrupt record BEFORE a
 	// later commit means acknowledged data is damaged, and the file
 	// must not be opened (recovery would silently replay a prefix).
-	wal, err := pager.InspectWALFile(pager.WALPath(path))
-	if err != nil {
-		fmt.Fprintf(stderr, "pictdbcheck: %s: %v\n", pager.WALPath(path), err)
-		return 1
-	}
-	walLine := describeWAL(wal)
-	if !wal.OK() {
-		fmt.Fprintf(stdout, "%s: wal: %s\n", path, walLine)
-		for _, p := range wal.Problems {
-			fmt.Fprintf(stdout, "  %s\n", p)
+	// Sharded relations add one WAL per shard file, each independent.
+	for _, wf := range append([]string{path}, shardFiles(path)...) {
+		wal, err := pager.InspectWALFile(pager.WALPath(wf))
+		if err != nil {
+			fmt.Fprintf(stderr, "pictdbcheck: %s: %v\n", pager.WALPath(wf), err)
+			return 1
 		}
-		fmt.Fprintln(stderr, "pictdbcheck: write-ahead log is corrupt before its last commit; committed data would be lost on recovery")
-		return 1
+		walLine := describeWAL(wal)
+		if !wal.OK() {
+			fmt.Fprintf(stdout, "%s: wal: %s\n", wf, walLine)
+			for _, p := range wal.Problems {
+				fmt.Fprintf(stdout, "  %s\n", p)
+			}
+			fmt.Fprintln(stderr, "pictdbcheck: write-ahead log is corrupt before its last commit; committed data would be lost on recovery")
+			return 1
+		}
+		if *verbose || !wal.Empty {
+			fmt.Fprintf(stdout, "%s: wal: %s\n", wf, walLine)
+		}
 	}
 
-	db, report, err := pictdb.OpenChecked(path, *pool)
+	db, report, err := pictdb.OpenCheckedParallel(path, *pool, *parallel)
 	if err != nil {
 		fmt.Fprintf(stderr, "pictdbcheck: %v\n", err)
 		return 1
@@ -82,9 +102,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		path, report.Pages, report.FreePages, report.Relations, report.Leaked)
 	if report.OK() {
 		fmt.Fprintf(stdout, "%s: OK\n", summary)
-		if *verbose || !wal.Empty {
-			fmt.Fprintf(stdout, "wal: %s\n", walLine)
-		}
 		if *verbose {
 			fmt.Fprintln(stdout, "all page checksums, free-list links, and index invariants verified")
 		}
@@ -96,6 +113,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stderr, "pictdbcheck: database is corrupt; it was opened in read-only degraded mode")
 	return 1
+}
+
+// shardFiles lists the shard page files next to path
+// (path.<relation>.s<N>), excluding their WAL sidecars, in
+// deterministic order.
+func shardFiles(path string) []string {
+	matches, err := filepath.Glob(path + ".*.s*")
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, m := range matches {
+		if strings.HasSuffix(m, ".wal") {
+			continue
+		}
+		// Require a numeric shard suffix: <anything>.sN
+		i := strings.LastIndex(m, ".s")
+		if i < 0 || !allDigits(m[i+2:]) {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // describeWAL renders one operator-facing line about the sidecar log's

@@ -259,3 +259,76 @@ func TestCheckRejectsCorruptWALRecord(t *testing.T) {
 		t.Fatalf("expected refusal on stderr, got %q", errb.String())
 	}
 }
+
+// buildShardedDB persists a database whose relation is sharded across
+// three sidecar page files and returns the main path.
+func buildShardedDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "check.db")
+	db, err := pictdb.Open(path, 64)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rel, err := db.CreateShardedRelation("cities", pictdb.MustSchema("city:string", "pop:int"), 3)
+	if err != nil {
+		t.Fatalf("CreateShardedRelation: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := rel.Insert(pictdb.Tuple{pictdb.S("c"), pictdb.I(int64(i))}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path
+}
+
+// TestCheckShardedParallel verifies a healthy sharded database checks
+// clean with the per-shard verification fanned out over workers, and
+// that the shard page files were actually found on disk.
+func TestCheckShardedParallel(t *testing.T) {
+	path := buildShardedDB(t)
+	for s := 0; s < 3; s++ {
+		if _, err := os.Stat(pictdb.ShardPath(path, "cities", s)); err != nil {
+			t.Fatalf("shard file missing: %v", err)
+		}
+	}
+	for _, par := range []string{"1", "4"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-parallel", par, path}, &out, &errb); code != 0 {
+			t.Fatalf("-parallel %s: exit %d; stdout=%q stderr=%q", par, code, out.String(), errb.String())
+		}
+		if !strings.Contains(out.String(), "OK") {
+			t.Fatalf("-parallel %s: expected OK summary, got %q", par, out.String())
+		}
+	}
+}
+
+// TestCheckShardedCorruptShard flips a byte in one shard's page file:
+// the checker must exit non-zero and name a checksum failure, at any
+// parallelism.
+func TestCheckShardedCorruptShard(t *testing.T) {
+	path := buildShardedDB(t)
+	sp := pictdb.ShardPath(path, "cities", 1)
+	st, err := os.Stat(sp)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	corruptPage(t, sp, pager.PageID(st.Size()/pager.PageSize-1))
+
+	for _, par := range []string{"1", "4"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-parallel", par, path}, &out, &errb); code != 1 {
+			t.Fatalf("-parallel %s: exit %d on corrupt shard (want 1); stdout=%q stderr=%q",
+				par, code, out.String(), errb.String())
+		}
+		combined := out.String() + errb.String()
+		if !strings.Contains(combined, "checksum") {
+			t.Fatalf("-parallel %s: expected checksum failure, got %q", par, combined)
+		}
+	}
+}

@@ -13,10 +13,14 @@
 // reported per query, the tail-latency view the LSM write path is
 // tuned against.
 //
+// With -shards N every relation is split across N Hilbert-range shard
+// files and the same workloads run through the scatter-gather read
+// path; results are row-identical to the unsharded run by construction.
+//
 // Usage:
 //
 //	psqlbench [-iters n] [-windows n] [-seed s] [-json]
-//	          [-latency] [-clients n]
+//	          [-latency] [-clients n] [-shards n]
 package main
 
 import (
@@ -46,6 +50,7 @@ type report struct {
 	GOOS       string            `json:"goos"`
 	GOARCH     string            `json:"goarch"`
 	Iters      int               `json:"iters"`
+	Shards     int               `json:"shards,omitempty"`
 	Results    []result          `json:"results"`
 	CacheStats pictdb.CacheStats `json:"cache_stats"`
 }
@@ -163,9 +168,16 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the formatted table")
 	latency := flag.Bool("latency", false, "measure p50/p95/p99 latency under concurrent client load instead of throughput")
 	clients := flag.Int("clients", 4, "concurrent clients in -latency mode")
+	shards := flag.Int("shards", 0, "split every relation across N Hilbert-range shards (0 = unsharded)")
 	flag.Parse()
 
-	db, err := pictdb.BuildUSDatabase()
+	var db *pictdb.Database
+	var err error
+	if *shards > 0 {
+		db, err = pictdb.BuildUSDatabaseSharded(*shards)
+	} else {
+		db, err = pictdb.BuildUSDatabase()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "psqlbench: %v\n", err)
 		os.Exit(1)
@@ -205,7 +217,7 @@ func main() {
 		return
 	}
 
-	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Iters: *iters}
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, Iters: *iters, Shards: *shards}
 	add := func(r result, err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "psqlbench: %v\n", err)

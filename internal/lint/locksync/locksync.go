@@ -16,6 +16,11 @@
 //     and pager mutexes (hmu, shard.mu) strictly before WAL mutexes
 //     (qmu, imu). Acquiring against that order is flagged even if no
 //     I/O happens under it.
+//   - The sharding layer's locks (DESIGN.md §15): the shard route
+//     directory mutex (Relation.smu) and a shard heap mutex
+//     (relShard.mu) are never nested in either order — sharded
+//     operations resolve the route, release smu, then touch the heap —
+//     and neither lock may cover backend I/O or a blocking channel op.
 //
 // The walk is intraprocedural and syntactic over each function body:
 // a Lock/RLock on a recognized mutex marks it held until the matching
@@ -59,10 +64,12 @@ func init() {
 type mutexClass int
 
 const (
-	classOther  mutexClass = iota
-	classHeader            // Pager.hmu
-	classPool              // shard.mu
-	classWAL               // walState.qmu / walState.imu
+	classOther     mutexClass = iota
+	classHeader               // Pager.hmu
+	classPool                 // shard.mu (pager buffer pool)
+	classWAL                  // walState.qmu / walState.imu
+	classShardDir             // Relation.smu (shard route directory)
+	classShardHeap            // relShard.mu (per-shard heap)
 )
 
 func (c mutexClass) String() string {
@@ -73,6 +80,10 @@ func (c mutexClass) String() string {
 		return "pool shard mutex"
 	case classWAL:
 		return "WAL mutex"
+	case classShardDir:
+		return "shard directory mutex (smu)"
+	case classShardHeap:
+		return "shard heap mutex"
 	}
 	return "mutex"
 }
@@ -136,6 +147,10 @@ func (w *walker) classify(recv ast.Expr) (string, mutexClass, bool) {
 		return key, classPool, true
 	case ownerName == "walState" && (field == "qmu" || field == "imu"):
 		return key, classWAL, true
+	case ownerName == "Relation" && field == "smu":
+		return key, classShardDir, true
+	case ownerName == "relShard" && field == "mu":
+		return key, classShardHeap, true
 	}
 	return key, classOther, true
 }
@@ -410,8 +425,15 @@ func (w *walker) checkCall(call *ast.CallExpr, locks []held) {
 	}
 }
 
-// checkOrder enforces the pager's lock hierarchy: hmu before any
-// shard.mu, and both before the WAL's qmu/imu.
+// checkOrder enforces the pager's lock hierarchy — hmu before any
+// shard.mu, and both before the WAL's qmu/imu — plus the sharding
+// layer's discipline: the route directory mutex (Relation.smu) and a
+// shard heap mutex (relShard.mu) are NEVER nested, in either order.
+// Every sharded operation resolves the route, releases smu, then
+// touches the heap under the shard lock (and re-acquires smu afterwards
+// if it must publish); holding both would couple the routing hot path
+// to heap page I/O and, with per-shard writers running concurrently,
+// hand two lock orders to deadlock against each other.
 func (w *walker) checkOrder(call *ast.CallExpr, key string, class mutexClass, locks []held) {
 	for _, h := range locks {
 		switch {
@@ -419,6 +441,10 @@ func (w *walker) checkOrder(call *ast.CallExpr, key string, class mutexClass, lo
 			w.pass.Reportf(call.Pos(), "lock order violation: acquiring header mutex %q while holding pool shard mutex %q (hmu must be taken before any shard.mu)", key, h.key)
 		case (class == classHeader || class == classPool) && h.class == classWAL:
 			w.pass.Reportf(call.Pos(), "lock order violation: acquiring pager mutex %q while holding WAL mutex %q (pager mutexes come before WAL mutexes)", key, h.key)
+		case class == classShardDir && h.class == classShardHeap:
+			w.pass.Reportf(call.Pos(), "lock order violation: acquiring shard directory mutex %q while holding shard heap mutex %q (smu and a shard's heap lock are never nested; see DESIGN.md §15)", key, h.key)
+		case class == classShardHeap && h.class == classShardDir:
+			w.pass.Reportf(call.Pos(), "lock order violation: acquiring shard heap mutex %q while holding shard directory mutex %q (resolve the route, release smu, then touch the heap; see DESIGN.md §15)", key, h.key)
 		}
 	}
 }

@@ -32,6 +32,18 @@ type Pager struct {
 	backend backend
 }
 
+// relShard / Relation mirror the sharding layer in internal/relation:
+// smu guards the route directory, each relShard.mu guards one shard's
+// heap, and the two are never held together.
+type relShard struct {
+	mu sync.RWMutex
+}
+
+type Relation struct {
+	smu    sync.RWMutex
+	shards []*relShard
+}
+
 // --- clean idioms ------------------------------------------------------
 
 // cleanFlushOutside stages under the lock and writes after release.
@@ -98,6 +110,26 @@ func cleanBranchScoped(sh *shard, b backend, cond bool) error {
 		sh.mu.Unlock()
 	}
 	return b.Sync()
+}
+
+// cleanRouteThenHeap is the sharded read discipline: resolve the route
+// under smu, release, then read the heap under the shard lock.
+func cleanRouteThenHeap(r *Relation, gid int) {
+	r.smu.RLock()
+	s := gid % len(r.shards)
+	r.smu.RUnlock()
+	sh := r.shards[s]
+	sh.mu.RLock()
+	sh.mu.RUnlock()
+}
+
+// cleanHeapThenRepublish is the sharded delete discipline: the heap
+// mutation and the route re-publish are separate critical sections.
+func cleanHeapThenRepublish(r *Relation, sh *relShard) {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	r.smu.Lock()
+	r.smu.Unlock()
 }
 
 // --- violations --------------------------------------------------------
@@ -179,6 +211,38 @@ func badOrderShardUnderWAL(sh *shard, w *walState) {
 	sh.mu.Lock() // want `lock order violation: acquiring pager mutex`
 	sh.mu.Unlock()
 	w.qmu.Unlock()
+}
+
+// badHeapUnderDir takes a shard heap lock with the route directory
+// still locked.
+func badHeapUnderDir(r *Relation, sh *relShard) {
+	r.smu.RLock()
+	sh.mu.RLock() // want `lock order violation: acquiring shard heap mutex`
+	sh.mu.RUnlock()
+	r.smu.RUnlock()
+}
+
+// badDirUnderHeap republishes a route without releasing the heap lock.
+func badDirUnderHeap(r *Relation, sh *relShard) {
+	sh.mu.Lock()
+	r.smu.Lock() // want `lock order violation: acquiring shard directory mutex`
+	r.smu.Unlock()
+	sh.mu.Unlock()
+}
+
+// badSyncUnderDir fsyncs with the route directory locked.
+func badSyncUnderDir(r *Relation, b backend) error {
+	r.smu.Lock()
+	defer r.smu.Unlock()
+	return b.Sync() // want `backend Sync while holding shard directory mutex`
+}
+
+// badSendUnderShardHeap blocks on a channel send with a shard heap
+// locked (the absorber handshake must happen outside it).
+func badSendUnderShardHeap(sh *relShard, ch chan int) {
+	sh.mu.Lock()
+	ch <- 1 // want `blocking channel send while holding shard heap mutex`
+	sh.mu.Unlock()
 }
 
 // releasedBeforeIO unlocks first: no violation.

@@ -109,7 +109,69 @@ func cleanPanicPath(p *pager.Pager) {
 	v.Unpin()
 }
 
+// cleanPerShard mirrors the sharded verification fan-out: one pager per
+// shard file, each shard's pin released before the next shard's is
+// taken.
+func cleanPerShard(shards []*pager.Pager) int {
+	total := 0
+	for _, p := range shards {
+		v, err := p.Pin(1)
+		if err != nil {
+			continue
+		}
+		total += len(v.Data())
+		v.Unpin()
+	}
+	return total
+}
+
+// cleanPerShardWorker: a pin acquired inside a per-shard closure is the
+// closure's own obligation, released before it returns.
+func cleanPerShardWorker(shards []*pager.Pager) {
+	for _, p := range shards {
+		p := p
+		func() {
+			v, err := p.Pin(1)
+			if err != nil {
+				return
+			}
+			defer v.Unpin()
+			use(v.Data())
+		}()
+	}
+}
+
 // --- violations --------------------------------------------------------
+
+// leakPerShardEarlyBreak leaks the current shard's pin when the scan
+// bails out of the fan-out loop early.
+func leakPerShardEarlyBreak(shards []*pager.Pager) error {
+	for _, p := range shards {
+		v, err := p.Pin(1) // want `Pin is not released on a return path ending at pin.go:\d+`
+		if err != nil {
+			return err
+		}
+		if len(v.Data()) == 0 {
+			return errBoom
+		}
+		v.Unpin()
+	}
+	return nil
+}
+
+// leakPerShardWorker: the per-shard closure returns without unpinning.
+func leakPerShardWorker(shards []*pager.Pager) {
+	for _, p := range shards {
+		p := p
+		func() {
+			v, err := p.Pin(1) // want `Pin is not released on the fall-through path ending at pin.go:\d+`
+			if err != nil {
+				return
+			}
+			use(v.Data())
+		}()
+	}
+}
 
 // leakOnErrorReturn forgets the view on the validation error path.
 func leakOnErrorReturn(p *pager.Pager) error {

@@ -22,6 +22,42 @@ func (hilbertGrouper) Name() string { return "hilbert" }
 // quantized onto: the curve has 2^hilbertOrder cells per side.
 const hilbertOrder = 16
 
+// HilbertKeyBits is the width of the key space HilbertKey maps into:
+// keys lie in [0, 1<<HilbertKeyBits). Hilbert-range sharding divides
+// this space into contiguous per-shard ranges.
+const HilbertKeyBits = 2 * hilbertOrder
+
+// HilbertKey quantizes p onto the Hilbert curve over bounds and
+// returns its 1-D curve distance — the routing key Hilbert-range
+// sharding assigns tuples by. Points outside bounds are clamped, so
+// every point gets a key and contiguous key ranges stay spatially
+// local (Bos & Haverkort's locality bound). The key is a pure function
+// of (bounds, p): routing is deterministic across processes and
+// reopens as long as the picture extent is stable.
+func HilbertKey(bounds geom.Rect, p geom.Point) uint64 {
+	side := uint32(1) << hilbertOrder
+	x, y := uint32(0), uint32(0)
+	if w := bounds.Width(); w > 0 {
+		x = quantize((p.X - bounds.Min.X) / w * float64(side-1))
+	}
+	if h := bounds.Height(); h > 0 {
+		y = quantize((p.Y - bounds.Min.Y) / h * float64(side-1))
+	}
+	return hilbertD(hilbertOrder, x, y)
+}
+
+// quantize clamps a scaled coordinate onto the grid.
+func quantize(v float64) uint32 {
+	if v <= 0 {
+		return 0
+	}
+	max := float64(uint32(1)<<hilbertOrder - 1)
+	if v >= max {
+		return uint32(max)
+	}
+	return uint32(v)
+}
+
 func (g hilbertGrouper) Group(rects []geom.Rect, max int) [][]int {
 	n := len(rects)
 	if n == 0 {

@@ -554,11 +554,11 @@ func (st *execState) planWindowSearch(bi int, op SpatialOp, windows []geom.Rect)
 	if b.picture == "" {
 		return nil, fmt.Errorf("psql: relation %q has no picture in the on-clause for direct search", b.name)
 	}
-	si := b.rel.Spatial(b.picture)
-	if si == nil {
+	snap, ok := b.rel.SpatialCostSnapshot(b.picture, windows)
+	if !ok {
 		return nil, fmt.Errorf("psql: relation %q is not spatially indexed on picture %q", b.name, b.picture)
 	}
-	costDirect := directSearchCost(si.CostSnapshot(), windows, op)
+	costDirect := directSearchCost(snap, windows, op)
 	if ic, ok := st.bestIndexedConjunct(); ok {
 		costIdx := btreeCost(b.rel.Len(), ic.sel)
 		if costIdx < btreeHysteresis*costDirect {
@@ -782,8 +782,7 @@ func (st *execState) directSearch(bi int, op SpatialOp, windows []geom.Rect) ([]
 	if b.picture == "" {
 		return nil, fmt.Errorf("psql: relation %q has no picture in the on-clause for direct search", b.name)
 	}
-	si := b.rel.Spatial(b.picture)
-	if si == nil {
+	if !b.rel.HasSpatial(b.picture) {
 		return nil, fmt.Errorf("psql: relation %q is not spatially indexed on picture %q", b.name, b.picture)
 	}
 	pred := spatialPred(op)
@@ -833,9 +832,7 @@ func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
 	if a.picture == "" || b.picture == "" {
 		return nil, fmt.Errorf("psql: juxtaposition requires pictures for both relations")
 	}
-	sa := a.rel.Spatial(a.picture)
-	sb := b.rel.Spatial(b.picture)
-	if sa == nil || sb == nil {
+	if !a.rel.HasSpatial(a.picture) || !b.rel.HasSpatial(b.picture) {
 		return nil, fmt.Errorf("psql: juxtaposition requires spatial indexes on both relations")
 	}
 	pred := spatialPred(op)
@@ -867,8 +864,10 @@ func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
 		// worker-count-independent and pairs are canonically sorted
 		// below, so the result rows stay deterministic across worker
 		// budgets and driving-side choices. The driving side is the
-		// bigger index by live node count (packed plus delta).
-		na, nb := sa.CostSnapshot(), sb.CostSnapshot()
+		// bigger index by live node count (packed plus delta), summed
+		// over shards for a sharded relation.
+		na, _ := a.rel.SpatialCostSnapshot(a.picture, nil)
+		nb, _ := b.rel.SpatialCostSnapshot(b.picture, nil)
 		nodesA := na.Stats.Nodes + na.DeltaNodes
 		nodesB := nb.Stats.Nodes + nb.DeltaNodes
 		drive := a.name

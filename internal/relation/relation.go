@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/geom"
@@ -28,6 +29,20 @@ type Relation struct {
 	// spatialPolicy is the write policy applied to spatial indexes
 	// attached after the call (zero value: WriteDelta).
 	spatialPolicy WritePolicy
+
+	// Sharded mode (DESIGN.md §15). When shards is non-nil the relation
+	// is split across len(shards) page files by Hilbert key range and
+	// heap/spatial above stay nil: every access dispatches to the
+	// sharded path. Global TupleIDs are insertion sequence numbers (not
+	// heap addresses); routes maps sequence - shardSeqBase to a packed
+	// (shard, local heap address) entry, 0 = dead. smu guards routes,
+	// indexes, and shardSpatial against concurrent per-shard writers.
+	shards       []*relShard
+	smu          sync.RWMutex
+	routes       []int64
+	nextSeq      atomic.Int64
+	liveCount    atomic.Int64
+	shardSpatial map[string][]*SpatialIndex
 }
 
 // New creates an empty relation backed by a fresh heap in p.
@@ -69,8 +84,15 @@ func Open(p *pager.Pager, name string, schema Schema, first pager.PageID) (*Rela
 func (r *Relation) Name() string { return r.name }
 
 // HeapFirstPage returns the first page of the tuple heap, the handle
-// the catalog persists to reopen the relation.
-func (r *Relation) HeapFirstPage() pager.PageID { return r.heap.FirstPage() }
+// the catalog persists to reopen the relation. Sharded relations have
+// no heap in the main file (see ShardHeapFirstPages) and report
+// InvalidPage.
+func (r *Relation) HeapFirstPage() pager.PageID {
+	if r.Sharded() {
+		return pager.InvalidPage
+	}
+	return r.heap.FirstPage()
+}
 
 // IndexedColumns returns the names of columns with B-tree indexes, in
 // unspecified order.
@@ -86,7 +108,12 @@ func (r *Relation) IndexedColumns() []string {
 func (r *Relation) Schema() Schema { return r.schema }
 
 // Len returns the number of stored tuples.
-func (r *Relation) Len() int { return r.heap.Len() }
+func (r *Relation) Len() int {
+	if r.Sharded() {
+		return int(r.liveCount.Load())
+	}
+	return r.heap.Len()
+}
 
 // SetRTreeParams overrides the parameters used for spatial indexes
 // attached after the call.
@@ -99,6 +126,13 @@ func (r *Relation) SetSpatialWritePolicy(p WritePolicy) {
 	for _, si := range r.spatial {
 		si.SetWritePolicy(p)
 	}
+	r.smu.RLock()
+	defer r.smu.RUnlock()
+	for _, sis := range r.shardSpatial {
+		for _, si := range sis {
+			si.SetWritePolicy(p)
+		}
+	}
 }
 
 // WaitRepacks blocks until no spatial index has a background repack in
@@ -107,11 +141,23 @@ func (r *Relation) WaitRepacks() {
 	for _, si := range r.spatial {
 		si.WaitRepack()
 	}
+	r.smu.RLock()
+	all := make([]*SpatialIndex, 0, len(r.shardSpatial)*len(r.shards))
+	for _, sis := range r.shardSpatial {
+		all = append(all, sis...)
+	}
+	r.smu.RUnlock()
+	for _, si := range all {
+		si.WaitRepack()
+	}
 }
 
 // Insert validates and stores t, updating every index. It returns the
 // tuple's storage id.
 func (r *Relation) Insert(t Tuple) (storage.TupleID, error) {
+	if r.Sharded() {
+		return r.insertSharded(t)
+	}
 	if err := r.schema.Validate(t); err != nil {
 		return storage.TupleID{}, err
 	}
@@ -151,6 +197,9 @@ func (r *Relation) locMBR(t Tuple, pic *picture.Picture) (geom.Rect, bool) {
 
 // Get returns the tuple stored under id.
 func (r *Relation) Get(id storage.TupleID) (Tuple, error) {
+	if r.Sharded() {
+		return r.getSharded(id)
+	}
 	rec, err := r.heap.Get(id)
 	if err != nil {
 		return nil, err
@@ -166,6 +215,9 @@ func (r *Relation) Get(id storage.TupleID) (Tuple, error) {
 // means GOMAXPROCS) the batch is split into contiguous chunks decoded
 // concurrently; output is identical at any worker count.
 func (r *Relation) GetBatch(ids []storage.TupleID, need []bool, workers int) ([]Tuple, error) {
+	if r.Sharded() {
+		return r.getBatchSharded(ids, need, workers)
+	}
 	out := make([]Tuple, len(ids))
 	if len(ids) == 0 {
 		return out, nil
@@ -224,6 +276,9 @@ func (r *Relation) GetBatch(ids []storage.TupleID, need []bool, workers int) ([]
 // Delete removes the tuple stored under id from the heap and every
 // index.
 func (r *Relation) Delete(id storage.TupleID) error {
+	if r.Sharded() {
+		return r.deleteSharded(id)
+	}
 	t, err := r.Get(id)
 	if err != nil {
 		return err
@@ -262,6 +317,9 @@ func (r *Relation) Update(id storage.TupleID, t Tuple) (storage.TupleID, error) 
 // Scan calls fn on every tuple in storage order; returning false stops
 // the scan.
 func (r *Relation) Scan(fn func(id storage.TupleID, t Tuple) bool) error {
+	if r.Sharded() {
+		return r.scanSharded(fn)
+	}
 	var decodeErr error
 	err := r.heap.Scan(func(id storage.TupleID, rec []byte) bool {
 		t, err := DecodeTuple(rec)
@@ -298,8 +356,24 @@ func (r *Relation) CreateIndex(column string) error {
 	if err != nil {
 		return err
 	}
+	r.rlockShardedW()
 	r.indexes[column] = idx
+	r.runlockShardedW()
 	return nil
+}
+
+// rlockShardedW/runlockShardedW are the exclusive counterparts of
+// rlockSharded, for index-map writes in sharded mode.
+func (r *Relation) rlockShardedW() {
+	if r.Sharded() {
+		r.smu.Lock()
+	}
+}
+
+func (r *Relation) runlockShardedW() {
+	if r.Sharded() {
+		r.smu.Unlock()
+	}
 }
 
 // Index returns the B-tree index on the named column, or nil.
@@ -313,9 +387,12 @@ func (r *Relation) LookupEqual(column string, v Value) ([]storage.TupleID, error
 		return nil, fmt.Errorf("relation %s: no column %q", r.name, column)
 	}
 	if idx := r.indexes[column]; idx != nil {
+		r.rlockSharded()
+		packed := idx.Get(IndexKey(v))
+		r.runlockSharded()
 		var out []storage.TupleID
-		for _, packed := range idx.Get(IndexKey(v)) {
-			out = append(out, storage.TupleIDFromInt64(packed))
+		for _, p := range packed {
+			out = append(out, storage.TupleIDFromInt64(p))
 		}
 		return out, nil
 	}
@@ -357,6 +434,8 @@ func (r *Relation) LookupRange(column string, lo, hi *Bound) ([]storage.TupleID,
 		out = append(out, storage.TupleIDFromInt64(v))
 		return true
 	}
+	r.rlockSharded()
+	defer r.runlockSharded()
 	if hi == nil {
 		idx.AscendFrom(loKey, collect)
 		return out, true
@@ -369,11 +448,30 @@ func (r *Relation) LookupRange(column string, lo, hi *Bound) ([]storage.TupleID,
 	return out, true
 }
 
+// rlockSharded/runlockSharded take the shard-state lock in sharded
+// mode only: B-tree index reads must not race the route/index updates
+// of concurrent per-shard writers. Unsharded relations keep their
+// lock-free read path.
+func (r *Relation) rlockSharded() {
+	if r.Sharded() {
+		r.smu.RLock()
+	}
+}
+
+func (r *Relation) runlockSharded() {
+	if r.Sharded() {
+		r.smu.RUnlock()
+	}
+}
+
 // AttachPicture associates the relation with pic and builds a packed
 // R-tree over the loc column using the given packing options. This is
 // the paper's initial PACK of a static database; subsequent Insert and
 // Delete calls maintain the index dynamically (§3.4).
 func (r *Relation) AttachPicture(pic *picture.Picture, opts pack.Options) error {
+	if r.Sharded() {
+		return r.attachPictureSharded(pic, opts)
+	}
 	if r.schema.LocColumn() < 0 {
 		return fmt.Errorf("relation %s: schema has no loc column", r.name)
 	}
@@ -398,12 +496,23 @@ func (r *Relation) AttachPicture(pic *picture.Picture, opts pack.Options) error 
 }
 
 // Spatial returns the spatial index for the named picture, or nil.
+// Sharded relations have one index per shard, not one — use Spatials,
+// HasSpatial, or SpatialCostSnapshot there; Spatial returns nil.
 func (r *Relation) Spatial(pictureName string) *SpatialIndex {
 	return r.spatial[pictureName]
 }
 
 // Pictures returns the names of all attached pictures.
 func (r *Relation) Pictures() []string {
+	if r.Sharded() {
+		r.smu.RLock()
+		defer r.smu.RUnlock()
+		out := make([]string, 0, len(r.shardSpatial))
+		for name := range r.shardSpatial {
+			out = append(out, name)
+		}
+		return out
+	}
 	out := make([]string, 0, len(r.spatial))
 	for name := range r.spatial {
 		out = append(out, name)
@@ -419,13 +528,15 @@ func (r *Relation) Pictures() []string {
 // visit count is the number of R-tree nodes touched (summed across the
 // packed and delta trees). Ids are returned in canonical ascending
 // TupleID order, merged across packed + delta minus tombstones — the
-// answer a single freshly packed tree would give.
+// answer a single freshly packed tree would give. On a sharded
+// relation the query scatters to only the shards whose bounds overlap
+// the window and the streams gather-merge in the same canonical order.
 func (r *Relation) SearchArea(pictureName string, window geom.Rect, pred func(obj, win geom.Rect) bool) ([]storage.TupleID, int, error) {
-	si := r.spatial[pictureName]
-	if si == nil {
+	sis := r.spatialList(pictureName)
+	if sis == nil {
 		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)
 	}
-	items, visited := si.query(window)
+	items, visited := scatterQuery(sis, window)
 	var out []storage.TupleID
 	for _, it := range items {
 		if pred(it.Rect, window) {
@@ -441,11 +552,11 @@ func (r *Relation) SearchArea(pictureName string, window geom.Rect, pred func(ob
 // the merged trees. It is the executor's access path for predicates the
 // R-tree cannot prune (the paper's "disjoined").
 func (r *Relation) SpatialItems(pictureName string) ([]rtree.Item, int, error) {
-	si := r.spatial[pictureName]
-	if si == nil {
+	sis := r.spatialList(pictureName)
+	if sis == nil {
 		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)
 	}
-	items, visited := si.items()
+	items, visited := scatterItems(sis)
 	return items, visited, nil
 }
 
@@ -457,11 +568,11 @@ func (r *Relation) SpatialItems(pictureName string) ([]rtree.Item, int, error) {
 // across the batch and the merged trees. pred is called concurrently
 // and must be a pure function of its arguments.
 func (r *Relation) SearchAreaBatch(pictureName string, windows []geom.Rect, pred func(obj, win geom.Rect) bool, parallelism int) ([][]storage.TupleID, int, error) {
-	si := r.spatial[pictureName]
-	if si == nil {
+	sis := r.spatialList(pictureName)
+	if sis == nil {
 		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)
 	}
-	batches, visited := si.queryBatch(windows, parallelism)
+	batches, visited := scatterQueryBatch(sis, windows, parallelism)
 	out := make([][]storage.TupleID, len(batches))
 	for i, items := range batches {
 		var ids []storage.TupleID // nil when empty, like SearchArea
@@ -493,15 +604,15 @@ type SpatialPair struct {
 // intersection (the pruning rule); it is called concurrently and must
 // be pure.
 func (r *Relation) JuxtaposeSpatial(picA string, s *Relation, picB string, pred func(a, b geom.Rect) bool, workers int) ([]SpatialPair, int, error) {
-	si := r.spatial[picA]
-	if si == nil {
+	as := r.spatialList(picA)
+	if as == nil {
 		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, picA)
 	}
-	sj := s.spatial[picB]
-	if sj == nil {
+	bs := s.spatialList(picB)
+	if bs == nil {
 		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", s.name, picB)
 	}
-	pairs, visited := juxtaposeMerged(si, sj, pred, workers)
+	pairs, visited := scatterJuxtapose(as, bs, pred, workers)
 	out := make([]SpatialPair, len(pairs))
 	for i, p := range pairs {
 		out[i] = SpatialPair{
@@ -513,8 +624,14 @@ func (r *Relation) JuxtaposeSpatial(picA string, s *Relation, picB string, pred 
 }
 
 // HeapPages returns the page ids of the relation's tuple heap, for
-// page-ownership accounting during verification.
-func (r *Relation) HeapPages() ([]pager.PageID, error) { return r.heap.Pages() }
+// page-ownership accounting during verification. Sharded relations own
+// no pages of the main file (see ShardHeapPages) and return nil.
+func (r *Relation) HeapPages() ([]pager.PageID, error) {
+	if r.Sharded() {
+		return nil, nil
+	}
+	return r.heap.Pages()
+}
 
 // Check validates the relation end to end: the heap's slotted-page
 // structure (every page checksum-verified through the pager), every
@@ -522,6 +639,9 @@ func (r *Relation) HeapPages() ([]pager.PageID, error) { return r.heap.Pages() }
 // invariants of each B-tree and spatial index, and that every index
 // entry resolves to a live tuple. It returns the first problem found.
 func (r *Relation) Check() error {
+	if r.Sharded() {
+		return r.checkSharded(0)
+	}
 	if err := r.heap.Check(); err != nil {
 		return fmt.Errorf("relation %s: %w", r.name, err)
 	}
@@ -574,6 +694,9 @@ func (r *Relation) Check() error {
 // pointer stays valid): the new tree is packed from a heap scan with
 // opts, and the delta, tombstones, and pending counters are cleared.
 func (r *Relation) RepackPicture(pictureName string, opts pack.Options) error {
+	if r.Sharded() {
+		return r.repackPictureSharded(pictureName, opts)
+	}
 	si := r.spatial[pictureName]
 	if si == nil {
 		return fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)

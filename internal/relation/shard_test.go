@@ -1,0 +1,701 @@
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pack"
+	"repro/internal/pager"
+	"repro/internal/picture"
+	"repro/internal/storage"
+)
+
+// shardCounts is the oracle matrix from the issue: sharded results
+// must be bit-identical across all of these and row-identical to the
+// unsharded execution.
+var shardCounts = []int{1, 2, 4, 8}
+
+// newShardedCities builds a sharded cities relation over fresh
+// in-memory pagers.
+func newShardedCities(t *testing.T, shards int) *Relation {
+	t.Helper()
+	pagers := make([]*pager.Pager, shards)
+	for i := range pagers {
+		pagers[i] = pager.OpenMem(512)
+	}
+	t.Cleanup(func() {
+		for _, p := range pagers {
+			p.Close()
+		}
+	})
+	rel, err := NewSharded(pagers, "cities", citySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// shardTwins builds one unsharded relation plus sharded twins at every
+// shard count, all holding identical tuples over one shared picture.
+// Returns the twins and the per-twin insertion-order TupleIDs (index
+// aligned across twins: ids[k][i] is the i-th inserted tuple).
+func shardTwins(t *testing.T, n int, seed int64) (map[int]*Relation, map[int][]storage.TupleID, *picture.Picture) {
+	t.Helper()
+	pic := picture.New("us-map", geom.R(0, 0, 1000, 1000))
+	rng := rand.New(rand.NewSource(seed))
+	type city struct {
+		name string
+		pop  int64
+		oid  picture.ObjectID
+	}
+	cities := make([]city, n)
+	for i := range cities {
+		// Clustered placement: most points land in Gaussian blobs so
+		// Hilbert routing produces uneven, realistic shard extents.
+		var x, y float64
+		switch i % 3 {
+		case 0:
+			x, y = 150+rng.NormFloat64()*60, 200+rng.NormFloat64()*60
+		case 1:
+			x, y = 800+rng.NormFloat64()*80, 700+rng.NormFloat64()*80
+		default:
+			x, y = rng.Float64()*1000, rng.Float64()*1000
+		}
+		name := fmt.Sprintf("c%04d-%s", i, randWord(rng))
+		// Small regions rather than points so juxtaposition predicates
+		// have real overlaps to find.
+		x, y = clamp01k(x), clamp01k(y)
+		half := 4 + rng.Float64()*18
+		oid := pic.AddRegion(name, geom.Poly(
+			geom.Pt(x-half, y-half), geom.Pt(x+half, y-half),
+			geom.Pt(x+half, y+half), geom.Pt(x-half, y+half),
+		))
+		cities[i] = city{name: name, pop: int64(i * 37 % 9000), oid: oid}
+	}
+
+	twins := make(map[int]*Relation)
+	ids := make(map[int][]storage.TupleID)
+	// Key 0 is the unsharded oracle.
+	p := pager.OpenMem(512)
+	t.Cleanup(func() { p.Close() })
+	un, err := New(p, "cities", citySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins[0] = un
+	for _, k := range shardCounts {
+		twins[k] = newShardedCities(t, k)
+	}
+	for k, rel := range twins {
+		for _, c := range cities {
+			id, err := rel.Insert(Tuple{S(c.name), S("ST"), I(c.pop), L("us-map", c.oid)})
+			if err != nil {
+				t.Fatalf("twin %d: %v", k, err)
+			}
+			ids[k] = append(ids[k], id)
+		}
+		if err := rel.AttachPicture(pic, pack.Options{}); err != nil {
+			t.Fatalf("twin %d: %v", k, err)
+		}
+	}
+	return twins, ids, pic
+}
+
+func clamp01k(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1000 {
+		return 1000
+	}
+	return v
+}
+
+// oracleWindows is a deterministic mix of clustered and broad windows.
+var oracleWindows = []geom.Rect{
+	geom.R(100, 150, 220, 280),  // inside blob A
+	geom.R(700, 600, 950, 850),  // inside blob B
+	geom.R(0, 0, 1000, 1000),    // everything
+	geom.R(480, 480, 520, 520),  // sparse center
+	geom.R(-50, -50, 10, 10),    // nearly empty corner
+	geom.R(300, 0, 600, 1000),   // vertical stripe
+	geom.R(140, 190, 820, 720),  // spans both blobs
+	geom.R(999, 999, 1000, 1000), // boundary sliver
+}
+
+// resolveNames materializes result ids into tuple names — the
+// cross-twin comparison key (TupleIDs differ between the unsharded
+// heap addressing and the sharded sequence numbering, but for these
+// workloads both orders are insertion order, so positions align).
+func resolveNames(t *testing.T, rel *Relation, ids []storage.TupleID) []string {
+	t.Helper()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		tu, err := rel.Get(id)
+		if err != nil {
+			t.Fatalf("resolve %v: %v", id, err)
+		}
+		out[i] = tu[0].Str
+	}
+	return out
+}
+
+func namesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyShardOracle checks every window against the unsharded oracle
+// (row-for-row by resolved tuple) and requires bit-identical TupleID
+// streams across all sharded twins (sequence ids are shard-count
+// independent).
+func verifyShardOracle(t *testing.T, twins map[int]*Relation, stage string) {
+	t.Helper()
+	for wi, w := range oracleWindows {
+		oracleIDs, _, err := twins[0].SearchArea("us-map", w, geom.Overlapping)
+		if err != nil {
+			t.Fatalf("%s window %d: oracle: %v", stage, wi, err)
+		}
+		want := resolveNames(t, twins[0], oracleIDs)
+		var ref []storage.TupleID
+		for _, k := range shardCounts {
+			ids, _, err := twins[k].SearchArea("us-map", w, geom.Overlapping)
+			if err != nil {
+				t.Fatalf("%s window %d shards=%d: %v", stage, wi, k, err)
+			}
+			got := resolveNames(t, twins[k], ids)
+			if !namesEqual(got, want) {
+				t.Fatalf("%s window %d shards=%d: rows diverge from unsharded\n got %v\nwant %v",
+					stage, wi, k, got, want)
+			}
+			if ref == nil {
+				ref = ids
+			} else if !idsEqual(ids, ref) {
+				t.Fatalf("%s window %d shards=%d: TupleID stream differs from shards=%d",
+					stage, wi, k, shardCounts[0])
+			}
+		}
+	}
+
+	// Batched path at parallelism 1 and 8 must match the serial calls.
+	for _, par := range []int{1, 8} {
+		oracleBatches, _, err := twins[0].SearchAreaBatch("us-map", oracleWindows, geom.Overlapping, par)
+		if err != nil {
+			t.Fatalf("%s: oracle batch par=%d: %v", stage, par, err)
+		}
+		for _, k := range shardCounts {
+			batches, _, err := twins[k].SearchAreaBatch("us-map", oracleWindows, geom.Overlapping, par)
+			if err != nil {
+				t.Fatalf("%s shards=%d par=%d: %v", stage, k, par, err)
+			}
+			for wi := range oracleWindows {
+				got := resolveNames(t, twins[k], batches[wi])
+				want := resolveNames(t, twins[0], oracleBatches[wi])
+				if !namesEqual(got, want) {
+					t.Fatalf("%s shards=%d par=%d window %d: batch rows diverge", stage, k, par, wi)
+				}
+			}
+		}
+	}
+
+	// Full enumeration (the disjoined path) must align too.
+	oracleItems, _, err := twins[0].SpatialItems("us-map")
+	if err != nil {
+		t.Fatalf("%s: oracle items: %v", stage, err)
+	}
+	for _, k := range shardCounts {
+		items, _, err := twins[k].SpatialItems("us-map")
+		if err != nil {
+			t.Fatalf("%s shards=%d: items: %v", stage, k, err)
+		}
+		if len(items) != len(oracleItems) {
+			t.Fatalf("%s shards=%d: %d items, unsharded %d", stage, k, len(items), len(oracleItems))
+		}
+		for i := range items {
+			if items[i].Rect != oracleItems[i].Rect {
+				t.Fatalf("%s shards=%d: item %d rect %v, unsharded %v",
+					stage, k, i, items[i].Rect, oracleItems[i].Rect)
+			}
+		}
+	}
+}
+
+// TestShardedSearchOracle is the issue's oracle matrix: identical
+// content at shard counts 1/2/4/8 vs the unsharded relation, checked
+// fresh, after deletes (all deletes after all inserts, so both
+// numbering schemes remain insertion-ordered), and after a repack.
+func TestShardedSearchOracle(t *testing.T) {
+	twins, ids, _ := shardTwins(t, 600, 42)
+	verifyShardOracle(t, twins, "fresh")
+
+	// Delete every 7th tuple — positionally, so every twin loses the
+	// same logical rows.
+	for k, rel := range twins {
+		for i := 0; i < 600; i += 7 {
+			if err := rel.Delete(ids[k][i]); err != nil {
+				t.Fatalf("twin %d: delete %d: %v", k, i, err)
+			}
+		}
+	}
+	verifyShardOracle(t, twins, "deleted")
+
+	// Repack every twin (per-shard repacks for the sharded ones) and
+	// re-verify from the swapped roots.
+	for k, rel := range twins {
+		if err := rel.RepackPicture("us-map", pack.Options{}); err != nil {
+			t.Fatalf("twin %d: repack: %v", k, err)
+		}
+		if got := rel.Len(); got != 600-86 {
+			t.Fatalf("twin %d: Len=%d after deletes", k, got)
+		}
+	}
+	verifyShardOracle(t, twins, "repacked")
+}
+
+// TestShardedJuxtaposeOracle joins two sharded relations at every
+// shard count and requires the pair stream to resolve to the same
+// logical pairs as the unsharded join, in the same canonical order.
+func TestShardedJuxtaposeOracle(t *testing.T) {
+	aTwins, _, _ := shardTwins(t, 180, 7)
+	bTwins, _, _ := shardTwins(t, 130, 11)
+	for _, par := range []int{1, 8} {
+		oracle, _, err := aTwins[0].JuxtaposeSpatial("us-map", bTwins[0], "us-map", geom.Overlapping, par)
+		if err != nil {
+			t.Fatalf("oracle par=%d: %v", par, err)
+		}
+		if len(oracle) == 0 {
+			t.Fatal("vacuous join")
+		}
+		var wantA, wantB []storage.TupleID
+		for _, p := range oracle {
+			wantA = append(wantA, p.A)
+			wantB = append(wantB, p.B)
+		}
+		wantAN := resolveNames(t, aTwins[0], wantA)
+		wantBN := resolveNames(t, bTwins[0], wantB)
+		for _, k := range shardCounts {
+			pairs, _, err := aTwins[k].JuxtaposeSpatial("us-map", bTwins[k], "us-map", geom.Overlapping, par)
+			if err != nil {
+				t.Fatalf("shards=%d par=%d: %v", k, par, err)
+			}
+			if len(pairs) != len(oracle) {
+				t.Fatalf("shards=%d par=%d: %d pairs, unsharded %d", k, par, len(pairs), len(oracle))
+			}
+			var gotA, gotB []storage.TupleID
+			for _, p := range pairs {
+				gotA = append(gotA, p.A)
+				gotB = append(gotB, p.B)
+			}
+			if !namesEqual(resolveNames(t, aTwins[k], gotA), wantAN) ||
+				!namesEqual(resolveNames(t, bTwins[k], gotB), wantBN) {
+				t.Fatalf("shards=%d par=%d: join pairs diverge from unsharded", k, par)
+			}
+		}
+	}
+}
+
+// TestShardedScanAndBatch verifies the non-spatial read paths: Scan
+// order, Get/GetBatch resolution, Len, and B-tree lookups over the
+// sharded route table.
+func TestShardedScanAndBatch(t *testing.T) {
+	twins, ids, _ := shardTwins(t, 200, 3)
+	for _, k := range shardCounts {
+		rel := twins[k]
+		if rel.Len() != 200 {
+			t.Fatalf("shards=%d: Len=%d", k, rel.Len())
+		}
+		// Scan must yield ascending insertion order.
+		var scanned []storage.TupleID
+		if err := rel.Scan(func(id storage.TupleID, _ Tuple) bool {
+			scanned = append(scanned, id)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !idsEqual(scanned, ids[k]) {
+			t.Fatalf("shards=%d: scan order != insertion order", k)
+		}
+		// GetBatch at several worker counts, against Get.
+		for _, workers := range []int{1, 4} {
+			tuples, err := rel.GetBatch(ids[k], nil, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, id := range ids[k] {
+				want, err := rel.Get(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tuples[i][0].Str != want[0].Str {
+					t.Fatalf("shards=%d workers=%d: batch[%d] = %q, Get %q",
+						k, workers, i, tuples[i][0].Str, want[0].Str)
+				}
+			}
+		}
+	}
+	// B-tree index over a sharded relation resolves through routes.
+	rel := twins[4]
+	if err := rel.CreateIndex("city"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := rel.Get(ids[4][17])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := rel.LookupEqual("city", want[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[0] != ids[4][17] {
+		t.Fatalf("LookupEqual(%q) = %v, want [%v]", want[0].Str, found, ids[4][17])
+	}
+}
+
+// TestShardedReopen drops the in-memory Relation and reattaches via
+// OpenSharded over the same pagers: the route table rebuilt from the
+// sequence prefixes must reproduce ids, order, and contents exactly.
+func TestShardedReopen(t *testing.T) {
+	pagers := make([]*pager.Pager, 4)
+	for i := range pagers {
+		pagers[i] = pager.OpenMem(512)
+	}
+	t.Cleanup(func() {
+		for _, p := range pagers {
+			p.Close()
+		}
+	})
+	rel, err := NewSharded(pagers, "cities", citySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pic := picture.New("us-map", geom.R(0, 0, 1000, 1000))
+	rng := rand.New(rand.NewSource(9))
+	var ids []storage.TupleID
+	for i := 0; i < 150; i++ {
+		ids = append(ids, addCity(t, rel, pic, fmt.Sprintf("c%03d", i), "ST", int64(i), rng.Float64()*1000, rng.Float64()*1000))
+	}
+	for i := 0; i < 150; i += 5 {
+		if err := rel.Delete(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	firsts := rel.ShardHeapFirstPages()
+
+	re, err := OpenSharded(pagers, "cities", citySchema(), firsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != rel.Len() {
+		t.Fatalf("reopened Len=%d, want %d", re.Len(), rel.Len())
+	}
+	var before, after []string
+	collect := func(r *Relation, out *[]string) {
+		if err := r.Scan(func(id storage.TupleID, tu Tuple) bool {
+			*out = append(*out, fmt.Sprintf("%v=%s", id, tu[0].Str))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect(rel, &before)
+	collect(re, &after)
+	if !namesEqual(before, after) {
+		t.Fatalf("reopened scan diverges:\nbefore %v\nafter  %v", before, after)
+	}
+	if err := re.AttachPicture(pic, pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.CheckShards(4); err != nil {
+		t.Fatal(err)
+	}
+	// A new insert after reopen continues the sequence: no id reuse.
+	nid := addCity(t, re, pic, "fresh", "ST", 1, 500, 500)
+	for _, id := range ids {
+		if id == nid {
+			t.Fatalf("reopened relation reissued id %v", nid)
+		}
+	}
+}
+
+// TestShardedDuplicateSequenceDetected forges the one corruption the
+// route rebuild must catch: the same global sequence stored on two
+// shards.
+func TestShardedDuplicateSequenceDetected(t *testing.T) {
+	pagers := []*pager.Pager{pager.OpenMem(64), pager.OpenMem(64)}
+	t.Cleanup(func() {
+		for _, p := range pagers {
+			p.Close()
+		}
+	})
+	rel, err := NewSharded(pagers, "cities", citySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pic := picture.New("us-map", geom.R(0, 0, 1000, 1000))
+	addCity(t, rel, pic, "one", "ST", 1, 100, 100)
+
+	// Copy shard A's record (with its sequence prefix) into shard B.
+	var rec []byte
+	srcShard := -1
+	for s, sh := range rel.shards {
+		sh.heap.Scan(func(_ storage.TupleID, r []byte) bool {
+			rec = append([]byte(nil), r...)
+			srcShard = s
+			return false
+		})
+		if rec != nil {
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatal("no record found")
+	}
+	dst := rel.shards[1-srcShard]
+	if _, err := dst.heap.Insert(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenSharded(pagers, "cities", citySchema(), rel.ShardHeapFirstPages())
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("duplicate sequence not reported as corruption: %v", err)
+	}
+}
+
+// TestShardFanoutPruning: a clustered window must scatter to fewer
+// shards than the directory holds, while the full extent hits every
+// populated shard — the sub-linear fan-out the Hilbert routing buys.
+func TestShardFanoutPruning(t *testing.T) {
+	rel := newShardedCities(t, 8)
+	pic := picture.New("us-map", geom.R(0, 0, 1000, 1000))
+	// Attach before inserting so routing resolves locations through the
+	// picture (Hilbert placement) instead of the hash fallback — tight
+	// per-shard MBRs are what make pruning possible.
+	if err := rel.AttachPicture(pic, pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// A dense uniform grid: every shard's key range is populated and
+	// shard MBRs stay tight around their Hilbert runs.
+	for gy := 0; gy < 40; gy++ {
+		for gx := 0; gx < 40; gx++ {
+			x, y := float64(gx)*25+12, float64(gy)*25+12
+			addCity(t, rel, pic, fmt.Sprintf("g%02d-%02d", gx, gy), "ST", 1, x, y)
+		}
+	}
+	rel.WaitRepacks()
+	dir, err := rel.ShardDirectory("us-map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir) != 8 {
+		t.Fatalf("directory has %d entries", len(dir))
+	}
+	total := 0
+	for s, e := range dir {
+		if e.Shard != s {
+			t.Fatalf("directory entry %d labeled shard %d", s, e.Shard)
+		}
+		if s > 0 && dir[s-1].KeyHi != e.KeyLo {
+			t.Fatalf("key ranges not contiguous at shard %d: %d != %d", s, dir[s-1].KeyHi, e.KeyLo)
+		}
+		if e.Items == 0 {
+			t.Fatalf("shard %d empty under a uniform grid", s)
+		}
+		total += e.Items
+	}
+	if dir[0].KeyLo != 0 || dir[7].KeyHi != 1<<pack.HilbertKeyBits {
+		t.Fatalf("key ranges do not cover the key space: [%d, %d)", dir[0].KeyLo, dir[7].KeyHi)
+	}
+	if total != 1600 {
+		t.Fatalf("directory items sum to %d, want 1600", total)
+	}
+
+	hit, n, err := rel.ShardFanout("us-map", geom.R(10, 10, 80, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("fanout total = %d", n)
+	}
+	if hit >= n {
+		t.Fatalf("clustered window hit all %d shards — no pruning", n)
+	}
+	full, _, err := rel.ShardFanout("us-map", geom.R(0, 0, 1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != n {
+		t.Fatalf("full-extent window hit %d/%d shards", full, n)
+	}
+	t.Logf("clustered window fan-out: %d/%d shards", hit, n)
+}
+
+// TestShardedConcurrentWritersReaders is the -race stress: writers
+// drive concurrent inserts (routed across shards) and deletes while
+// readers scatter window queries, scans, and batched gets across
+// shards. Invariants: no torn reads (every scanned tuple validates),
+// queries never error, and the final state checks clean.
+func TestShardedConcurrentWritersReaders(t *testing.T) {
+	rel := newShardedCities(t, 4)
+	pic := picture.New("us-map", geom.R(0, 0, 1000, 1000))
+	// Seed enough content that readers always see data, then attach so
+	// spatial writes flow through the per-shard LSM sides.
+	var seeded []storage.TupleID
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		seeded = append(seeded, addCity(t, rel, pic, fmt.Sprintf("seed%03d", i), "ST", int64(i), rng.Float64()*1000, rng.Float64()*1000))
+	}
+	if err := rel.AttachPicture(pic, pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const perWriter = 150
+	const readers = 4
+	// Picture mutation is not synchronized — pre-register every object
+	// so the goroutines only exercise the relation's own locking.
+	oids := make([][]picture.ObjectID, writers)
+	for w := 0; w < writers; w++ {
+		rng := rand.New(rand.NewSource(int64(100 + w)))
+		for i := 0; i < perWriter; i++ {
+			name := fmt.Sprintf("w%d-%03d", w, i)
+			oids[w] = append(oids[w], pic.AddPoint(name, geom.Pt(rng.Float64()*1000, rng.Float64()*1000)))
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	done := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				name := fmt.Sprintf("w%d-%03d", w, i)
+				id, err := rel.Insert(Tuple{S(name), S("ST"), I(int64(i)), L("us-map", oids[w][i])})
+				if err != nil {
+					errCh <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				if i%10 == 5 {
+					if err := rel.Delete(id); err != nil {
+						errCh <- fmt.Errorf("writer %d: delete: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func(r int) {
+			defer rg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				switch r % 3 {
+				case 0:
+					w := geom.R(rng.Float64()*800, rng.Float64()*800, 1000, 1000)
+					ids, _, err := rel.SearchArea("us-map", w, geom.Overlapping)
+					if err != nil {
+						errCh <- fmt.Errorf("reader %d: search: %w", r, err)
+						return
+					}
+					for i := 1; i < len(ids); i++ {
+						if ids[i].Int64() <= ids[i-1].Int64() {
+							errCh <- fmt.Errorf("reader %d: result ids not ascending", r)
+							return
+						}
+					}
+				case 1:
+					n := 0
+					err := rel.Scan(func(_ storage.TupleID, tu Tuple) bool {
+						if len(tu) != 4 {
+							errCh <- fmt.Errorf("reader %d: torn tuple", r)
+							return false
+						}
+						n++
+						return n < 500
+					})
+					if err != nil {
+						errCh <- fmt.Errorf("reader %d: scan: %w", r, err)
+						return
+					}
+				default:
+					if _, err := rel.GetBatch(seeded, nil, 4); err != nil {
+						errCh <- fmt.Errorf("reader %d: batch: %w", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	rg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	rel.WaitRepacks()
+	if err := rel.Check(); err != nil {
+		t.Fatal(err)
+	}
+	wantLive := 200 + writers*perWriter - writers*(perWriter/10)
+	if got := rel.Len(); got != wantLive {
+		t.Fatalf("Len=%d after stress, want %d", got, wantLive)
+	}
+}
+
+// TestShardedCostSnapshotPrunes: the planner's merged snapshot over a
+// clustered window must be cheaper than the full merge — only
+// overlapping shards contribute.
+func TestShardedCostSnapshotPrunes(t *testing.T) {
+	rel := newShardedCities(t, 8)
+	pic := picture.New("us-map", geom.R(0, 0, 1000, 1000))
+	if err := rel.AttachPicture(pic, pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for gy := 0; gy < 30; gy++ {
+		for gx := 0; gx < 30; gx++ {
+			addCity(t, rel, pic, fmt.Sprintf("g%d-%d", gx, gy), "ST", 1, float64(gx)*33+5, float64(gy)*33+5)
+		}
+	}
+	// Pack the LSM deltas so per-shard Items reflects the packed trees.
+	if err := rel.RepackPicture("us-map", pack.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	all, ok := rel.SpatialCostSnapshot("us-map", nil)
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if all.Stats.Items != 900 {
+		t.Fatalf("full snapshot items = %d", all.Stats.Items)
+	}
+	clustered, ok := rel.SpatialCostSnapshot("us-map", []geom.Rect{geom.R(5, 5, 60, 60)})
+	if !ok {
+		t.Fatal("no clustered snapshot")
+	}
+	if clustered.Stats.Items >= all.Stats.Items {
+		t.Fatalf("clustered snapshot items %d not pruned below %d", clustered.Stats.Items, all.Stats.Items)
+	}
+}

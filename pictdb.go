@@ -28,6 +28,8 @@ package pictdb
 
 import (
 	"fmt"
+	"os"
+	"sort"
 	"sync"
 
 	"repro/internal/geom"
@@ -146,19 +148,31 @@ type Database struct {
 	exec      *psql.Executor
 	readOnly  bool
 
+	// Sharding: a sharded relation stores its tuples in dedicated page
+	// files (one pager + WAL per shard) beside the main file. path and
+	// poolPages parameterize the default shard-file naming/opening;
+	// newShardPager is the factory seam fault-injection suites override
+	// to put shards on snapshotted or failing backends.
+	path          string
+	poolPages     int
+	shardPagers   map[string][]*pager.Pager
+	newShardPager func(rel string, shard int, mustExist bool) (*pager.Pager, error)
+
 	// wmu serializes Write transactions: relation mutation is not
 	// internally locked, so concurrent writers take turns applying
 	// their changes while the WAL group-commits their durability.
 	wmu sync.Mutex
 }
 
-// New creates an in-memory database.
+// New creates an in-memory database. Sharded relations get in-memory
+// shard pagers.
 func New() *Database {
 	db := &Database{
-		pager:     pager.OpenMem(1024),
-		relations: make(map[string]*relation.Relation),
-		pictures:  make(map[string]*picture.Picture),
-		locations: make(map[string]geom.Rect),
+		pager:       pager.OpenMem(1024),
+		relations:   make(map[string]*relation.Relation),
+		pictures:    make(map[string]*picture.Picture),
+		locations:   make(map[string]geom.Rect),
+		shardPagers: make(map[string][]*pager.Pager),
 	}
 	db.exec = psql.NewExecutor(db)
 	if err := db.ensureSuperblock(); err != nil {
@@ -189,19 +203,41 @@ func Open(path string, poolPages int) (*Database, error) {
 	// served straight from the mapping instead of copied into pool
 	// frames. Unsupported platforms/builds just keep the pool path.
 	_ = p.EnableMmap()
-	return OpenWithPager(p)
+	return openWithPager(p, path, poolPages, nil)
 }
 
 // OpenWithPager builds a database over an already-open pager — the
 // seam the fault-injection and crash-point suites use to run the full
 // stack over torn, failing, or snapshotted backends. The pager is
-// closed if the catalog cannot be loaded.
+// closed if the catalog cannot be loaded. Sharded relations cannot be
+// reopened through this seam unless their page files sit beside a
+// file-backed pager's path; use OpenWithPagerShards to inject shard
+// backends explicitly.
 func OpenWithPager(p *pager.Pager) (*Database, error) {
+	return openWithPager(p, "", 0, nil)
+}
+
+// OpenWithPagerShards is OpenWithPager with an explicit shard-pager
+// factory: the catalog reload asks it for (relation, shard) pagers
+// instead of opening files beside the main path. The crash-point and
+// fault-injection suites use it to reopen sharded databases over
+// snapshotted or failing shard backends. The factory owns recovery
+// (EnableWAL) of whatever it returns; pagers it hands over are closed
+// by the Database.
+func OpenWithPagerShards(p *pager.Pager, factory func(rel string, shard int, mustExist bool) (*pager.Pager, error)) (*Database, error) {
+	return openWithPager(p, "", 0, factory)
+}
+
+func openWithPager(p *pager.Pager, path string, poolPages int, factory func(rel string, shard int, mustExist bool) (*pager.Pager, error)) (*Database, error) {
 	db := &Database{
-		pager:     p,
-		relations: make(map[string]*relation.Relation),
-		pictures:  make(map[string]*picture.Picture),
-		locations: make(map[string]geom.Rect),
+		pager:         p,
+		relations:     make(map[string]*relation.Relation),
+		pictures:      make(map[string]*picture.Picture),
+		locations:     make(map[string]geom.Rect),
+		path:          path,
+		poolPages:     poolPages,
+		shardPagers:   make(map[string][]*pager.Pager),
+		newShardPager: factory,
 	}
 	db.exec = psql.NewExecutor(db)
 	if err := db.ensureSuperblock(); err != nil {
@@ -209,10 +245,91 @@ func OpenWithPager(p *pager.Pager) (*Database, error) {
 		return nil, err
 	}
 	if err := db.loadCatalog(); err != nil {
+		db.closeShardPagers()
 		p.Close()
 		return nil, fmt.Errorf("pictdb: loading catalog: %w", err)
 	}
 	return db, nil
+}
+
+// ShardPath returns the page file holding shard s of relation rel for
+// a database whose main file is at path. Each shard's WAL rides at the
+// usual "+.wal" suffix of this path.
+func ShardPath(path, rel string, shard int) string {
+	return fmt.Sprintf("%s.%s.s%d", path, rel, shard)
+}
+
+// openShardPager opens (or creates) the pager for one shard of rel,
+// with WAL recovery and best-effort mmap, mirroring Open's main-file
+// setup. mustExist guards the reopen path: a catalog that names a
+// shard whose file is gone is reported as such, not silently
+// re-created empty.
+func (db *Database) openShardPager(rel string, shard int, mustExist bool) (*pager.Pager, error) {
+	if db.newShardPager != nil {
+		return db.newShardPager(rel, shard, mustExist)
+	}
+	if db.path == "" {
+		return pager.OpenMem(1024), nil
+	}
+	sp := ShardPath(db.path, rel, shard)
+	if mustExist {
+		if _, err := os.Stat(sp); err != nil {
+			return nil, fmt.Errorf("pictdb: relation %q shard %d: missing page file %s: %w", rel, shard, sp, err)
+		}
+	}
+	pool := db.poolPages
+	if pool <= 0 {
+		pool = 1024
+	}
+	p, err := pager.Open(sp, pool)
+	if err != nil {
+		return nil, fmt.Errorf("pictdb: relation %q shard %d: %w", rel, shard, err)
+	}
+	if err := p.EnableWAL(); err != nil {
+		p.Close()
+		return nil, fmt.Errorf("pictdb: relation %q shard %d: %w", rel, shard, err)
+	}
+	_ = p.EnableMmap()
+	return p, nil
+}
+
+// closeShardPagers closes every shard pager (shards before the main
+// file, so the catalog never outlives the pages it names). The first
+// error is returned; all pagers are closed regardless.
+func (db *Database) closeShardPagers() error {
+	names := make([]string, 0, len(db.shardPagers))
+	for name := range db.shardPagers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var first error
+	for _, name := range names {
+		for i, sp := range db.shardPagers[name] {
+			if err := sp.Close(); err != nil && first == nil {
+				first = fmt.Errorf("pictdb: closing relation %q shard %d: %w", name, i, err)
+			}
+		}
+	}
+	db.shardPagers = make(map[string][]*pager.Pager)
+	return first
+}
+
+// forEachShardPager visits every shard pager in deterministic
+// (relation name, shard) order.
+func (db *Database) forEachShardPager(fn func(rel string, shard int, p *pager.Pager) error) error {
+	names := make([]string, 0, len(db.shardPagers))
+	for name := range db.shardPagers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for i, sp := range db.shardPagers[name] {
+			if err := fn(name, i, sp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // OpenChecked opens the database at path and runs a full verification
@@ -222,11 +339,18 @@ func OpenWithPager(p *pager.Pager) (*Database, error) {
 // error is non-nil only when the file cannot be opened at all (bad
 // magic, corrupt header or catalog).
 func OpenChecked(path string, poolPages int) (*Database, *CheckReport, error) {
+	return OpenCheckedParallel(path, poolPages, 1)
+}
+
+// OpenCheckedParallel is OpenChecked with the verification pass fanned
+// out over par workers — sharded relations have their shard files
+// checked concurrently (the report is identical at any par).
+func OpenCheckedParallel(path string, poolPages, par int) (*Database, *CheckReport, error) {
 	db, err := Open(path, poolPages)
 	if err != nil {
 		return nil, nil, err
 	}
-	report := db.Check()
+	report := db.CheckParallel(par)
 	if !report.OK() {
 		db.SetReadOnly(true)
 	}
@@ -239,10 +363,16 @@ func openRelation(db *Database, name string, schema Schema, first pager.PageID) 
 }
 
 // Close drains in-flight background spatial repacks, then flushes
-// (with the ordered commit barrier) and closes the underlying storage.
+// (with the ordered commit barrier) and closes the underlying storage:
+// shard files first, then the main file, so the surviving catalog only
+// ever names shard pages that were durably closed.
 func (db *Database) Close() error {
 	db.WaitRepacks()
-	return db.pager.Close()
+	err := db.closeShardPagers()
+	if cerr := db.pager.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // WaitRepacks blocks until no spatial index in any relation has a
@@ -268,8 +398,35 @@ func (db *Database) SetSpatialWritePolicy(p SpatialWritePolicy) {
 // committed here survives a crash; a crash mid-commit leaves the
 // previous header in effect. With the WAL (file-backed databases),
 // Commit appends to the log with a single group fsync instead; the
-// page file catches up at the next checkpoint.
-func (db *Database) Commit() error { return db.pager.Commit() }
+// page file catches up at the next checkpoint. Sharded relations
+// commit first — every shard's WAL fsyncs in parallel — and the main
+// file (which holds the catalog naming those shard pages) commits
+// after them, so a crash between the two phases loses at most the
+// not-yet-acknowledged transaction, never an acked one.
+func (db *Database) Commit() error {
+	if err := db.commitShards(); err != nil {
+		return err
+	}
+	return db.pager.Commit()
+}
+
+// commitShards commits every sharded relation's shard pagers, each
+// relation's shards in parallel.
+func (db *Database) commitShards() error {
+	names := make([]string, 0, len(db.relations))
+	for name, rel := range db.relations {
+		if rel.Sharded() {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := db.relations[name].CommitShards(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Write applies fn as one serialized, durably committed transaction:
 // writers take turns mutating (relations are not internally locked),
@@ -287,13 +444,21 @@ func (db *Database) Write(fn func() error) error {
 	}
 	db.wmu.Lock()
 	db.pager.BeginWrite()
+	_ = db.forEachShardPager(func(_ string, _ int, p *pager.Pager) error {
+		p.BeginWrite()
+		return nil
+	})
 	err := fn()
+	_ = db.forEachShardPager(func(_ string, _ int, p *pager.Pager) error {
+		p.EndWrite()
+		return nil
+	})
 	db.pager.EndWrite()
 	db.wmu.Unlock()
 	if err != nil {
 		return err
 	}
-	return db.pager.Commit()
+	return db.Commit()
 }
 
 // Snapshot returns a read-only Database pinned to the last durably
@@ -303,6 +468,11 @@ func (db *Database) Write(fn func() error) error {
 // while open; Close it promptly. Requires the WAL (file-backed opens)
 // and a committed catalog.
 func (db *Database) Snapshot() (*Database, error) {
+	for name, rel := range db.relations {
+		if rel.Sharded() {
+			return nil, fmt.Errorf("pictdb: snapshot: relation %q is sharded; snapshots cover only the main page file", name)
+		}
+	}
 	snap, err := db.pager.BeginSnapshot()
 	if err != nil {
 		return nil, err
@@ -346,8 +516,19 @@ func (db *Database) SnapshotQuery(src string) (*Result, error) {
 func (db *Database) WALStats() pager.WALStats { return db.pager.WALStats() }
 
 // CheckpointWAL forces the WAL's committed page images into the page
-// file and truncates the log. Fails while snapshots are open.
-func (db *Database) CheckpointWAL() error { return db.pager.CheckpointWAL() }
+// file and truncates the log — shard files first, then the main file.
+// Fails while snapshots are open.
+func (db *Database) CheckpointWAL() error {
+	if err := db.forEachShardPager(func(rel string, shard int, p *pager.Pager) error {
+		if err := p.CheckpointWAL(); err != nil {
+			return fmt.Errorf("pictdb: checkpoint relation %q shard %d: %w", rel, shard, err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return db.pager.CheckpointWAL()
+}
 
 // SetReadOnly degrades the database to read-only: relation and picture
 // definition, checkpointing, and all pager writes fail, while queries
@@ -356,6 +537,10 @@ func (db *Database) CheckpointWAL() error { return db.pager.CheckpointWAL() }
 func (db *Database) SetReadOnly(ro bool) {
 	db.readOnly = ro
 	db.pager.SetReadOnly(ro)
+	_ = db.forEachShardPager(func(_ string, _ int, p *pager.Pager) error {
+		p.SetReadOnly(ro)
+		return nil
+	})
 }
 
 // ReadOnly reports whether the database refuses writes.
@@ -377,6 +562,84 @@ func (db *Database) CreateRelation(name string, schema Schema) (*Relation, error
 		return nil, err
 	}
 	db.relations[name] = rel
+	return rel, nil
+}
+
+// CreateShardedRelation defines a relation sharded across `shards`
+// dedicated page files (each with its own pager, WAL, buffer pool, and
+// LSM spatial write side), routed by Hilbert key range. The relation
+// behaves as one logical table: queries scatter to overlapping shards
+// and gather in canonical order, bit-identical to an unsharded
+// relation. For a file-backed database shard s lives at
+// ShardPath(path, name, s); in-memory databases get in-memory shards.
+func (db *Database) CreateShardedRelation(name string, schema Schema, shards int) (*Relation, error) {
+	if db.readOnly {
+		return nil, fmt.Errorf("pictdb: create relation %q: %w", name, pager.ErrReadOnly)
+	}
+	if _, dup := db.relations[name]; dup {
+		return nil, fmt.Errorf("pictdb: relation %q already exists", name)
+	}
+	if shards < 1 || shards > relation.MaxShards {
+		return nil, fmt.Errorf("pictdb: create relation %q: shard count %d out of range [1, %d]", name, shards, relation.MaxShards)
+	}
+	pagers := make([]*pager.Pager, 0, shards)
+	fail := func(err error) (*Relation, error) {
+		for _, sp := range pagers {
+			sp.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < shards; i++ {
+		sp, err := db.openShardPager(name, i, false)
+		if err != nil {
+			return fail(err)
+		}
+		pagers = append(pagers, sp)
+	}
+	rel, err := relation.NewSharded(pagers, name, schema)
+	if err != nil {
+		return fail(err)
+	}
+	db.relations[name] = rel
+	db.shardPagers[name] = pagers
+	return rel, nil
+}
+
+// openShardedRelation reopens a persisted sharded relation (catalog
+// reload path). Shard pagers open concurrently, so each shard's WAL
+// recovery — replay through the last durable commit, torn-tail
+// truncation — proceeds in parallel across shard files.
+func (db *Database) openShardedRelation(name string, schema Schema, firsts []pager.PageID) (*Relation, error) {
+	n := len(firsts)
+	pagers := make([]*pager.Pager, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range pagers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pagers[i], errs[i] = db.openShardPager(name, i, true)
+		}(i)
+	}
+	wg.Wait()
+	fail := func(err error) (*Relation, error) {
+		for _, sp := range pagers {
+			if sp != nil {
+				sp.Close()
+			}
+		}
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return fail(err)
+		}
+	}
+	rel, err := relation.OpenSharded(pagers, name, schema, firsts)
+	if err != nil {
+		return fail(err)
+	}
+	db.shardPagers[name] = pagers
 	return rel, nil
 }
 

@@ -40,8 +40,31 @@ func BuildUSDatabaseFile(path string, poolPages int) (*Database, error) {
 	return db, nil
 }
 
+// BuildUSDatabaseSharded builds the same in-memory database with every
+// relation split across shards Hilbert-range page files. Query results
+// are identical to BuildUSDatabase row for row — the shard_oracle tests
+// hold the two configurations against each other.
+func BuildUSDatabaseSharded(shards int) (*Database, error) {
+	db := New()
+	create := func(name string, schema Schema) (*Relation, error) {
+		return db.CreateShardedRelation(name, schema, shards)
+	}
+	if err := populateUSWith(db, create); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
 // populateUS fills db with the §2.1 relations and pictures.
 func populateUS(db *Database) error {
+	return populateUSWith(db, db.CreateRelation)
+}
+
+// populateUSWith is populateUS with the relation constructor abstracted
+// so the sharded builder can route every table through
+// CreateShardedRelation.
+func populateUSWith(db *Database, createRelation func(name string, schema Schema) (*Relation, error)) error {
 	frame := workload.Frame
 
 	for _, name := range []string{"us-map", "state-map", "time-zone-map", "lake-map", "highway-map"} {
@@ -56,7 +79,7 @@ func populateUS(db *Database) error {
 	hwyMap, _ := db.Picture("highway-map")
 
 	// cities(city, state, population, loc) on us-map.
-	cities, err := db.CreateRelation("cities", MustSchema(
+	cities, err := createRelation("cities", MustSchema(
 		"city:string", "state:string", "population:int", "loc:loc"))
 	if err != nil {
 		return err
@@ -75,7 +98,7 @@ func populateUS(db *Database) error {
 	}
 
 	// states(state, population-density, loc) on state-map.
-	states, err := db.CreateRelation("states", MustSchema(
+	states, err := createRelation("states", MustSchema(
 		"state:string", "population-density:float", "loc:loc"))
 	if err != nil {
 		return err
@@ -91,7 +114,7 @@ func populateUS(db *Database) error {
 	}
 
 	// time-zones(zone, hour-diff, loc) on time-zone-map.
-	zones, err := db.CreateRelation("time-zones", MustSchema(
+	zones, err := createRelation("time-zones", MustSchema(
 		"zone:string", "hour-diff:float", "loc:loc"))
 	if err != nil {
 		return err
@@ -104,7 +127,7 @@ func populateUS(db *Database) error {
 	}
 
 	// lakes(lake, area, loc) on lake-map.
-	lakes, err := db.CreateRelation("lakes", MustSchema(
+	lakes, err := createRelation("lakes", MustSchema(
 		"lake:string", "area:float", "loc:loc"))
 	if err != nil {
 		return err
@@ -117,7 +140,7 @@ func populateUS(db *Database) error {
 	}
 
 	// highways(hwy-name, hwy-section, loc) on highway-map.
-	highways, err := db.CreateRelation("highways", MustSchema(
+	highways, err := createRelation("highways", MustSchema(
 		"hwy-name:string", "hwy-section:string", "loc:loc"))
 	if err != nil {
 		return err
