@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet lint bench benchcheck faults walfaults fuzz psqlbench ingestbench commitbench shardbench table1 parbench joinbench clean
+.PHONY: check build test race vet lint bench benchcheck faults walfaults shardfaults fuzz psqlbench ingestbench commitbench shardbench rebalancebench table1 parbench joinbench clean
 
 # The gate: everything must vet, lint clean (the pictdblint analyzer
 # suite, DESIGN.md §14), build, pass under the race detector (the
@@ -47,6 +47,7 @@ benchcheck:
 	$(GO) test -run 'ZeroAllocs|PreallocAllocs' ./internal/rtree/
 	$(GO) run ./cmd/psqlbench -iters 20 -json > /dev/null
 	$(GO) run ./cmd/ingestbench -n 5000 -inserts 2000 -deletes 200 -threshold 512 -queries 200 -windows 64 -json > /dev/null
+	$(GO) run ./cmd/ingestbench -rebalance -skew hot:0.9:0.1 -n 2000 -inserts 4000 -threshold 256 -queries 0 -shards 4 -joinn 200 -json > /dev/null
 
 # Durability suite: injected I/O faults, torn writes, crash-point
 # snapshots, checksum and corruption detection, across the pager and
@@ -60,6 +61,13 @@ faults:
 # with recovery verified from every captured image.
 walfaults:
 	$(GO) test -race -run 'WAL|Snapshot|Append' ./internal/pager/ ./cmd/pictdbcheck/ .
+
+# Shard-split durability: the split crash-point matrix (every fsync
+# boundary during an online shard split, recovery verified from each
+# captured image), the split query oracle, reopen persistence, and the
+# sharded crash/recovery suite.
+shardfaults:
+	$(GO) test -race -run 'ShardSplit|ShardedCrash|ShardedDuplicate|SplitShard' ./internal/relation/ .
 
 # Short deterministic fuzz pass over the tuple decoder.
 fuzz:
@@ -87,6 +95,16 @@ commitbench:
 shardbench:
 	$(GO) run ./cmd/ingestbench -n 100000 -inserts 40000 -deletes 4000 \
 		-queries 2000 -radius 50 -shards 1,2,4,8 -out BENCH_pr9.json
+
+# Skew-adaptive rebalancing comparison: the 90%-hot ingest with online
+# shard splitting on vs off, plus the cross-shard join restriction
+# measurement (frontier-pruned scatter vs full pair product, output
+# verified bit-identical). Records the acceptance numbers in
+# BENCH_pr10.json.
+rebalancebench:
+	$(GO) run ./cmd/ingestbench -rebalance -skew hot:0.9:0.1 \
+		-n 20000 -inserts 80000 -threshold 1024 -queries 0 \
+		-shards 8 -joinn 800 -out BENCH_pr10.json
 
 # Paper reproduction targets.
 table1:

@@ -10,6 +10,7 @@ import (
 	"repro/internal/pack"
 	"repro/internal/pager"
 	"repro/internal/picture"
+	"repro/internal/relation"
 	"repro/internal/storage"
 )
 
@@ -40,6 +41,11 @@ const (
 	catObject   = 'O'
 	catRelation = 'R'
 	catSharded  = 'S'
+	// catShardedV2 extends catSharded with each shard's Hilbert key
+	// range, so rebalanced (non-even) shard layouts survive reopen.
+	// Checkpoint always writes V2; the loader accepts both (a V1 record
+	// implies the even split every relation starts with).
+	catShardedV2 = 'T'
 )
 
 // ensureSuperblock creates or validates the superblock page.
@@ -200,17 +206,22 @@ func (db *Database) Checkpoint() error {
 		rel := db.relations[name]
 		var rec []byte
 		if rel.Sharded() {
-			// Sharded relations persist one heap handle per shard; the
-			// shard count is implied by the handle count. The shard
-			// pages themselves become durable at Commit — shards commit
-			// before the main file, so this record never names a shard
-			// page that is not yet durable.
-			rec = []byte{catSharded}
+			// Sharded relations persist one heap handle per shard plus
+			// each shard's Hilbert key range; the shard count is implied
+			// by the handle count. The shard pages themselves become
+			// durable at Commit — shards commit before the main file, so
+			// this record never names a shard page that is not yet
+			// durable.
+			rec = []byte{catShardedV2}
 			rec = appendString(rec, name)
 			firsts := rel.ShardHeapFirstPages()
 			rec = binary.AppendUvarint(rec, uint64(len(firsts)))
 			for _, f := range firsts {
 				rec = binary.LittleEndian.AppendUint32(rec, uint32(f))
+			}
+			for _, kr := range rel.ShardKeyRanges() {
+				rec = binary.LittleEndian.AppendUint64(rec, kr.Lo)
+				rec = binary.LittleEndian.AppendUint64(rec, kr.Hi)
 			}
 		} else {
 			rec = []byte{catRelation}
@@ -336,7 +347,7 @@ func (db *Database) loadCatalog() error {
 				scanErr = err
 				return false
 			}
-		case catRelation, catSharded:
+		case catRelation, catSharded, catShardedV2:
 			def, err := decodeRelDef(rec)
 			if err != nil {
 				scanErr = err
@@ -360,7 +371,7 @@ func (db *Database) loadCatalog() error {
 	for _, def := range rels {
 		var rel *Relation
 		if len(def.shardFirsts) > 0 {
-			rel, err = db.openShardedRelation(def.name, def.schema, def.shardFirsts)
+			rel, err = db.openShardedRelation(def.name, def.schema, def.shardFirsts, def.shardRanges)
 		} else {
 			rel, err = openRelation(db, def.name, def.schema, def.heapFirst)
 		}
@@ -393,6 +404,9 @@ type decodedRel struct {
 	name        string
 	heapFirst   pager.PageID
 	shardFirsts []pager.PageID
+	// shardRanges is each shard's Hilbert key range (catShardedV2); nil
+	// for a V1 record, meaning the even split.
+	shardRanges []relation.KeyRange
 	schema      Schema
 	indexed     []string
 	assocs      []struct {
@@ -408,7 +422,7 @@ func decodeRelDef(rec []byte) (decodedRel, error) {
 		return def, err
 	}
 	def.name = name
-	if rec[0] == catSharded {
+	if rec[0] == catSharded || rec[0] == catShardedV2 {
 		n, w := binary.Uvarint(rec[pos:])
 		if w <= 0 || n == 0 || n > 1<<16 {
 			return def, fmt.Errorf("pictdb: truncated shard count")
@@ -421,6 +435,17 @@ func decodeRelDef(rec []byte) (decodedRel, error) {
 		for i := range def.shardFirsts {
 			def.shardFirsts[i] = pager.PageID(binary.LittleEndian.Uint32(rec[pos:]))
 			pos += 4
+		}
+		if rec[0] == catShardedV2 {
+			if pos+16*int(n) > len(rec) {
+				return def, fmt.Errorf("pictdb: truncated shard key ranges")
+			}
+			def.shardRanges = make([]relation.KeyRange, n)
+			for i := range def.shardRanges {
+				def.shardRanges[i].Lo = binary.LittleEndian.Uint64(rec[pos:])
+				def.shardRanges[i].Hi = binary.LittleEndian.Uint64(rec[pos+8:])
+				pos += 16
+			}
 		}
 	} else {
 		if pos+4 > len(rec) {

@@ -36,8 +36,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -91,17 +93,22 @@ type report struct {
 	Threshold int    `json:"delta_threshold"`
 	Queries   int    `json:"queries"`
 
+	// Skew names the insert-point distribution when not uniform.
+	Skew string `json:"skew,omitempty"`
+
 	// IndexTier isolates the index write path (rtree only); Strategies
-	// is the end-to-end relation tier, heap and picture included.
-	IndexTier  []indexResult    `json:"index_tier"`
-	Strategies []strategyResult `json:"relation_tier"`
+	// is the end-to-end relation tier, heap and picture included. Every
+	// tier is omitempty: a report only carries the sections its mode
+	// actually ran.
+	IndexTier  []indexResult    `json:"index_tier,omitempty"`
+	Strategies []strategyResult `json:"relation_tier,omitempty"`
 
 	// The two acceptance ratios: LSM index-write throughput over the
 	// per-tuple Guttman baseline (index tier, where the strategies
 	// differ), and LSM warm query p50 over the freshly packed
 	// reference (read amplification in wall-clock form).
-	LSMIngestSpeedup  float64 `json:"lsm_ingest_speedup_vs_guttman"`
-	LSMWarmQueryRatio float64 `json:"lsm_warm_query_p50_ratio_vs_fresh"`
+	LSMIngestSpeedup  float64 `json:"lsm_ingest_speedup_vs_guttman,omitempty"`
+	LSMWarmQueryRatio float64 `json:"lsm_warm_query_p50_ratio_vs_fresh,omitempty"`
 
 	// Sharding sweep (-shards): the scaling curve plus its two
 	// acceptance ratios — aggregate ingest throughput at the highest
@@ -110,6 +117,17 @@ type report struct {
 	ShardTier          []shardResult `json:"shard_tier,omitempty"`
 	ShardIngestSpeedup float64       `json:"shard_ingest_speedup_max_vs_1,omitempty"`
 	ShardQueryP50Ratio float64       `json:"shard_query_p50_ratio_vs_unsharded,omitempty"`
+
+	// Rebalancing comparison (-rebalance): the same skewed ingest with
+	// shard splitting disabled and enabled, plus the throughput ratio —
+	// PR 10's first acceptance number.
+	RebalanceTier          []rebalanceResult `json:"rebalance_tier,omitempty"`
+	RebalanceIngestSpeedup float64           `json:"rebalance_ingest_speedup_vs_static,omitempty"`
+
+	// Cross-shard join restriction (-rebalance): frontier-pruned
+	// juxtaposition vs the bounds-overlap pair product vs the unsharded
+	// join — PR 10's second acceptance number is PairVisitFraction.
+	JoinTier *joinResult `json:"join_tier,omitempty"`
 }
 
 type config struct {
@@ -117,6 +135,7 @@ type config struct {
 	radius                                            float64
 	seed                                              int64
 	method                                            pack.Method
+	skew                                              workload.SkewSpec
 }
 
 // shardResult is one point on the sharding scaling curve: the full
@@ -210,7 +229,7 @@ func shardIngest(rel *relation.Relation, pic *picture.Picture, cfg config) (int,
 	if cfg.deletes > 0 {
 		deleteEvery = cfg.inserts / cfg.deletes
 	}
-	pts := workload.UniformPoints(cfg.inserts, cfg.seed+100)
+	pts := cfg.skew.Points(cfg.inserts, cfg.seed+100)
 	ops := 0
 	start := time.Now()
 	for i, pt := range pts {
@@ -287,6 +306,313 @@ func runShardSweep(cfg config, counts []int) ([]shardResult, error) {
 		})
 	}
 	return out, nil
+}
+
+// rebalanceResult is one arm of the skew-adaptive rebalancing
+// comparison: the same skewed insert stream over k initial shards with
+// online shard splitting disabled or enabled. Repacks run
+// synchronously on the writer (as in the shard sweep), so throughput
+// directly prices index maintenance: the static arm repacks one
+// ever-growing hot shard, the rebalancing arm keeps every shard's
+// working set near the threshold.
+type rebalanceResult struct {
+	Rebalance     bool    `json:"rebalance"`
+	ShardsStart   int     `json:"shards_start"`
+	ShardsEnd     int     `json:"shards_end"`
+	Splits        int     `json:"splits"`
+	IngestOps     int     `json:"ingest_ops"`
+	IngestSeconds float64 `json:"ingest_seconds"`
+	OpsPerSec     float64 `json:"inserts_per_sec"`
+	Repacks       int     `json:"repacks"`
+	Imbalance     float64 `json:"imbalance_factor"`
+}
+
+// joinResult measures the cross-shard juxtaposition restriction on
+// clustered data: the frontier walk admits PairsJoined of the
+// PairProduct bounds-overlapping shard pairs, with output checked
+// bit-identical (by resolved tuple) against both the unrestricted
+// pair-product scatter and the unsharded join.
+type joinResult struct {
+	Shards            int     `json:"shards"`
+	ItemsPerSide      int     `json:"items_per_side"`
+	ResultPairs       int     `json:"result_pairs"`
+	PairProduct       int     `json:"pair_product"`
+	PairsJoined       int     `json:"pairs_joined"`
+	PairVisitFraction float64 `json:"pair_visit_fraction"`
+	VisitedPruned     int     `json:"nodes_visited_pruned"`
+	VisitedFull       int     `json:"nodes_visited_full"`
+	SecondsPruned     float64 `json:"seconds_pruned"`
+	SecondsFull       float64 `json:"seconds_full"`
+	SecondsUnsharded  float64 `json:"seconds_unsharded"`
+	Identical         bool    `json:"identical_to_full_and_unsharded"`
+}
+
+// runRebalanceArm drives the skewed insert stream over k initial
+// shards. With rebalance set, every 512 ops the most loaded shard (at
+// imbalance factor 2 and at least one threshold of tuples) is split at
+// its occupancy median into a fresh sidecar — the relation-level
+// migration, timed inside the loop so the split cost is amortized into
+// the throughput it buys.
+func runRebalanceArm(cfg config, k int, rebalance bool) (rebalanceResult, error) {
+	closer, rel, pic, err := buildShardedFixture(cfg, k)
+	if err != nil {
+		return rebalanceResult{}, err
+	}
+	defer closer()
+	var extra []*pager.Pager
+	defer func() {
+		for _, p := range extra {
+			p.Close()
+		}
+	}()
+	for _, si := range rel.Spatials("map") {
+		si.SetDeltaThreshold(cfg.threshold)
+		si.SetAutoRepack(false)
+	}
+	pts := cfg.skew.Points(cfg.inserts, cfg.seed+100)
+	splits, ops := 0, 0
+	start := time.Now()
+	for i, pt := range pts {
+		oid := pic.AddPoint(fmt.Sprintf("n%d", i), pt)
+		if _, err := rel.Insert(relation.Tuple{relation.S(fmt.Sprintf("n%d", i)), relation.L("map", oid)}); err != nil {
+			return rebalanceResult{}, err
+		}
+		ops++
+		if ops%64 == 0 {
+			for _, si := range rel.Spatials("map") {
+				if si.DeltaLen()+si.TombstoneCount() >= cfg.threshold {
+					si.RepackNow(true)
+				}
+			}
+		}
+		if rebalance && ops%512 == 0 && rel.ShardCount() < 64 {
+			if s, ok := rel.MostLoadedShard(2.0, cfg.threshold); ok {
+				pgr := pager.OpenMem(4096)
+				_, pending, err := rel.SplitShard(s, pgr)
+				if err != nil {
+					pgr.Close()
+					if !errors.Is(err, relation.ErrShardNotSplittable) {
+						return rebalanceResult{}, err
+					}
+					continue
+				}
+				if err := rel.FinishSplit(pending); err != nil {
+					pgr.Close()
+					return rebalanceResult{}, err
+				}
+				extra = append(extra, pgr)
+				splits++
+			}
+		}
+	}
+	sec := time.Since(start).Seconds()
+	repacks := 0
+	for _, si := range rel.Spatials("map") {
+		repacks += si.Repacks()
+	}
+	_, imbalance := rel.ShardBalance()
+	return rebalanceResult{
+		Rebalance:     rebalance,
+		ShardsStart:   k,
+		ShardsEnd:     rel.ShardCount(),
+		Splits:        splits,
+		IngestOps:     ops,
+		IngestSeconds: sec,
+		OpsPerSec:     float64(ops) / sec,
+		Repacks:       repacks,
+		Imbalance:     imbalance,
+	}, nil
+}
+
+// joinClustersA and joinClustersB are the two relations' cluster
+// sites: two shared (the join's real work) and three private each, so
+// most shard pairs overlap only through empty space — the pairs the
+// frontier restriction exists to prune.
+var (
+	joinClustersA = [][2]float64{{120, 150}, {850, 200}, {480, 520}, {200, 840}, {880, 870}, {520, 120}, {80, 650}, {700, 920}}
+	joinClustersB = [][2]float64{{120, 150}, {850, 200}, {680, 640}, {350, 320}, {150, 480}, {920, 480}, {380, 880}, {600, 300}}
+)
+
+// buildJoinRel loads n small square regions drawn around the cluster
+// sites into a k-shard relation (k == 0: unsharded), Hilbert-routed
+// (picture attached first), write sides collapsed.
+func buildJoinRel(pic *picture.Picture, k int, oids []picture.ObjectID, names []string, method pack.Method) (func(), *relation.Relation, error) {
+	var rel *relation.Relation
+	var closer func()
+	if k == 0 {
+		p := pager.OpenMem(4096)
+		r, err := relation.New(p, "objs", relation.MustSchema("name:string", "loc:loc"))
+		if err != nil {
+			p.Close()
+			return nil, nil, err
+		}
+		rel, closer = r, func() { p.Close() }
+	} else {
+		pagers := make([]*pager.Pager, k)
+		for i := range pagers {
+			pagers[i] = pager.OpenMem(4096)
+		}
+		closer = func() {
+			for _, p := range pagers {
+				p.Close()
+			}
+		}
+		r, err := relation.NewSharded(pagers, "objs", relation.MustSchema("name:string", "loc:loc"))
+		if err != nil {
+			closer()
+			return nil, nil, err
+		}
+		rel = r
+	}
+	if err := rel.AttachPicture(pic, pack.Options{Method: method}); err != nil {
+		closer()
+		return nil, nil, err
+	}
+	for i, oid := range oids {
+		if _, err := rel.Insert(relation.Tuple{relation.S(names[i]), relation.L("map", oid)}); err != nil {
+			closer()
+			return nil, nil, err
+		}
+	}
+	if err := rel.RepackPicture("map", pack.Options{Method: method}); err != nil {
+		closer()
+		return nil, nil, err
+	}
+	return closer, rel, nil
+}
+
+// clusterObjects draws n region objects around the cluster sites into
+// pic and returns their ids and names.
+func clusterObjects(pic *picture.Picture, centers [][2]float64, prefix string, n int, seed int64) ([]picture.ObjectID, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	clamp := func(v float64) float64 {
+		if v < 10 {
+			return 10
+		}
+		if v > 990 {
+			return 990
+		}
+		return v
+	}
+	oids := make([]picture.ObjectID, n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		c := centers[i%len(centers)]
+		x := clamp(c[0] + (rng.Float64()*2-1)*30)
+		y := clamp(c[1] + (rng.Float64()*2-1)*30)
+		names[i] = fmt.Sprintf("%s%05d", prefix, i)
+		oids[i] = pic.AddRegion(names[i], geom.Poly(
+			geom.Pt(x-6, y-6), geom.Pt(x+6, y-6), geom.Pt(x+6, y+6), geom.Pt(x-6, y+6)))
+	}
+	return oids, names
+}
+
+// runJoinTier measures the frontier restriction: the clustered
+// cross-shard join at k shards with pruning on and off, and the
+// unsharded reference, all three checked pair-for-pair identical by
+// resolved tuple names.
+func runJoinTier(cfg config, k, n int) (joinResult, error) {
+	pic := picture.New("map", geom.R(0, 0, 1000, 1000))
+	aOids, aNames := clusterObjects(pic, joinClustersA, "a", n, cfg.seed+7)
+	bOids, bNames := clusterObjects(pic, joinClustersB, "b", n, cfg.seed+13)
+
+	closeA, relA, err := buildJoinRel(pic, k, aOids, aNames, cfg.method)
+	if err != nil {
+		return joinResult{}, err
+	}
+	defer closeA()
+	closeB, relB, err := buildJoinRel(pic, k, bOids, bNames, cfg.method)
+	if err != nil {
+		return joinResult{}, err
+	}
+	defer closeB()
+	closeA0, relA0, err := buildJoinRel(pic, 0, aOids, aNames, cfg.method)
+	if err != nil {
+		return joinResult{}, err
+	}
+	defer closeA0()
+	closeB0, relB0, err := buildJoinRel(pic, 0, bOids, bNames, cfg.method)
+	if err != nil {
+		return joinResult{}, err
+	}
+	defer closeB0()
+
+	pred := func(a, b geom.Rect) bool { return a.Intersects(b) }
+	workers := runtime.GOMAXPROCS(0)
+
+	t0 := time.Now()
+	pruned, stats, visitedPruned, err := relA.JuxtaposeSpatialStats("map", relB, "map", pred, workers, true)
+	if err != nil {
+		return joinResult{}, err
+	}
+	secPruned := time.Since(t0).Seconds()
+	t0 = time.Now()
+	full, _, visitedFull, err := relA.JuxtaposeSpatialStats("map", relB, "map", pred, workers, false)
+	if err != nil {
+		return joinResult{}, err
+	}
+	secFull := time.Since(t0).Seconds()
+	t0 = time.Now()
+	unsharded, _, err := relA0.JuxtaposeSpatial("map", relB0, "map", pred, workers)
+	if err != nil {
+		return joinResult{}, err
+	}
+	secUnsharded := time.Since(t0).Seconds()
+
+	pairNames := func(ra, rb *relation.Relation, pairs []relation.SpatialPair) ([]string, error) {
+		out := make([]string, len(pairs))
+		for i, p := range pairs {
+			ta, err := ra.Get(p.A)
+			if err != nil {
+				return nil, err
+			}
+			tb, err := rb.Get(p.B)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ta[0].Str + "|" + tb[0].Str
+		}
+		return out, nil
+	}
+	np, err := pairNames(relA, relB, pruned)
+	if err != nil {
+		return joinResult{}, err
+	}
+	nf, err := pairNames(relA, relB, full)
+	if err != nil {
+		return joinResult{}, err
+	}
+	nu, err := pairNames(relA0, relB0, unsharded)
+	if err != nil {
+		return joinResult{}, err
+	}
+	identical := len(np) == len(nf) && len(np) == len(nu)
+	if identical {
+		for i := range np {
+			if np[i] != nf[i] || np[i] != nu[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	frac := 0.0
+	if stats.PairProduct > 0 {
+		frac = float64(stats.PairsJoined) / float64(stats.PairProduct)
+	}
+	return joinResult{
+		Shards:            k,
+		ItemsPerSide:      n,
+		ResultPairs:       len(pruned),
+		PairProduct:       stats.PairProduct,
+		PairsJoined:       stats.PairsJoined,
+		PairVisitFraction: frac,
+		VisitedPruned:     visitedPruned,
+		VisitedFull:       visitedFull,
+		SecondsPruned:     secPruned,
+		SecondsFull:       secFull,
+		SecondsUnsharded:  secUnsharded,
+		Identical:         identical,
+	}, nil
 }
 
 // runIndexTier measures the bare index write path — no heap, no
@@ -471,7 +797,7 @@ func ingest(rel *relation.Relation, pic *picture.Picture, cfg config, stw bool) 
 	if cfg.deletes > 0 {
 		deleteEvery = cfg.inserts / cfg.deletes
 	}
-	pts := workload.UniformPoints(cfg.inserts, cfg.seed+100)
+	pts := cfg.skew.Points(cfg.inserts, cfg.seed+100)
 	ops := 0
 	start := time.Now()
 	for i, pt := range pts {
@@ -617,6 +943,9 @@ func main() {
 	seed := flag.Int64("seed", 1985, "workload seed")
 	method := flag.String("method", "str", "packing method for build and repack: str, hilbert, lowx, nn")
 	shardsFlag := flag.String("shards", "", "comma-separated shard counts (e.g. 1,2,4,8): run the sharding scaling sweep instead of the strategy comparison")
+	skewFlag := flag.String("skew", "", "insert-point distribution: uniform, zipf:<s>, cluster:<k>:<stddev>, hot:<frac>:<range>")
+	rebalanceFlag := flag.Bool("rebalance", false, "run the skew-adaptive rebalancing comparison and the cross-shard join restriction measurement (ingest uses -skew; starting shard count is the first -shards entry, default 8)")
+	joinN := flag.Int("joinn", 600, "regions per side in the join-restriction measurement")
 	jsonOut := flag.Bool("json", false, "emit the JSON report on stdout instead of the table")
 	out := flag.String("out", "", "also write the JSON report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -651,18 +980,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	skew, err := workload.ParseSkew(*skewFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ingestbench: %v\n", err)
+		os.Exit(2)
+	}
+
 	cfg := config{
 		n: *n, inserts: *inserts, deletes: *deletes, threshold: *threshold,
 		queries: *queries, nWindows: *nWindows, radius: *radius, seed: *seed, method: m,
+		skew: skew,
 	}
 	rep := report{
 		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		Items: cfg.n, Inserts: cfg.inserts, Deletes: cfg.deletes,
 		Threshold: cfg.threshold, Queries: cfg.queries,
+		Skew: *skewFlag,
 	}
 
+	var counts []int
 	if *shardsFlag != "" {
-		var counts []int
 		for _, f := range strings.Split(*shardsFlag, ",") {
 			k, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil || k < 1 {
@@ -671,6 +1008,53 @@ func main() {
 			}
 			counts = append(counts, k)
 		}
+	}
+
+	if *rebalanceFlag {
+		k := 8
+		if len(counts) > 0 {
+			k = counts[0]
+		}
+		for _, arm := range []bool{false, true} {
+			r, err := runRebalanceArm(cfg, k, arm)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ingestbench: rebalance arm (rebalance=%v): %v\n", arm, err)
+				os.Exit(1)
+			}
+			rep.RebalanceTier = append(rep.RebalanceTier, r)
+		}
+		if off := rep.RebalanceTier[0]; off.OpsPerSec > 0 {
+			rep.RebalanceIngestSpeedup = rep.RebalanceTier[1].OpsPerSec / off.OpsPerSec
+		}
+		jr, err := runJoinTier(cfg, 6, *joinN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingestbench: join tier: %v\n", err)
+			os.Exit(1)
+		}
+		rep.JoinTier = &jr
+		emitReport(rep, *out, *jsonOut, func() {
+			fmt.Printf("Rebalance: %d packed items + %d skewed inserts (%s), threshold %d, %d initial shards\n\n",
+				cfg.n, cfg.inserts, cfg.skew.String(), cfg.threshold, k)
+			fmt.Printf("%-10s %12s %8s %8s %8s %10s\n",
+				"rebalance", "inserts/sec", "shards", "splits", "repacks", "imbalance")
+			for _, r := range rep.RebalanceTier {
+				fmt.Printf("%-10v %12.0f %8d %8d %8d %10.2f\n",
+					r.Rebalance, r.OpsPerSec, r.ShardsEnd, r.Splits, r.Repacks, r.Imbalance)
+			}
+			fmt.Printf("\ningest speedup with rebalancing: %.2fx\n", rep.RebalanceIngestSpeedup)
+			fmt.Printf("\njoin restriction (%d shards, %d regions/side): %d of %d overlapping pairs joined (%.0f%%), identical=%v\n",
+				jr.Shards, jr.ItemsPerSide, jr.PairsJoined, jr.PairProduct, jr.PairVisitFraction*100, jr.Identical)
+			fmt.Printf("nodes visited: pruned %d, full scatter %d; result pairs %d\n",
+				jr.VisitedPruned, jr.VisitedFull, jr.ResultPairs)
+		})
+		if !jr.Identical {
+			fmt.Fprintln(os.Stderr, "ingestbench: join restriction output diverged from baseline")
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *shardsFlag != "" {
 		tier, err := runShardSweep(cfg, counts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ingestbench: %v\n", err)

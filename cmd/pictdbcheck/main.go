@@ -10,7 +10,11 @@
 // (file.db.<relation>.s<N>), each with its own write-ahead log; the
 // checker inspects every shard WAL before opening and verifies every
 // shard file. With -parallel N the per-shard verification fans out over
-// N workers — the report is identical at any parallelism.
+// N workers — the report is identical at any parallelism. Each sharded
+// relation gets a balance line (shard count and imbalance factor, with
+// per-shard tuple counts and Hilbert key ranges under -v), and shard
+// page files no catalog relation references — the abandoned target of
+// an interrupted split — are flagged as orphans.
 //
 // Exit status is 0 for a healthy file, 1 when verification finds
 // problems or the file cannot be opened, 2 for usage errors. Each
@@ -98,6 +102,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer db.Close()
 
+	for _, f := range shardReport(db, path, *verbose, stdout) {
+		fmt.Fprintf(stdout, "%s: orphan shard file (no catalog reference; safe to remove)\n", f)
+	}
+
 	summary := fmt.Sprintf("%s: %d pages, %d free, %d relations, %d leaked",
 		path, report.Pages, report.FreePages, report.Relations, report.Leaked)
 	if report.OK() {
@@ -113,6 +121,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stderr, "pictdbcheck: database is corrupt; it was opened in read-only degraded mode")
 	return 1
+}
+
+// shardReport prints one balance line per sharded relation — shard
+// count and imbalance factor (largest shard over the mean), with the
+// per-shard tuple counts and Hilbert key ranges under -v — and returns
+// any orphan sidecar files: shard page files on disk that no catalog
+// relation references. Orphans are typically the abandoned target of
+// an interrupted split (recovery keeps the source authoritative);
+// they hold no committed data and are safe to remove.
+func shardReport(db *pictdb.Database, path string, verbose bool, stdout io.Writer) []string {
+	known := map[string]bool{}
+	for _, name := range db.RelationNames() {
+		rel, ok := db.Relation(name)
+		if !ok || !rel.Sharded() {
+			continue
+		}
+		infos, imbalance := rel.ShardBalance()
+		for s := range infos {
+			known[pictdb.ShardPath(path, name, s)] = true
+		}
+		fmt.Fprintf(stdout, "%s: %s: %d shard(s), imbalance %.2f\n", path, name, len(infos), imbalance)
+		if verbose {
+			for _, in := range infos {
+				fmt.Fprintf(stdout, "  s%d: %d tuple(s), hilbert keys [%d, %d)\n",
+					in.Shard, in.Items, in.KeyLo, in.KeyHi)
+			}
+		}
+	}
+	var orphans []string
+	for _, f := range shardFiles(path) {
+		if !known[f] {
+			orphans = append(orphans, f)
+		}
+	}
+	return orphans
 }
 
 // shardFiles lists the shard page files next to path

@@ -308,6 +308,63 @@ func TestCheckShardedParallel(t *testing.T) {
 	}
 }
 
+// TestCheckShardBalanceReport: a sharded database gets one balance
+// line per sharded relation, with per-shard tuple counts and key
+// ranges under -v.
+func TestCheckShardBalanceReport(t *testing.T) {
+	path := buildShardedDB(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d; stdout=%q stderr=%q", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "cities: 3 shard(s), imbalance") {
+		t.Fatalf("expected shard balance line, got %q", out.String())
+	}
+	if strings.Contains(out.String(), "hilbert keys") {
+		t.Fatalf("per-shard detail should need -v, got %q", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-v", path}, &out, &errb); code != 0 {
+		t.Fatalf("-v: exit %d; stdout=%q stderr=%q", code, out.String(), errb.String())
+	}
+	for s := 0; s < 3; s++ {
+		if !strings.Contains(out.String(), fmt.Sprintf("s%d:", s)) {
+			t.Fatalf("-v: expected shard %d detail, got %q", s, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "hilbert keys") {
+		t.Fatalf("-v: expected key ranges, got %q", out.String())
+	}
+}
+
+// TestCheckFlagsOrphanShardFile: a shard page file no catalog relation
+// references — the abandoned target of an interrupted split — is
+// flagged, and the database still checks clean.
+func TestCheckFlagsOrphanShardFile(t *testing.T) {
+	path := buildShardedDB(t)
+	orphan := pictdb.ShardPath(path, "cities", 9)
+	src, err := os.ReadFile(pictdb.ShardPath(path, "cities", 0))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := os.WriteFile(orphan, src, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d with orphan (want 0); stdout=%q stderr=%q", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), orphan) || !strings.Contains(out.String(), "orphan shard file") {
+		t.Fatalf("expected orphan flag for %s, got %q", orphan, out.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("expected OK summary alongside orphan note, got %q", out.String())
+	}
+}
+
 // TestCheckShardedCorruptShard flips a byte in one shard's page file:
 // the checker must exit non-zero and name a checksum failure, at any
 // parallelism.

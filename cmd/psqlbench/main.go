@@ -17,10 +17,14 @@
 // files and the same workloads run through the scatter-gather read
 // path; results are row-identical to the unsharded run by construction.
 //
+// With -skew the repeated point-in-window cycle draws its window
+// centers from a skewed distribution (same syntax as ingestbench), so
+// a sharded run shows how hot-spot reads concentrate on one shard.
+//
 // Usage:
 //
 //	psqlbench [-iters n] [-windows n] [-seed s] [-json]
-//	          [-latency] [-clients n] [-shards n]
+//	          [-latency] [-clients n] [-shards n] [-skew spec]
 package main
 
 import (
@@ -169,10 +173,16 @@ func main() {
 	latency := flag.Bool("latency", false, "measure p50/p95/p99 latency under concurrent client load instead of throughput")
 	clients := flag.Int("clients", 4, "concurrent clients in -latency mode")
 	shards := flag.Int("shards", 0, "split every relation across N Hilbert-range shards (0 = unsharded)")
+	skewFlag := flag.String("skew", "", "window-center distribution for the repeated point-in-window workload: uniform, zipf:<s>, cluster:<k>:<stddev>, hot:<frac>:<range>")
 	flag.Parse()
 
+	skew, err := workload.ParseSkew(*skewFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psqlbench: %v\n", err)
+		os.Exit(2)
+	}
+
 	var db *pictdb.Database
-	var err error
 	if *shards > 0 {
 		db, err = pictdb.BuildUSDatabaseSharded(*shards)
 	} else {
@@ -205,7 +215,7 @@ func main() {
 	type win struct{ cx, dx, cy, dy float64 }
 	var wins []win
 	var texts []string
-	for _, w := range workload.QueryWindows(*nwindows, 180, *seed) {
+	for _, w := range skew.Windows(*nwindows, 180, *seed) {
 		c := w.Center()
 		v := win{c.X, (w.Max.X - w.Min.X) / 2, c.Y, (w.Max.Y - w.Min.Y) / 2}
 		wins = append(wins, v)

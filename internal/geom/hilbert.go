@@ -1,0 +1,70 @@
+package geom
+
+// The Hilbert curve mapping lives in geom — below pack and workload —
+// so both the packing strategies and the skewed-workload generators
+// can derive curve keys without importing each other.
+
+// HilbertOrder is the resolution of the discrete grid points are
+// quantized onto: the curve has 2^HilbertOrder cells per side.
+const HilbertOrder = 16
+
+// HilbertKeyBits is the width of the key space HilbertKey maps into:
+// keys lie in [0, 1<<HilbertKeyBits). Hilbert-range sharding divides
+// this space into contiguous per-shard ranges.
+const HilbertKeyBits = 2 * HilbertOrder
+
+// HilbertKey quantizes p onto the Hilbert curve over bounds and
+// returns its 1-D curve distance — the routing key Hilbert-range
+// sharding assigns tuples by. Points outside bounds are clamped, so
+// every point gets a key and contiguous key ranges stay spatially
+// local (Bos & Haverkort's locality bound). The key is a pure function
+// of (bounds, p): routing is deterministic across processes and
+// reopens as long as the picture extent is stable.
+func HilbertKey(bounds Rect, p Point) uint64 {
+	side := uint32(1) << HilbertOrder
+	x, y := uint32(0), uint32(0)
+	if w := bounds.Width(); w > 0 {
+		x = hilbertQuantize((p.X - bounds.Min.X) / w * float64(side-1))
+	}
+	if h := bounds.Height(); h > 0 {
+		y = hilbertQuantize((p.Y - bounds.Min.Y) / h * float64(side-1))
+	}
+	return HilbertD(HilbertOrder, x, y)
+}
+
+// hilbertQuantize clamps a scaled coordinate onto the grid.
+func hilbertQuantize(v float64) uint32 {
+	if v <= 0 {
+		return 0
+	}
+	max := float64(uint32(1)<<HilbertOrder - 1)
+	if v >= max {
+		return uint32(max)
+	}
+	return uint32(v)
+}
+
+// HilbertD maps grid cell (x, y) to its 1-D distance along the Hilbert
+// curve of the given order (the classic xy2d conversion).
+func HilbertD(order uint, x, y uint32) uint64 {
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}

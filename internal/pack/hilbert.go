@@ -14,48 +14,25 @@ import (
 // bounds are known, every key is an independent pure function of one
 // center, so key computation fans out perfectly and only the (also
 // parallel) sort remains.
+//
+// The curve mapping itself lives in geom (geom.HilbertKey and
+// friends) so the workload generators can derive curve keys without
+// importing pack; the identifiers below re-export it for the sharding
+// and routing layers, which historically reach it through pack.
 type hilbertGrouper struct{ par int }
 
 func (hilbertGrouper) Name() string { return "hilbert" }
 
-// hilbertOrder is the resolution of the discrete grid the centers are
-// quantized onto: the curve has 2^hilbertOrder cells per side.
-const hilbertOrder = 16
-
 // HilbertKeyBits is the width of the key space HilbertKey maps into:
 // keys lie in [0, 1<<HilbertKeyBits). Hilbert-range sharding divides
 // this space into contiguous per-shard ranges.
-const HilbertKeyBits = 2 * hilbertOrder
+const HilbertKeyBits = geom.HilbertKeyBits
 
 // HilbertKey quantizes p onto the Hilbert curve over bounds and
 // returns its 1-D curve distance — the routing key Hilbert-range
-// sharding assigns tuples by. Points outside bounds are clamped, so
-// every point gets a key and contiguous key ranges stay spatially
-// local (Bos & Haverkort's locality bound). The key is a pure function
-// of (bounds, p): routing is deterministic across processes and
-// reopens as long as the picture extent is stable.
+// sharding assigns tuples by. See geom.HilbertKey.
 func HilbertKey(bounds geom.Rect, p geom.Point) uint64 {
-	side := uint32(1) << hilbertOrder
-	x, y := uint32(0), uint32(0)
-	if w := bounds.Width(); w > 0 {
-		x = quantize((p.X - bounds.Min.X) / w * float64(side-1))
-	}
-	if h := bounds.Height(); h > 0 {
-		y = quantize((p.Y - bounds.Min.Y) / h * float64(side-1))
-	}
-	return hilbertD(hilbertOrder, x, y)
-}
-
-// quantize clamps a scaled coordinate onto the grid.
-func quantize(v float64) uint32 {
-	if v <= 0 {
-		return 0
-	}
-	max := float64(uint32(1)<<hilbertOrder - 1)
-	if v >= max {
-		return uint32(max)
-	}
-	return uint32(v)
+	return geom.HilbertKey(bounds, p)
 }
 
 func (g hilbertGrouper) Group(rects []geom.Rect, max int) [][]int {
@@ -67,7 +44,7 @@ func (g hilbertGrouper) Group(rects []geom.Rect, max int) [][]int {
 	// so combining per-chunk partial bounds is order-independent and
 	// bit-identical to the sequential scan.
 	bounds := parallelBounds(rects, g.par)
-	side := uint32(1) << hilbertOrder
+	side := uint32(1) << geom.HilbertOrder
 	scaleX, scaleY := 0.0, 0.0
 	if w := bounds.Width(); w > 0 {
 		scaleX = float64(side-1) / w
@@ -81,7 +58,7 @@ func (g hilbertGrouper) Group(rects []geom.Rect, max int) [][]int {
 			c := rects[i].Center()
 			x := uint32((c.X - bounds.Min.X) * scaleX)
 			y := uint32((c.Y - bounds.Min.Y) * scaleY)
-			keys[i] = hilbertD(hilbertOrder, x, y)
+			keys[i] = geom.HilbertD(geom.HilbertOrder, x, y)
 		}
 	})
 	order := identityOrder(n)
@@ -119,29 +96,4 @@ func parallelBounds(rects []geom.Rect, par int) geom.Rect {
 		bounds = bounds.Union(b)
 	}
 	return bounds
-}
-
-// hilbertD maps grid cell (x, y) to its 1-D distance along the Hilbert
-// curve of the given order (the classic xy2d conversion).
-func hilbertD(order uint, x, y uint32) uint64 {
-	var d uint64
-	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
-		var rx, ry uint32
-		if x&s > 0 {
-			rx = 1
-		}
-		if y&s > 0 {
-			ry = 1
-		}
-		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
-		// Rotate the quadrant.
-		if ry == 0 {
-			if rx == 1 {
-				x = s - 1 - x
-				y = s - 1 - y
-			}
-			x, y = y, x
-		}
-	}
-	return d
 }

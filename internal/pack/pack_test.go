@@ -312,7 +312,7 @@ func TestHilbertDLocality(t *testing.T) {
 	cells := make(map[uint64][2]uint32)
 	for x := uint32(0); x < uint32(side); x++ {
 		for y := uint32(0); y < uint32(side); y++ {
-			d := hilbertD(order, x, y)
+			d := geom.HilbertD(order, x, y)
 			if prev, dup := cells[d]; dup {
 				t.Fatalf("duplicate hilbert value %d for %v and %v", d, prev, [2]uint32{x, y})
 			}

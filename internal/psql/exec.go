@@ -870,26 +870,33 @@ func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
 		nb, _ := b.rel.SpatialCostSnapshot(b.picture, nil)
 		nodesA := na.Stats.Nodes + na.DeltaNodes
 		nodesB := nb.Stats.Nodes + nb.DeltaNodes
+		if est, err := a.rel.JoinShardPairEstimate(a.picture, b.rel, b.picture); err == nil && est.PairProduct > 1 {
+			st.note("juxtaposition estimate: %.0f page touches (%d of %d overlapping shard pairs admitted)",
+				juxtaposeCost(nodesA, nodesB, est), est.PairsJoined, est.PairProduct)
+		}
 		drive := a.name
+		var shardStats relation.JoinShardStats
 		if nodesB > nodesA {
 			drive = b.name
-			jp, visited, err := b.rel.JuxtaposeSpatial(b.picture, a.rel, a.picture,
-				func(y, x geom.Rect) bool { return pred(x, y) }, st.e.parallelism())
+			jp, stats, visited, err := b.rel.JuxtaposeSpatialStats(b.picture, a.rel, a.picture,
+				func(y, x geom.Rect) bool { return pred(x, y) }, st.e.parallelism(), true)
 			if err != nil {
 				return nil, err
 			}
 			st.visited += visited
+			shardStats = stats
 			pairs = make([]pair, len(jp))
 			for i, p := range jp {
 				pairs[i] = pair{p.B, p.A}
 			}
 		} else {
-			jp, visited, err := a.rel.JuxtaposeSpatial(a.picture, b.rel, b.picture,
-				func(x, y geom.Rect) bool { return pred(x, y) }, st.e.parallelism())
+			jp, stats, visited, err := a.rel.JuxtaposeSpatialStats(a.picture, b.rel, b.picture,
+				func(x, y geom.Rect) bool { return pred(x, y) }, st.e.parallelism(), true)
 			if err != nil {
 				return nil, err
 			}
 			st.visited += visited
+			shardStats = stats
 			pairs = make([]pair, len(jp))
 			for i, p := range jp {
 				pairs[i] = pair{p.A, p.B}
@@ -897,6 +904,13 @@ func (st *execState) juxtapose(bi, bj int, op SpatialOp) ([]row, error) {
 		}
 		st.note("juxtaposition: simultaneous R-tree traversal of %q and %q (%s), driving %q (%d vs %d nodes)",
 			a.name, b.name, op, drive, nodesA, nodesB)
+		if shardStats.PairProduct > 1 || shardStats.PairsJoined > 1 {
+			// Cross-shard: report the frontier restriction — the shard
+			// pairs actually joined out of the MBR-overlapping product
+			// (Gutiérrez-style two-tree restriction, DESIGN.md §16).
+			st.note("cross-shard juxtaposition: frontier restriction joined %d of %d overlapping shard pairs",
+				shardStats.PairsJoined, shardStats.PairProduct)
+		}
 	}
 	// Canonical row order: ascending by binding 0's id, then binding
 	// 1's — independent of traversal order and driving side.

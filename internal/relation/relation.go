@@ -30,19 +30,45 @@ type Relation struct {
 	// attached after the call (zero value: WriteDelta).
 	spatialPolicy WritePolicy
 
-	// Sharded mode (DESIGN.md §15). When shards is non-nil the relation
-	// is split across len(shards) page files by Hilbert key range and
+	// Sharded mode (DESIGN.md §15, §16). When the shard list is non-nil
+	// the relation is split across N page files by Hilbert key range and
 	// heap/spatial above stay nil: every access dispatches to the
 	// sharded path. Global TupleIDs are insertion sequence numbers (not
 	// heap addresses); routes maps sequence - shardSeqBase to a packed
 	// (shard, local heap address) entry, 0 = dead. smu guards routes,
-	// indexes, and shardSpatial against concurrent per-shard writers.
-	shards       []*relShard
+	// indexes, shardSpatial, shardRanges, and shardLive against
+	// concurrent per-shard writers. The shard list itself is an atomic
+	// pointer because a shard split appends to it while readers are in
+	// flight: published copy-on-write under smu, loaded lock-free.
+	shards       atomic.Pointer[[]*relShard]
 	smu          sync.RWMutex
 	routes       []int64
 	nextSeq      atomic.Int64
 	liveCount    atomic.Int64
 	shardSpatial map[string][]*SpatialIndex
+	// shardRanges holds each shard's half-open Hilbert key range
+	// [Lo, Hi); routeShard places new tuples by range lookup. A split
+	// narrows the source range and appends the new shard's.
+	shardRanges []KeyRange
+	// shardLive counts live tuples per shard — the rebalancer's
+	// imbalance signal, maintained by insert/delete/migration.
+	shardLive []int64
+	// routeEpoch increments on every migration route swap; batch readers
+	// retry when it moves mid-batch (see getBatchSharded).
+	routeEpoch atomic.Int64
+	// splitHook, when set, is called once halfway through a shard
+	// split's migration loop — the oracle test's mid-migration probe.
+	splitHook func()
+}
+
+// shardList returns the current shard list (nil when unsharded). The
+// list is immutable once published; splits publish a grown copy.
+func (r *Relation) shardList() []*relShard {
+	p := r.shards.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
 }
 
 // New creates an empty relation backed by a fresh heap in p.
@@ -142,7 +168,7 @@ func (r *Relation) WaitRepacks() {
 		si.WaitRepack()
 	}
 	r.smu.RLock()
-	all := make([]*SpatialIndex, 0, len(r.shardSpatial)*len(r.shards))
+	all := make([]*SpatialIndex, 0, len(r.shardSpatial)*len(r.shardList()))
 	for _, sis := range r.shardSpatial {
 		all = append(all, sis...)
 	}
@@ -604,15 +630,27 @@ type SpatialPair struct {
 // intersection (the pruning rule); it is called concurrently and must
 // be pure.
 func (r *Relation) JuxtaposeSpatial(picA string, s *Relation, picB string, pred func(a, b geom.Rect) bool, workers int) ([]SpatialPair, int, error) {
+	out, _, visited, err := r.JuxtaposeSpatialStats(picA, s, picB, pred, workers, true)
+	return out, visited, err
+}
+
+// JuxtaposeSpatialStats is JuxtaposeSpatial with the cross-shard pair
+// telemetry exposed and frontier pruning made optional: with prune set,
+// shard pairs whose subtree frontiers are disjoint are skipped (the
+// result is provably identical — pred implies rectangle intersection);
+// without it every bounds-overlapping pair is joined, the PR 9 baseline
+// the benchmarks compare against. For unsharded relations the stats
+// report the single 1×1 pair.
+func (r *Relation) JuxtaposeSpatialStats(picA string, s *Relation, picB string, pred func(a, b geom.Rect) bool, workers int, prune bool) ([]SpatialPair, JoinShardStats, int, error) {
 	as := r.spatialList(picA)
 	if as == nil {
-		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, picA)
+		return nil, JoinShardStats{}, 0, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, picA)
 	}
 	bs := s.spatialList(picB)
 	if bs == nil {
-		return nil, 0, fmt.Errorf("relation %s: no spatial index for picture %q", s.name, picB)
+		return nil, JoinShardStats{}, 0, fmt.Errorf("relation %s: no spatial index for picture %q", s.name, picB)
 	}
-	pairs, visited := scatterJuxtapose(as, bs, pred, workers)
+	pairs, visited, stats := scatterJuxtapose(as, bs, pred, workers, prune)
 	out := make([]SpatialPair, len(pairs))
 	for i, p := range pairs {
 		out[i] = SpatialPair{
@@ -620,7 +658,7 @@ func (r *Relation) JuxtaposeSpatial(picA string, s *Relation, picB string, pred 
 			B: storage.TupleIDFromInt64(p.B.Data),
 		}
 	}
-	return out, visited, nil
+	return out, stats, visited, nil
 }
 
 // HeapPages returns the page ids of the relation's tuple heap, for

@@ -89,27 +89,42 @@ func NewSharded(pagers []*pager.Pager, name string, schema Schema) (*Relation, e
 		rtreeParams:  rtree.DefaultParams(),
 	}
 	r.nextSeq.Store(shardSeqBase)
+	shards := make([]*relShard, 0, len(pagers))
 	for i, p := range pagers {
 		h, _, err := storage.Create(p)
 		if err != nil {
 			return nil, fmt.Errorf("relation %s: shard %d: %w", name, i, err)
 		}
-		r.shards = append(r.shards, &relShard{pgr: p, heap: h})
+		shards = append(shards, &relShard{pgr: p, heap: h})
 	}
+	r.shards.Store(&shards)
+	r.shardRanges = evenKeyRanges(len(shards))
+	r.shardLive = make([]int64, len(shards))
 	return r, nil
 }
 
 // OpenSharded reattaches to a sharded relation whose shard heaps start
-// at firsts[i] in pagers[i] — the catalog's reopen path. The route
-// table is rebuilt by scanning every shard heap's sequence prefixes;
-// a duplicate or malformed sequence is reported as corruption. Indexes
-// are not rebuilt here (the catalog re-creates them), matching Open.
-func OpenSharded(pagers []*pager.Pager, name string, schema Schema, firsts []pager.PageID) (*Relation, error) {
+// at firsts[i] in pagers[i] — the catalog's reopen path. ranges gives
+// each shard's persisted Hilbert key range (nil = the even split a
+// never-rebalanced relation uses). The route table is rebuilt by
+// scanning every shard heap's sequence prefixes; a malformed sequence
+// is reported as corruption. A sequence stored in two shards with
+// byte-identical records is the durable artifact of a shard split that
+// crashed after the destination committed but before the source's
+// deletions did (DESIGN.md §16): repair keeps the higher-numbered
+// shard's copy (the migration destination — splits only append shards)
+// and deletes the stale source record. Differing payloads remain
+// corruption. Indexes are not rebuilt here (the catalog re-creates
+// them), matching Open.
+func OpenSharded(pagers []*pager.Pager, name string, schema Schema, firsts []pager.PageID, ranges []KeyRange) (*Relation, error) {
 	if len(pagers) == 0 || len(pagers) > MaxShards {
 		return nil, fmt.Errorf("relation %s: shard count %d out of range [1, %d]", name, len(pagers), MaxShards)
 	}
 	if len(firsts) != len(pagers) {
 		return nil, fmt.Errorf("relation %s: %d shard heap pages for %d shards", name, len(firsts), len(pagers))
+	}
+	if ranges != nil && len(ranges) != len(pagers) {
+		return nil, fmt.Errorf("relation %s: %d shard key ranges for %d shards", name, len(ranges), len(pagers))
 	}
 	r := &Relation{
 		name:         name,
@@ -118,16 +133,23 @@ func OpenSharded(pagers []*pager.Pager, name string, schema Schema, firsts []pag
 		shardSpatial: make(map[string][]*SpatialIndex),
 		rtreeParams:  rtree.DefaultParams(),
 	}
+	shards := make([]*relShard, 0, len(pagers))
 	for i, p := range pagers {
 		h, err := storage.Open(p, firsts[i])
 		if err != nil {
 			return nil, fmt.Errorf("relation %s: shard %d: %w", name, i, err)
 		}
-		r.shards = append(r.shards, &relShard{pgr: p, heap: h})
+		shards = append(shards, &relShard{pgr: p, heap: h})
 	}
+	r.shards.Store(&shards)
+	if ranges == nil {
+		ranges = evenKeyRanges(len(shards))
+	}
+	r.shardRanges = append([]KeyRange(nil), ranges...)
+	r.shardLive = make([]int64, len(shards))
 	maxSeq := shardSeqBase - 1
 	live := int64(0)
-	for s, sh := range r.shards {
+	for s, sh := range shards {
 		var scanErr error
 		err := sh.heap.Scan(func(lid storage.TupleID, rec []byte) bool {
 			seq, _, err := splitShardRecord(rec)
@@ -140,11 +162,36 @@ func OpenSharded(pagers []*pager.Pager, name string, schema Schema, firsts []pag
 				r.routes = append(r.routes, 0)
 			}
 			if r.routes[i] != 0 {
-				prev, _ := decodeRoute(r.routes[i])
-				scanErr = fmt.Errorf("%w: sequence %d stored in both shard %d and shard %d", storage.ErrCorrupt, seq, prev, s)
-				return false
+				prev, plid := decodeRoute(r.routes[i])
+				if prev == s {
+					// A split never duplicates within one shard.
+					scanErr = fmt.Errorf("%w: sequence %d stored twice in shard %d", storage.ErrCorrupt, seq, s)
+					return false
+				}
+				stale, err := shards[prev].heap.Get(plid)
+				if err != nil {
+					scanErr = fmt.Errorf("%w: sequence %d stored in both shard %d and shard %d", storage.ErrCorrupt, seq, prev, s)
+					return false
+				}
+				if string(stale) != string(rec) {
+					scanErr = fmt.Errorf("%w: sequence %d stored in both shard %d and shard %d with differing records", storage.ErrCorrupt, seq, prev, s)
+					return false
+				}
+				// Interrupted-split duplicate: drop the source copy (the
+				// lower shard — shards scan in ascending order, so prev is
+				// the split's source) and adopt this one. The deletion
+				// becomes durable at the next commit.
+				if err := shards[prev].heap.Delete(plid); err != nil {
+					scanErr = fmt.Errorf("shard %d: dropping stale split duplicate of sequence %d: %w", prev, seq, err)
+					return false
+				}
+				r.routes[i] = encodeRoute(s, lid)
+				r.shardLive[prev]--
+				r.shardLive[s]++
+				return true
 			}
 			r.routes[i] = encodeRoute(s, lid)
+			r.shardLive[s]++
 			if seq > maxSeq {
 				maxSeq = seq
 			}
@@ -164,33 +211,46 @@ func OpenSharded(pagers []*pager.Pager, name string, schema Schema, firsts []pag
 }
 
 // Sharded reports whether the relation is split across shard files.
-func (r *Relation) Sharded() bool { return len(r.shards) > 0 }
+func (r *Relation) Sharded() bool { return r.shards.Load() != nil }
 
 // ShardCount returns the number of shards (0 when unsharded).
-func (r *Relation) ShardCount() int { return len(r.shards) }
+func (r *Relation) ShardCount() int { return len(r.shardList()) }
 
 // ShardPager returns shard s's pager — the handle the database layer
 // commits, checkpoints, and closes.
-func (r *Relation) ShardPager(s int) *pager.Pager { return r.shards[s].pgr }
+func (r *Relation) ShardPager(s int) *pager.Pager { return r.shardList()[s].pgr }
 
 // ShardHeapFirstPages returns each shard heap's first page, the
 // handles the catalog persists to reopen the relation (nil when
 // unsharded).
 func (r *Relation) ShardHeapFirstPages() []pager.PageID {
-	if !r.Sharded() {
+	shs := r.shardList()
+	if len(shs) == 0 {
 		return nil
 	}
-	out := make([]pager.PageID, len(r.shards))
-	for s, sh := range r.shards {
+	out := make([]pager.PageID, len(shs))
+	for s, sh := range shs {
 		out[s] = sh.heap.FirstPage()
 	}
 	return out
 }
 
+// ShardKeyRanges returns each shard's half-open Hilbert key range —
+// the handles the catalog persists so a rebalanced layout routes the
+// same way after reopen (nil when unsharded).
+func (r *Relation) ShardKeyRanges() []KeyRange {
+	if !r.Sharded() {
+		return nil
+	}
+	r.smu.RLock()
+	defer r.smu.RUnlock()
+	return append([]KeyRange(nil), r.shardRanges...)
+}
+
 // ShardHeapPages returns the page ids owned by shard s's heap, for
 // per-shard-file ownership accounting during verification.
 func (r *Relation) ShardHeapPages(s int) ([]pager.PageID, error) {
-	sh := r.shards[s]
+	sh := r.shardList()[s]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	return sh.heap.Pages()
@@ -202,8 +262,9 @@ func (r *Relation) ShardHeapPages(s int) ([]pager.PageID, error) {
 // shards before its main file so the catalog never names shard pages
 // that are not yet durable.
 func (r *Relation) CommitShards() error {
-	return forEachShard(len(r.shards), len(r.shards), func(s int) error {
-		if err := r.shards[s].pgr.Commit(); err != nil {
+	shs := r.shardList()
+	return forEachShard(len(shs), len(shs), func(s int) error {
+		if err := shs[s].pgr.Commit(); err != nil {
 			return fmt.Errorf("relation %s: shard %d: %w", r.name, s, err)
 		}
 		return nil
@@ -256,42 +317,48 @@ func (r *Relation) routesSnapshot() []int64 {
 	return out
 }
 
-// routeGone reports whether gid's route was cleared after v was
-// snapshotted. Sequences are never reused, so a route only ever
-// transitions v -> 0: a reader that snapshotted v and then finds a
-// mismatched or missing heap record raced a delete (whose slot a later
-// insert may have reused), not corruption — unless the route still
-// stands, in which case the heap really is damaged. Heap reads are
-// serialized against deletes by the shard lock, so a bad read implies
-// the delete completed first and the recheck observes the cleared
-// route.
-func (r *Relation) routeGone(gid int64) bool {
+// routeNow re-reads gid's current route. A reader that snapshotted a
+// route v and then failed its heap read classifies the failure here:
+// 0 means a delete completed (sequences are never reused, so a cleared
+// route stays cleared — report not-found), a value different from v
+// means a shard split migrated the tuple (retry against the new
+// route), and an unchanged v means the heap really is damaged. Heap
+// reads are serialized against deletes and migrations by the shard
+// lock, so a bad read implies the move completed first and the recheck
+// observes the new route.
+func (r *Relation) routeNow(gid int64) int64 {
 	r.smu.RLock()
 	v := r.routeAtLocked(gid)
 	r.smu.RUnlock()
-	return v == 0
+	return v
 }
+
+// routeGone reports whether gid's route was cleared (deleted).
+func (r *Relation) routeGone(gid int64) bool { return r.routeNow(gid) == 0 }
 
 // routeShard picks the shard a new tuple should land on: the Hilbert
 // key of its loc object's MBR center over the attached picture's
-// extent, scaled into [0, N). Tuples whose loc does not resolve (no
-// picture attached yet, foreign picture) fall back to a content hash.
-// Placement only affects locality — the route table, not the routing
-// rule, resolves reads — so attaching a picture after a fallback-routed
-// load is correct, just less clustered.
+// extent, looked up in the per-shard key ranges (contiguous at
+// creation, narrowed and split as the rebalancer reacts to skew).
+// Tuples whose loc does not resolve (no picture attached yet, foreign
+// picture) fall back to a content hash. Placement only affects
+// locality — the route table, not the routing rule, resolves reads —
+// so attaching a picture after a fallback-routed load is correct, just
+// less clustered.
 func (r *Relation) routeShard(t Tuple, enc []byte) int {
-	n := len(r.shards)
+	r.smu.RLock()
+	n := len(r.shardRanges)
 	if n == 1 {
+		r.smu.RUnlock()
 		return 0
 	}
-	r.smu.RLock()
 	for _, sis := range r.shardSpatial {
 		pic := sis[0].Picture
 		if rect, ok := r.locMBR(t, pic); ok {
 			ext := pic.Extent()
+			s := shardForKey(r.shardRanges, pack.HilbertKey(ext, rect.Center()))
 			r.smu.RUnlock()
-			key := pack.HilbertKey(ext, rect.Center())
-			return int(key * uint64(n) >> pack.HilbertKeyBits)
+			return s
 		}
 	}
 	r.smu.RUnlock()
@@ -316,7 +383,7 @@ func (r *Relation) insertSharded(t Tuple) (storage.TupleID, error) {
 	buf := make([]byte, 8+len(enc))
 	binary.LittleEndian.PutUint64(buf, uint64(seq))
 	copy(buf[8:], enc)
-	sh := r.shards[s]
+	sh := r.shardList()[s]
 	sh.mu.Lock()
 	lid, err := sh.heap.Insert(buf)
 	sh.mu.Unlock()
@@ -334,6 +401,7 @@ func (r *Relation) insertSharded(t Tuple) (storage.TupleID, error) {
 		r.routes = append(r.routes, 0)
 	}
 	r.routes[i] = encodeRoute(s, lid)
+	r.shardLive[s]++
 	for col, idx := range r.indexes {
 		ci := r.schema.ColumnIndex(col)
 		idx.Insert(IndexKey(t[ci]), seq)
@@ -351,43 +419,82 @@ func (r *Relation) insertSharded(t Tuple) (storage.TupleID, error) {
 	return storage.TupleIDFromInt64(seq), nil
 }
 
+// fetchRouted reads the tuple for gid whose route was snapshotted as
+// v, chasing migrations: a failed heap read is classified by re-reading
+// the route — cleared means a delete completed (ok=false), changed
+// means a shard split moved the record (retry at the new location),
+// unchanged means the heap really is damaged. Retries terminate
+// because a given sequence moves at most once per split and splits are
+// finite.
+func (r *Relation) fetchRouted(gid, v int64) (Tuple, bool, error) {
+	for {
+		s, lid := decodeRoute(v)
+		sh := r.shardList()[s]
+		sh.mu.RLock()
+		rec, err := sh.heap.Get(lid)
+		sh.mu.RUnlock()
+		if err == nil {
+			var t Tuple
+			t, err = decodeShardRecord(rec, gid)
+			if err == nil {
+				return t, true, nil
+			}
+		}
+		now := r.routeNow(gid)
+		if now == 0 {
+			return nil, false, nil
+		}
+		if now == v {
+			return nil, false, fmt.Errorf("relation %s: shard %d: %w", r.name, s, err)
+		}
+		v = now
+	}
+}
+
 // getSharded is Get for sharded relations.
 func (r *Relation) getSharded(id storage.TupleID) (Tuple, error) {
 	gid := id.Int64()
-	r.smu.RLock()
-	v := r.routeAtLocked(gid)
-	r.smu.RUnlock()
+	v := r.routeNow(gid)
 	if v == 0 {
 		return nil, fmt.Errorf("%w: %v", storage.ErrNotFound, id)
 	}
-	s, lid := decodeRoute(v)
-	sh := r.shards[s]
-	sh.mu.RLock()
-	rec, err := sh.heap.Get(lid)
-	sh.mu.RUnlock()
+	t, ok, err := r.fetchRouted(gid, v)
 	if err != nil {
-		if r.routeGone(gid) {
-			return nil, fmt.Errorf("%w: %v", storage.ErrNotFound, id)
-		}
-		return nil, fmt.Errorf("relation %s: shard %d: %w", r.name, s, err)
+		return nil, err
 	}
-	t, err := decodeShardRecord(rec, gid)
-	if err != nil && r.routeGone(gid) {
+	if !ok {
 		return nil, fmt.Errorf("%w: %v", storage.ErrNotFound, id)
 	}
-	return t, err
+	return t, nil
 }
 
 // getBatchSharded is GetBatch for sharded relations: ids are grouped
 // by shard through the route table and the per-shard batches run
 // concurrently (each pinning its pages once, like the unsharded path).
-// out[i] corresponds to ids[i] at any worker count.
+// out[i] corresponds to ids[i] at any worker count. A shard split
+// migrating tuples mid-batch can invalidate the grouping; the route
+// epoch detects that and the whole batch retries against the new
+// layout instead of reporting phantom corruption.
 func (r *Relation) getBatchSharded(ids []storage.TupleID, need []bool, workers int) ([]Tuple, error) {
+	for {
+		epoch := r.routeEpoch.Load()
+		out, err := r.getBatchShardedOnce(ids, need, workers)
+		if err == nil {
+			return out, nil
+		}
+		if r.routeEpoch.Load() == epoch {
+			return nil, err
+		}
+	}
+}
+
+func (r *Relation) getBatchShardedOnce(ids []storage.TupleID, need []bool, workers int) ([]Tuple, error) {
 	out := make([]Tuple, len(ids))
 	if len(ids) == 0 {
 		return out, nil
 	}
-	n := len(r.shards)
+	shs := r.shardList()
+	n := len(shs)
 	perIDs := make([][]storage.TupleID, n)
 	perPos := make([][]int, n)
 	r.smu.RLock()
@@ -409,7 +516,7 @@ func (r *Relation) getBatchSharded(ids []storage.TupleID, need []bool, workers i
 		if len(perIDs[s]) == 0 {
 			return nil
 		}
-		sh := r.shards[s]
+		sh := shs[s]
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
 		return sh.heap.GetBatch(perIDs[s], func(k int, rec []byte) error {
@@ -450,9 +557,10 @@ func (r *Relation) deleteSharded(id storage.TupleID) error {
 		return fmt.Errorf("%w: %v", storage.ErrNotFound, id)
 	}
 	r.routes[gid-shardSeqBase] = 0
-	r.smu.Unlock()
 	s, lid := decodeRoute(v)
-	sh := r.shards[s]
+	r.shardLive[s]--
+	r.smu.Unlock()
+	sh := r.shardList()[s]
 	sh.mu.Lock()
 	rec, err := sh.heap.Get(lid)
 	if err == nil {
@@ -499,23 +607,12 @@ func (r *Relation) scanSharded(fn func(id storage.TupleID, t Tuple) bool) error 
 			continue
 		}
 		gid := shardSeqBase + int64(i)
-		s, lid := decodeRoute(v)
-		sh := r.shards[s]
-		sh.mu.RLock()
-		rec, err := sh.heap.Get(lid)
-		sh.mu.RUnlock()
+		t, ok, err := r.fetchRouted(gid, v)
 		if err != nil {
-			if r.routeGone(gid) {
-				continue // deleted mid-scan
-			}
-			return fmt.Errorf("relation %s: shard %d: %w", r.name, s, err)
+			return err
 		}
-		t, err := decodeShardRecord(rec, gid)
-		if err != nil {
-			if r.routeGone(gid) {
-				continue // deleted mid-scan, slot reused
-			}
-			return fmt.Errorf("relation %s: tuple %v: %w", r.name, storage.TupleIDFromInt64(gid), err)
+		if !ok {
+			continue // deleted mid-scan
 		}
 		if !fn(storage.TupleIDFromInt64(gid), t) {
 			return nil
@@ -529,30 +626,20 @@ func (r *Relation) scanSharded(fn func(id storage.TupleID, t Tuple) bool) error 
 // RepackPicture in sharded mode. Items come out in ascending sequence
 // order per shard.
 func (r *Relation) shardLocItems(pic *picture.Picture) ([][]rtree.Item, error) {
-	perShard := make([][]rtree.Item, len(r.shards))
+	perShard := make([][]rtree.Item, len(r.shardList()))
 	routes := r.routesSnapshot()
 	for i, v := range routes {
 		if v == 0 {
 			continue
 		}
 		gid := shardSeqBase + int64(i)
-		s, lid := decodeRoute(v)
-		sh := r.shards[s]
-		sh.mu.RLock()
-		rec, err := sh.heap.Get(lid)
-		sh.mu.RUnlock()
+		s, _ := decodeRoute(v)
+		t, ok, err := r.fetchRouted(gid, v)
 		if err != nil {
-			if r.routeGone(gid) {
-				continue // deleted mid-build
-			}
-			return nil, fmt.Errorf("relation %s: shard %d: %w", r.name, s, err)
-		}
-		t, err := decodeShardRecord(rec, gid)
-		if err != nil {
-			if r.routeGone(gid) {
-				continue // deleted mid-build, slot reused
-			}
 			return nil, err
+		}
+		if !ok {
+			continue // deleted mid-build
 		}
 		if rect, ok := r.locMBR(t, pic); ok {
 			perShard[s] = append(perShard[s], rtree.Item{Rect: rect, Data: gid})
@@ -577,7 +664,7 @@ func (r *Relation) attachPictureSharded(pic *picture.Picture, opts pack.Options)
 	if err != nil {
 		return err
 	}
-	sis := make([]*SpatialIndex, len(r.shards))
+	sis := make([]*SpatialIndex, len(perShard))
 	for s := range sis {
 		tree := pack.Tree(r.rtreeParams, perShard[s], opts)
 		si := newSpatialIndex(pic, tree, opts, r.rtreeParams)
@@ -705,8 +792,9 @@ func (r *Relation) SpatialCostSnapshot(pictureName string, windows []geom.Rect) 
 // ShardInfo is one shard directory entry: the Hilbert key range routed
 // to the shard and the live extent of its spatial index for one
 // picture. The scatter step prunes shards by Bounds; KeyLo/KeyHi
-// document the routing rule (a tuple with key k lands on shard
-// k*N >> HilbertKeyBits, i.e. the shard with KeyLo <= k < KeyHi).
+// document the routing rule (a tuple with key k lands on the shard
+// with KeyLo <= k < KeyHi — an even split at creation, narrowed as the
+// rebalancer splits hot shards).
 type ShardInfo struct {
 	Shard        int
 	KeyLo, KeyHi uint64
@@ -723,13 +811,13 @@ func (r *Relation) ShardDirectory(pictureName string) ([]ShardInfo, error) {
 	if sis == nil {
 		return nil, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, pictureName)
 	}
-	n := uint64(len(r.shards))
+	ranges := r.ShardKeyRanges()
 	out := make([]ShardInfo, len(sis))
 	for s, si := range sis {
 		out[s] = ShardInfo{
 			Shard:  s,
-			KeyLo:  shardKeyLo(uint64(s), n),
-			KeyHi:  shardKeyLo(uint64(s)+1, n),
+			KeyLo:  ranges[s].Lo,
+			KeyHi:  ranges[s].Hi,
 			Items:  si.Len(),
 			Bounds: si.Bounds(),
 		}
@@ -737,8 +825,8 @@ func (r *Relation) ShardDirectory(pictureName string) ([]ShardInfo, error) {
 	return out, nil
 }
 
-// shardKeyLo is the smallest Hilbert key routed to shard s of n: the
-// least k with k*n >> HilbertKeyBits == s.
+// shardKeyLo is the smallest Hilbert key an even split routes to shard
+// s of n: the least k with k*n >> HilbertKeyBits == s.
 func shardKeyLo(s, n uint64) uint64 {
 	return (s<<pack.HilbertKeyBits + n - 1) / n
 }
@@ -761,8 +849,12 @@ func (r *Relation) ShardFanout(pictureName string, window geom.Rect) (hit, total
 
 // mergeItemStreams k-way-merges per-shard item streams, each already in
 // canonical ascending-TupleID (sequence) order, into one canonical
-// stream — the gather step. Shards partition the id space, so no
-// duplicates can occur and the merge is a strict interleave.
+// stream — the gather step. Shards partition the id space at rest, so
+// the merge is normally a strict interleave; during a shard split's
+// migration window an entry briefly exists on both the source and
+// destination shard (added to the destination before removal from the
+// source, so no reader ever misses it), and the merge collapses such
+// equal-sequence duplicates to one occurrence.
 func mergeItemStreams(streams [][]rtree.Item) []rtree.Item {
 	switch len(streams) {
 	case 0:
@@ -776,7 +868,8 @@ func mergeItemStreams(streams [][]rtree.Item) []rtree.Item {
 	}
 	out := make([]rtree.Item, 0, total)
 	cur := make([]int, len(streams))
-	for len(out) < total {
+	emitted := 0
+	for emitted < total {
 		best := -1
 		var bd int64
 		for s, c := range cur {
@@ -784,8 +877,12 @@ func mergeItemStreams(streams [][]rtree.Item) []rtree.Item {
 				best, bd = s, streams[s][c].Data
 			}
 		}
-		out = append(out, streams[best][cur[best]])
 		cur[best]++
+		emitted++
+		if len(out) > 0 && out[len(out)-1].Data == bd {
+			continue // migration-window duplicate
+		}
+		out = append(out, streams[best][cur[best]-1])
 	}
 	return out
 }
@@ -870,26 +967,107 @@ func scatterItems(sis []*SpatialIndex) ([]rtree.Item, int) {
 	return mergeItemStreams(streams), visited
 }
 
-// scatterJuxtapose joins two index lists: every (shard, shard) pair
-// whose bounds overlap is juxtaposed with the merged-tier machinery,
-// and the union is sorted canonically by (A, B). Shards partition each
-// side's id space, so pairs are unique across shard pairs and the
-// result is bit-identical to joining two unsharded indexes.
-func scatterJuxtapose(as, bs []*SpatialIndex, pred func(a, b geom.Rect) bool, workers int) ([]rtree.JoinPair, int) {
-	if len(as) == 1 && len(bs) == 1 {
-		return juxtaposeMerged(as[0], bs[0], pred, workers)
+// JoinShardStats reports how much of the cross-shard pair product a
+// juxtaposition actually joined: PairProduct counts the (shard, shard)
+// pairs whose root bounds overlap (the work list the pre-PR 10 scatter
+// spawned), PairsJoined the pairs whose subtree frontiers intersect —
+// the only ones that can contribute result pairs and the only ones
+// joined now.
+type JoinShardStats struct {
+	PairProduct int
+	PairsJoined int
+}
+
+// JoinShardPairEstimate prices a cross-shard juxtaposition without
+// running it: PairProduct counts the shard pairs whose bounds overlap,
+// PairsJoined the ones whose frontiers intersect — exactly the pairs
+// JuxtaposeSpatial will traverse. The planner divides the two for its
+// shard-pair cardinality fraction. Cost: one frontier walk per
+// non-empty shard (O(joinFrontierLimit × fanout) nodes), no joins.
+func (r *Relation) JoinShardPairEstimate(picA string, s *Relation, picB string) (JoinShardStats, error) {
+	as := r.spatialList(picA)
+	if as == nil {
+		return JoinShardStats{}, fmt.Errorf("relation %s: no spatial index for picture %q", r.name, picA)
 	}
-	var pairs []rtree.JoinPair
-	visited := 0
-	for _, ai := range as {
+	bs := s.spatialList(picB)
+	if bs == nil {
+		return JoinShardStats{}, fmt.Errorf("relation %s: no spatial index for picture %q", s.name, picB)
+	}
+	if len(as) == 1 && len(bs) == 1 {
+		return JoinShardStats{PairProduct: 1, PairsJoined: 1}, nil
+	}
+	var stats JoinShardStats
+	af := make([][]geom.Rect, len(as))
+	bf := make([][]geom.Rect, len(bs))
+	frontierOf := func(cache [][]geom.Rect, sis []*SpatialIndex, i int) []geom.Rect {
+		if cache[i] == nil {
+			cache[i] = sis[i].frontier()
+		}
+		return cache[i]
+	}
+	for i, ai := range as {
 		if ai.Len() == 0 {
 			continue
 		}
 		ab := ai.Bounds()
-		for _, bj := range bs {
+		for j, bj := range bs {
 			if bj.Len() == 0 || !ab.Intersects(bj.Bounds()) {
 				continue
 			}
+			stats.PairProduct++
+			if frontiersIntersect(frontierOf(af, as, i), frontierOf(bf, bs, j)) {
+				stats.PairsJoined++
+			}
+		}
+	}
+	return stats, nil
+}
+
+// scatterJuxtapose joins two index lists: shard pairs whose bounds
+// overlap are candidates, and of those only the pairs whose R-tree
+// frontiers (a bounded set of subtree MBRs per shard, Gutiérrez-style
+// two-tree synchronized descent) actually intersect are juxtaposed
+// with the merged-tier machinery. Pruned pairs provably contribute
+// nothing: pred implies rectangle intersection and every live entry is
+// covered by its side's frontier, so a pair of disjoint frontiers
+// admits no qualifying entry pair. The union is sorted canonically by
+// (A, B) and migration-window duplicates (an entry transiently on two
+// shards during a split) are collapsed, so the result is bit-identical
+// to joining two unsharded indexes. prune=false keeps the full
+// bounds-overlap pair product — the baseline the benchmarks compare
+// against.
+func scatterJuxtapose(as, bs []*SpatialIndex, pred func(a, b geom.Rect) bool, workers int, prune bool) ([]rtree.JoinPair, int, JoinShardStats) {
+	if len(as) == 1 && len(bs) == 1 {
+		ps, v := juxtaposeMerged(as[0], bs[0], pred, workers)
+		return ps, v, JoinShardStats{PairProduct: 1, PairsJoined: 1}
+	}
+	var stats JoinShardStats
+	// Frontiers are computed once per shard, lazily: a shard whose
+	// bounds overlap nothing never pays for one.
+	af := make([][]geom.Rect, len(as))
+	bf := make([][]geom.Rect, len(bs))
+	frontierOf := func(cache [][]geom.Rect, sis []*SpatialIndex, i int) []geom.Rect {
+		if cache[i] == nil {
+			cache[i] = sis[i].frontier()
+		}
+		return cache[i]
+	}
+	var pairs []rtree.JoinPair
+	visited := 0
+	for i, ai := range as {
+		if ai.Len() == 0 {
+			continue
+		}
+		ab := ai.Bounds()
+		for j, bj := range bs {
+			if bj.Len() == 0 || !ab.Intersects(bj.Bounds()) {
+				continue
+			}
+			stats.PairProduct++
+			if prune && !frontiersIntersect(frontierOf(af, as, i), frontierOf(bf, bs, j)) {
+				continue
+			}
+			stats.PairsJoined++
 			ps, v := juxtaposeMerged(ai, bj, pred, workers)
 			visited += v
 			pairs = append(pairs, ps...)
@@ -901,7 +1079,20 @@ func scatterJuxtapose(as, bs []*SpatialIndex, pred func(a, b geom.Rect) bool, wo
 		}
 		return pairs[i].B.Data < pairs[j].B.Data
 	})
-	return pairs, visited
+	// Collapse duplicates from migration windows: an entry joined on
+	// both its source and destination shard yields the same (A, B) pair
+	// twice, adjacent after the sort.
+	dedup := pairs[:0]
+	for _, p := range pairs {
+		if len(dedup) > 0 {
+			last := dedup[len(dedup)-1]
+			if last.A.Data == p.A.Data && last.B.Data == p.B.Data {
+				continue
+			}
+		}
+		dedup = append(dedup, p)
+	}
+	return dedup, visited, stats
 }
 
 // forEachShard runs fn(s) for s in [0, n) with up to par goroutines,
@@ -949,8 +1140,9 @@ func forEachShard(n, par int, fn func(s int) error) error {
 func (r *Relation) checkSharded(par int) error {
 	routes := r.routesSnapshot()
 	nextSeq := r.nextSeq.Load()
-	counts := make([]int, len(r.shards))
-	err := forEachShard(len(r.shards), par, func(s int) error {
+	n := len(r.shardList())
+	counts := make([]int, n)
+	err := forEachShard(n, par, func(s int) error {
 		n, err := r.checkShard(s, routes, nextSeq)
 		counts[s] = n
 		return err
@@ -1005,7 +1197,7 @@ func (r *Relation) checkShard(s int, routes []int64, nextSeq int64) (int, error)
 		lists[pic] = sis[s]
 	}
 	r.smu.RUnlock()
-	sh := r.shards[s]
+	sh := r.shardList()[s]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	wrap := func(err error) error {

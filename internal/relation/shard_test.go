@@ -392,7 +392,7 @@ func TestShardedReopen(t *testing.T) {
 	}
 	firsts := rel.ShardHeapFirstPages()
 
-	re, err := OpenSharded(pagers, "cities", citySchema(), firsts)
+	re, err := OpenSharded(pagers, "cities", citySchema(), firsts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,10 +448,14 @@ func TestShardedDuplicateSequenceDetected(t *testing.T) {
 	pic := picture.New("us-map", geom.R(0, 0, 1000, 1000))
 	addCity(t, rel, pic, "one", "ST", 1, 100, 100)
 
-	// Copy shard A's record (with its sequence prefix) into shard B.
+	// Copy shard A's record (with its sequence prefix) into shard B,
+	// flipping a payload byte so the two copies differ. A byte-identical
+	// duplicate is the legitimate artifact of an interrupted shard split
+	// and is repaired on reopen (TestShardedSplitDuplicateRepaired); a
+	// differing one is real corruption.
 	var rec []byte
 	srcShard := -1
-	for s, sh := range rel.shards {
+	for s, sh := range rel.shardList() {
 		sh.heap.Scan(func(_ storage.TupleID, r []byte) bool {
 			rec = append([]byte(nil), r...)
 			srcShard = s
@@ -464,14 +468,91 @@ func TestShardedDuplicateSequenceDetected(t *testing.T) {
 	if rec == nil {
 		t.Fatal("no record found")
 	}
-	dst := rel.shards[1-srcShard]
+	rec[len(rec)-1] ^= 0xff
+	dst := rel.shardList()[1-srcShard]
 	if _, err := dst.heap.Insert(rec); err != nil {
 		t.Fatal(err)
 	}
 
-	_, err = OpenSharded(pagers, "cities", citySchema(), rel.ShardHeapFirstPages())
+	_, err = OpenSharded(pagers, "cities", citySchema(), rel.ShardHeapFirstPages(), nil)
 	if !errors.Is(err, storage.ErrCorrupt) {
-		t.Fatalf("duplicate sequence not reported as corruption: %v", err)
+		t.Fatalf("differing duplicate sequence not reported as corruption: %v", err)
+	}
+}
+
+// TestShardedSplitDuplicateRepaired forges the durable artifact of a
+// shard split that crashed after the destination's commit but before
+// the source's deletions: the same sequence byte-identical on two
+// shards. Reopen must repair it — adopt the higher shard's copy, drop
+// the stale source record — and present each tuple exactly once.
+func TestShardedSplitDuplicateRepaired(t *testing.T) {
+	pagers := []*pager.Pager{pager.OpenMem(64), pager.OpenMem(64)}
+	t.Cleanup(func() {
+		for _, p := range pagers {
+			p.Close()
+		}
+	})
+	rel, err := NewSharded(pagers, "cities", citySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pic := picture.New("us-map", geom.R(0, 0, 1000, 1000))
+	addCity(t, rel, pic, "one", "ST", 1, 100, 100)
+	addCity(t, rel, pic, "two", "ST", 2, 900, 900)
+	addCity(t, rel, pic, "three", "ST", 3, 500, 500)
+	want := rel.Len()
+
+	// Copy a record verbatim into the other shard — the migration
+	// insert whose matching source delete never became durable. Repair
+	// keeps whichever copy lives on the higher shard, so either
+	// direction exercises it.
+	shards := rel.shardList()
+	var rec []byte
+	srcShard := -1
+	for s, sh := range shards {
+		sh.heap.Scan(func(_ storage.TupleID, r []byte) bool {
+			rec = append([]byte(nil), r...)
+			srcShard = s
+			return false
+		})
+		if rec != nil {
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatal("no record found")
+	}
+	if _, err := shards[1-srcShard].heap.Insert(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenSharded(pagers, "cities", citySchema(), rel.ShardHeapFirstPages(), nil)
+	if err != nil {
+		t.Fatalf("byte-identical split duplicate not repaired: %v", err)
+	}
+	if re.Len() != want {
+		t.Fatalf("repaired relation has %d live tuples, want %d", int64(re.Len()), want)
+	}
+	seen := map[string]int{}
+	if err := re.Scan(func(_ storage.TupleID, tu Tuple) bool {
+		seen[tu[0].Str]++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"one", "two", "three"} {
+		if seen[name] != 1 {
+			t.Fatalf("tuple %q seen %d times after repair", name, seen[name])
+		}
+	}
+	// The stale source record is gone from shard 0's heap: a second
+	// reopen finds no duplicate to repair and the same live count.
+	re2, err := OpenSharded(pagers, "cities", citySchema(), rel.ShardHeapFirstPages(), nil)
+	if err != nil {
+		t.Fatalf("reopen after repair: %v", err)
+	}
+	if re2.Len() != want {
+		t.Fatalf("second reopen has %d live tuples, want %d", int64(re2.Len()), want)
 	}
 }
 

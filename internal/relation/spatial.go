@@ -909,6 +909,104 @@ func juxtaposeMerged(si, sj *SpatialIndex, pred func(a, b geom.Rect) bool, worke
 	return pairs, visited
 }
 
+// joinFrontierLimit bounds the per-shard frontier used to prune
+// cross-shard juxtaposition pairs: enough rectangles to separate
+// clusters the root MBR would smear together, few enough that the
+// O(K²) pairwise intersection test stays trivial next to one join.
+const joinFrontierLimit = 24
+
+// frontier returns a bounded set of rectangles covering every live
+// entry in the index: a breadth-first frontier of each constituent tree
+// plus the L0 buffers' item rects (collapsed to their union when
+// oversized). Tombstoned entries may still be covered — the frontier is
+// conservative, which only costs a pruning opportunity, never a pair.
+func (si *SpatialIndex) frontier() []geom.Rect {
+	si.mu.RLock()
+	defer si.mu.RUnlock()
+	out := si.packed.FrontierRects(joinFrontierLimit)
+	if si.frozen != nil && si.frozen.Len() > 0 {
+		out = append(out, si.frozen.FrontierRects(joinFrontierLimit)...)
+	}
+	if si.delta.Len() > 0 {
+		out = append(out, si.delta.FrontierRects(joinFrontierLimit)...)
+	}
+	nl0 := len(si.l0) + len(si.frozenL0)
+	switch {
+	case nl0 == 0:
+	case nl0 <= joinFrontierLimit:
+		for _, it := range si.frozenL0 {
+			out = append(out, it.Rect)
+		}
+		for _, it := range si.l0 {
+			out = append(out, it.Rect)
+		}
+	default:
+		// Too many loose items for per-item rects. A single global
+		// union would be the shard's full bounds and erase the
+		// frontier's pruning power exactly when the write side is warm,
+		// so cover the items with Hilbert-chunked group unions instead:
+		// sorted along the curve, spatially-near items share a chunk
+		// and the unions stay tight.
+		rects := make([]geom.Rect, 0, nl0)
+		for _, it := range si.frozenL0 {
+			rects = append(rects, it.Rect)
+		}
+		for _, it := range si.l0 {
+			rects = append(rects, it.Rect)
+		}
+		ext := si.Picture.Extent()
+		sort.Slice(rects, func(a, b int) bool {
+			return pack.HilbertKey(ext, rects[a].Center()) < pack.HilbertKey(ext, rects[b].Center())
+		})
+		per := (len(rects) + joinFrontierLimit - 1) / joinFrontierLimit
+		for i := 0; i < len(rects); i += per {
+			end := i + per
+			if end > len(rects) {
+				end = len(rects)
+			}
+			u := rects[i]
+			for _, r := range rects[i+1 : end] {
+				u = u.Union(r)
+			}
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// frontiersIntersect reports whether any rectangle of a intersects any
+// of b — the shard-pair admission test for cross-shard juxtaposition.
+func frontiersIntersect(a, b []geom.Rect) bool {
+	for _, ra := range a {
+		for _, rb := range b {
+			if ra.Intersects(rb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// emptyClone returns a fresh empty index with the same picture, pack
+// options, tree parameters, and write configuration — the spatial
+// sidecar a shard split creates for its destination shard.
+func (si *SpatialIndex) emptyClone() *SpatialIndex {
+	si.mu.RLock()
+	opts := si.Opts
+	params := si.params
+	policy := si.policy
+	threshold := si.threshold
+	auto := si.autoRepack
+	si.mu.RUnlock()
+	packOpts := opts
+	packOpts.TrimToMultiple = false
+	clone := newSpatialIndex(si.Picture, pack.Tree(params, nil, packOpts), opts, params)
+	clone.policy = policy
+	clone.threshold = threshold
+	clone.autoRepack = auto
+	return clone
+}
+
 // checkInvariants validates every constituent tree plus the LSM
 // bookkeeping invariants.
 func (si *SpatialIndex) checkInvariants() error {
